@@ -1,0 +1,62 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark reproduces one table/figure/claim of the paper (see the
+per-experiment index in DESIGN.md).  Results are rendered as fixed-width
+tables, printed to stdout (visible with ``pytest -s`` or in failure
+output) and saved under ``benchmarks/results/`` so EXPERIMENTS.md can
+reference them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> str:
+    rendered_rows: List[List[str]] = [
+        [_format_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "  ".join("-" * w for w in widths)
+    body = "\n".join(line(row) for row in rendered_rows)
+    return f"\n== {title} ==\n{line(headers)}\n{separator}\n{body}\n"
+
+
+def _format_cell(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def emit_table(
+    name: str, title: str, headers: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> str:
+    """Print a result table and persist it under benchmarks/results/."""
+    text = format_table(title, headers, list(rows))
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text)
+    return text
+
+
+def ms(seconds: float) -> float:
+    return seconds * 1000.0

@@ -1,0 +1,113 @@
+"""E10 — §3.2: floor-control behaviour under contention.
+
+Reproduces the multiple-execution algorithm's guarantees when several
+users act on one couple group nearly simultaneously:
+
+* exactly one contender per overlap window wins the floor;
+* losers' built-in feedback is rolled back (no ghost state);
+* all replicas converge to the winner's value;
+* no deadlock and no lock leakage, round after round.
+
+Series reproduced: contention spacing sweep → denial rate; the tighter
+the overlap, the more actions are refused — but convergence never breaks.
+"""
+
+import pytest
+
+from _common import emit_table
+from repro.baselines.fully_replicated import FullyReplicatedHarness
+from repro.workloads import SCALE_PATH, contention_burst
+
+SPACINGS = (0.0002, 0.001, 0.01, 0.2)
+ROUNDS = 10
+USERS = 4
+
+
+def run(spacing):
+    workload = contention_burst(
+        n_users=USERS, rounds=ROUNDS, spacing=spacing, seed=13
+    )
+    harness = FullyReplicatedHarness(USERS, base_latency=0.005)
+    records = harness.run(workload)
+    denied = sum(1 for r in records if not r.executed)
+    executed = len(records) - denied
+    # Convergence: all replicas agree on the scale value.
+    values = {
+        harness.user_state(u, SCALE_PATH)["value"] for u in range(USERS)
+    }
+    locks_left = len(harness.server.locks)
+    harness.close()
+    return {
+        "spacing": spacing,
+        "denied": denied,
+        "executed": executed,
+        "denial_rate": denied / len(records),
+        "converged": len(values) == 1,
+        "locks_left": locks_left,
+    }
+
+
+class TestContention:
+    def test_spacing_sweep(self, benchmark):
+        results = benchmark.pedantic(
+            lambda: [run(s) for s in SPACINGS], rounds=1, iterations=1
+        )
+        rows = [
+            [
+                r["spacing"] * 1000,
+                r["executed"],
+                r["denied"],
+                round(r["denial_rate"], 2),
+                r["converged"],
+                r["locks_left"],
+            ]
+            for r in results
+        ]
+        emit_table(
+            "e10_contention",
+            "E10: floor control under contention (4 users, 10 rounds)",
+            ["spacing ms", "executed", "denied", "denial rate",
+             "converged", "locks leaked"],
+            rows,
+        )
+        for r in results:
+            # Safety: convergence and no lock leakage at every spacing.
+            assert r["converged"]
+            assert r["locks_left"] == 0
+            # Liveness: at least one action per round succeeded.
+            assert r["executed"] >= ROUNDS
+        # Shape: tighter overlap -> more denials; wide spacing -> none.
+        assert results[0]["denied"] > 0
+        assert results[-1]["denied"] == 0
+        rates = [r["denial_rate"] for r in results]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_floor_window_admits_few_winners(self, benchmark):
+        """While a floor is held (event still propagating), every racing
+        contender is refused: a burst of near-simultaneous actions admits
+        strictly fewer winners than contenders — a user acting after the
+        acks drained may legitimately win a later floor."""
+
+        def one_round():
+            workload = contention_burst(
+                n_users=USERS, rounds=1, spacing=0.0001, seed=7
+            )
+            harness = FullyReplicatedHarness(USERS, base_latency=0.005)
+            records = harness.run(workload)
+            executed = [r for r in records if r.executed]
+            harness.close()
+            return len(executed)
+
+        winners = benchmark.pedantic(one_round, rounds=1, iterations=1)
+        assert 1 <= winners < USERS
+
+    def test_contended_event_wall_clock(self, benchmark):
+        harness = FullyReplicatedHarness(USERS)
+        tree = harness.trees[0]
+
+        def event():
+            tree.find(SCALE_PATH).set_value(5)
+            harness.network.pump()
+
+        benchmark(event)
+        harness.close()

@@ -1,0 +1,118 @@
+"""E5 — §3.2: floor-control cost vs event granularity.
+
+The paper: "Such a locking mechanism might become costly if the events
+were fine-grained, such as cursor movements or the typing of single
+characters.  However, in our model, most events are high-level callback
+events of UI objects."
+
+Series reproduced: the same text typed into a coupled text field (a) one
+KEY_PRESS event per keystroke — every keystroke pays a lock round trip —
+versus (b) one high-level VALUE_CHANGED commit.  Reported: messages,
+bytes, lock acquisitions, simulated completion time.
+"""
+
+import pytest
+
+from _common import emit_table, ms
+from repro.session import LocalSession
+from repro.toolkit.widgets import Shell, TextField
+
+TEXTS = {
+    "short (8 chars)": "abcdefgh",
+    "sentence (32 chars)": "the quick brown fox jumps over.!",
+    "paragraph (128 chars)": "x" * 128,
+}
+
+
+def build_pair():
+    session = LocalSession()
+    trees = []
+    for name in ("a", "b"):
+        inst = session.create_instance(name, user=name)
+        root = Shell("ui")
+        TextField("field", parent=root)
+        inst.add_root(root)
+        trees.append(root)
+    session.instances["a"].couple(
+        trees[0].find("/ui/field"), ("b", "/ui/field")
+    )
+    session.pump()
+    return session, trees
+
+
+def type_text(text, fine_grained):
+    session, (tree_a, tree_b) = build_pair()
+    session.network.stats.reset()
+    acquisitions_before = session.server.locks.stats.acquisitions
+    start = session.now
+    field = tree_a.find("/ui/field")
+    if fine_grained:
+        for char in text:
+            field.type_key(char)
+        session.pump()
+    else:
+        field.commit(text)
+        session.pump()
+    result = {
+        "messages": session.network.stats.messages,
+        "bytes": session.network.stats.bytes,
+        "locks": session.server.locks.stats.acquisitions - acquisitions_before,
+        "time_ms": ms(session.now - start),
+        "converged": tree_b.find("/ui/field").value == text,
+    }
+    session.close()
+    return result
+
+
+class TestLockGranularity:
+    def test_granularity_sweep(self, benchmark):
+        def sweep():
+            rows = []
+            for label, text in TEXTS.items():
+                fine = type_text(text, fine_grained=True)
+                coarse = type_text(text, fine_grained=False)
+                assert fine["converged"] and coarse["converged"]
+                rows.append((label, fine, coarse))
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        table = []
+        for label, fine, coarse in rows:
+            table.append(
+                [label, "per-keystroke", fine["messages"], fine["bytes"],
+                 fine["locks"], fine["time_ms"]]
+            )
+            table.append(
+                [label, "high-level commit", coarse["messages"],
+                 coarse["bytes"], coarse["locks"], coarse["time_ms"]]
+            )
+        emit_table(
+            "e5_lock_granularity",
+            "E5: floor control cost — fine-grained vs high-level events",
+            ["text", "granularity", "messages", "bytes", "locks", "sim ms"],
+            table,
+        )
+        # Shape: per-keystroke costs scale with text length; the commit
+        # costs one lock round regardless.
+        for label, fine, coarse in rows:
+            assert coarse["locks"] == 1
+            assert fine["locks"] == len(TEXTS[label])
+            assert fine["messages"] > coarse["messages"] * 3
+        # Shape: the gap widens with length (the paper's "costly").
+        short = rows[0]
+        long = rows[-1]
+        assert (long[1]["messages"] / long[2]["messages"]) > (
+            short[1]["messages"] / short[2]["messages"]
+        )
+
+    def test_wall_clock_per_event(self, benchmark):
+        """Wall-clock cost of one fine-grained coupled keystroke."""
+        session, (tree_a, _) = build_pair()
+        field = tree_a.find("/ui/field")
+
+        def keystroke():
+            field.type_key("x")
+            session.pump()
+
+        benchmark(keystroke)
+        session.close()

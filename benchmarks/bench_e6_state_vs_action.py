@@ -1,0 +1,134 @@
+"""E6 — §3.1: synchronization by state vs re-executing missed actions.
+
+The paper, on reconciling after decoupled work: "One approach is to record
+all actions occurring on the (copied and copying) complex objects while
+they are decoupled, and then re-execute these actions when they are
+coupled.  Another approach is to copy ... the complex UI object's state.
+The first approach is expensive, especially for long periods of
+decoupling."
+
+Series reproduced: a participant works alone for N committed actions;
+rejoining costs either (a) replaying all N missed events or (b) one state
+copy.  Reported: bytes on the wire and wall time for each, locating the
+crossover.
+"""
+
+import time
+
+import pytest
+
+from _common import emit_table
+from repro.net.codec import wire_size
+from repro.net.message import Message
+from repro.net import kinds
+from repro.session import LocalSession
+from repro.toolkit.events import VALUE_CHANGED
+from repro.toolkit.widgets import Scale, Shell, TextField
+
+MISSED_ACTIONS = (1, 5, 20, 100, 400)
+
+
+def offline_work(n_actions):
+    """One instance working decoupled: text edits and scale moves — work
+    that *overwrites* state, which is where state-copy reconciliation
+    shines (the live state stays small while the action log grows).
+
+    Returns (session, trees, missed events list).
+    """
+    session = LocalSession()
+    trees = []
+    for name in ("worker", "rejoiner"):
+        inst = session.create_instance(name, user=name)
+        root = Shell("ui")
+        TextField("field", parent=root)
+        Scale("zoom", parent=root, maximum=1000)
+        inst.add_root(root)
+        trees.append(root)
+    worker_tree = trees[0]
+    for k in range(n_actions):
+        if k % 2 == 0:
+            worker_tree.find("/ui/zoom").set_value(k % 1000)
+        else:
+            worker_tree.find("/ui/field").commit(f"edit number {k}")
+    missed = session.instances["worker"].trace.events()
+    return session, trees, missed
+
+
+def replay_cost(session, trees, missed):
+    """Re-execute every missed event on the rejoiner (the paper's first
+    approach) and account each event's wire size."""
+    rejoiner = trees[1]
+    wire_bytes = 0
+    start = time.perf_counter()
+    for event in missed:
+        wire_bytes += wire_size(
+            Message(
+                kind=kinds.EVENT_BROADCAST,
+                sender="server",
+                to="rejoiner",
+                payload={"event": event.to_wire(), "targets": [event.source_path]},
+            )
+        )
+        widget = rejoiner.find(event.source_path)
+        widget.apply_feedback(event.retargeted(widget.pathname, "rejoiner"))
+    elapsed = time.perf_counter() - start
+    return wire_bytes, elapsed
+
+
+def state_copy_cost(session, trees):
+    """One CopyFrom of the whole UI (the paper's second approach)."""
+    session.network.stats.reset()
+    start = time.perf_counter()
+    session.instances["rejoiner"].copy_from(trees[1], ("worker", "/ui"))
+    elapsed = time.perf_counter() - start
+    return session.network.stats.bytes, elapsed
+
+
+class TestStateVsAction:
+    def test_crossover_sweep(self, benchmark):
+        def sweep():
+            rows = []
+            for n in MISSED_ACTIONS:
+                session, trees, missed = offline_work(n)
+                replay_bytes, replay_time = replay_cost(session, trees, missed)
+                # Fresh pair for the state path (replay mutated the target).
+                session.close()
+                session, trees, _ = offline_work(n)
+                state_bytes, state_time = state_copy_cost(session, trees)
+                converged = (
+                    trees[1].find("/ui/field").relevant_state()
+                    == trees[0].find("/ui/field").relevant_state()
+                )
+                session.close()
+                rows.append(
+                    [n, replay_bytes, state_bytes,
+                     round(replay_time * 1e6), round(state_time * 1e6),
+                     converged]
+                )
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        emit_table(
+            "e6_state_vs_action",
+            "E6: rejoin cost — replay missed actions vs one state copy",
+            ["missed actions", "replay bytes", "state-copy bytes",
+             "replay us", "state-copy us", "converged"],
+            rows,
+        )
+        # Shape: replay bytes grow linearly with missed actions...
+        assert rows[-1][1] > rows[0][1] * 50
+        # ...while the state copy grows only with live state size, so for
+        # long decoupling the state copy wins (the paper's conclusion)...
+        assert rows[-1][2] < rows[-1][1]
+        # ...and for a couple of missed actions replay is cheaper.
+        assert rows[0][1] < rows[0][2]
+        assert all(row[5] for row in rows)
+
+    def test_state_copy_wall_clock(self, benchmark):
+        session, trees, _ = offline_work(50)
+
+        def copy():
+            session.instances["rejoiner"].copy_from(trees[1], ("worker", "/ui"))
+
+        benchmark(copy)
+        session.close()

@@ -1,0 +1,181 @@
+"""E7 — §3.3: the cost of computing structural compatibility.
+
+The paper: "calculating a [the component mapping] over several levels of
+nesting may be costly in practice.  Sometimes it can be pre-defined, or
+certain heuristics have to be used to avoid combinatorial explosion."
+
+Two tree families are swept:
+
+* **isomorphic** — shuffled copies whose subtrees are all alike: the easy
+  common case, where every strategy is linear;
+* **deceptive** — subtrees share their shape and differ only at the
+  deepest leaf, so a wrong sibling pairing fails only after a full
+  subtree comparison: here the exhaustive matcher backtracks heavily,
+  and the greedy heuristic (which cannot backtrack) fails outright —
+  exactly why the paper falls back to *pre-defined* mappings, which
+  validate in one linear pass.
+"""
+
+import random
+import time
+
+import pytest
+
+from _common import emit_table
+from repro.core import compat
+from repro.errors import IncompatibleObjectsError
+
+LEAVES = ("textfield", "pushbutton", "label", "scale")
+
+SHAPES = ((2, 3), (3, 3), (3, 4), (4, 3))
+
+
+def make_isomorphic(depth, fanout, path=()):
+    name = "n" + "_".join(map(str, path)) if path else "root"
+    if depth == 0:
+        return {"type": "textfield", "name": name}
+    return {
+        "type": "form",
+        "name": name,
+        "children": [
+            make_isomorphic(depth - 1, fanout, path + (i,))
+            for i in range(fanout)
+        ],
+    }
+
+
+def make_deceptive(depth, fanout, path=()):
+    """Subtrees of identical shape distinguished only at the bottom."""
+    name = "n" + "_".join(map(str, path)) if path else "root"
+    if depth == 0:
+        marker = LEAVES[sum(path) % len(LEAVES)]
+        return {"type": marker, "name": name}
+    return {
+        "type": "form",
+        "name": name,
+        "children": [
+            make_deceptive(depth - 1, fanout, path + (i,))
+            for i in range(fanout)
+        ],
+    }
+
+
+def shuffled(spec, rng):
+    out = {"type": spec["type"], "name": spec["name"] + "x"}
+    children = list(spec.get("children", []))
+    rng.shuffle(children)
+    if children:
+        out["children"] = [shuffled(child, rng) for child in children]
+    return out
+
+
+def count_nodes(spec):
+    return 1 + sum(count_nodes(c) for c in spec.get("children", []))
+
+
+def measure(strategy, spec_a, spec_b, predefined=None):
+    start = time.perf_counter()
+    result = compat.structurally_compatible(
+        spec_a,
+        spec_b,
+        strategy=strategy,
+        predefined=predefined,
+        node_budget=5_000_000,
+    )
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+class TestMatchingCost:
+    def test_strategy_sweep(self, benchmark):
+        def sweep():
+            rows = []
+            for family, factory in (
+                ("isomorphic", make_isomorphic),
+                ("deceptive", make_deceptive),
+            ):
+                for depth, fanout in SHAPES:
+                    rng = random.Random(depth * 100 + fanout)
+                    spec_a = factory(depth, fanout)
+                    spec_b = shuffled(spec_a, rng)
+                    n = count_nodes(spec_a)
+                    exhaustive, ex_time = measure(
+                        compat.EXHAUSTIVE, spec_a, spec_b
+                    )
+                    assert exhaustive.compatible
+                    heuristic, _ = measure(compat.HEURISTIC, spec_a, spec_b)
+                    predefined, pre_time = measure(
+                        compat.PREDEFINED,
+                        spec_a,
+                        spec_b,
+                        predefined=exhaustive.mapping,
+                    )
+                    assert predefined.compatible
+                    rows.append(
+                        [
+                            family,
+                            f"d={depth} f={fanout}",
+                            n,
+                            exhaustive.stats.nodes_compared,
+                            exhaustive.stats.backtracks,
+                            heuristic.compatible,
+                            predefined.stats.nodes_compared,
+                            round(ex_time * 1e6),
+                            round(pre_time * 1e6),
+                        ]
+                    )
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        emit_table(
+            "e7_matching_cost",
+            "E7: s-compatibility cost per strategy",
+            ["family", "shape", "nodes", "exhaustive cmps", "backtracks",
+             "heuristic ok", "predefined cmps", "exhaustive us",
+             "predefined us"],
+            rows,
+        )
+        iso = [r for r in rows if r[0] == "isomorphic"]
+        deceptive = [r for r in rows if r[0] == "deceptive"]
+        # Shape: on isomorphic trees every strategy is linear and the
+        # heuristic succeeds.
+        for row in iso:
+            assert row[3] == row[2]      # exhaustive cmps == nodes
+            assert row[4] == 0           # no backtracking
+            assert row[5] is True
+        # Shape: on deceptive trees the exhaustive matcher backtracks and
+        # its comparisons grow well beyond the node count...
+        big = deceptive[-1]
+        assert big[4] > 0
+        assert big[3] > big[2] * 3
+        # ...the greedy heuristic cannot solve them (it never backtracks)...
+        assert any(row[5] is False for row in deceptive)
+        # ...and the pre-defined mapping stays a single linear pass.
+        for row in deceptive:
+            assert row[6] == row[2]
+
+    def test_budget_prevents_runaway(self, benchmark):
+        """The node budget converts heavy backtracking into a clean error
+        (what a production system must do instead of hanging)."""
+        spec_a = make_deceptive(4, 3)
+        spec_b = shuffled(spec_a, random.Random(1))
+
+        def guarded():
+            try:
+                compat.structurally_compatible(
+                    spec_a, spec_b, strategy=compat.EXHAUSTIVE, node_budget=200
+                )
+                return False
+            except IncompatibleObjectsError:
+                return True
+
+        assert benchmark.pedantic(guarded, rounds=1, iterations=1)
+
+    def test_heuristic_wall_clock(self, benchmark):
+        spec_a = make_isomorphic(4, 3)
+        spec_b = shuffled(spec_a, random.Random(2))
+        result = benchmark(
+            lambda: compat.structurally_compatible(
+                spec_a, spec_b, strategy=compat.HEURISTIC
+            )
+        )

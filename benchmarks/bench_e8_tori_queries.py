@@ -1,0 +1,148 @@
+"""E8 — §4 TORI: multiple query evaluation vs evaluate-once-share-results.
+
+The paper's experience report: "We also synchronize the invocation of
+queries, which implies that a query will be potentially re-executed
+several times.  From a performance point of view, one might argue that it
+would be preferable to evaluate the query once and share the results.
+But this goes beyond a simple sharing of UI objects. ... On the other
+hand, multiple evaluation is more flexible."
+
+Series reproduced: (participants, database size) sweep → total rows
+scanned and bytes shipped for each mode.  Re-execution pays CPU at every
+replica but ships only the tiny query events; sharing pays one scan but
+ships the full result rows.
+"""
+
+import pytest
+
+from _common import emit_table
+from repro.apps.minidb import sample_publications
+from repro.apps.tori import ToriApplication
+from repro.session import LocalSession
+
+SWEEP = (  # (participants, rows in each database)
+    (2, 200),
+    (4, 200),
+    (8, 200),
+    (4, 1000),
+    (4, 5000),
+)
+
+
+def run_mode(n_users, db_rows, share_results):
+    session = LocalSession()
+    apps = [
+        ToriApplication(
+            session.create_instance(f"tori-{i}", user=f"u{i}", app_type="tori"),
+            sample_publications(db_rows, seed=9),
+        )
+        for i in range(n_users)
+    ]
+    primary = apps[0]
+    for i in range(1, n_users):
+        primary.make_cooperative(f"tori-{i}", share_results=share_results)
+    session.pump()
+    session.network.stats.reset()
+    primary.set_condition("author", "eq", "Zhao")
+    session.pump()
+    primary.run_query()
+    session.pump()
+    if share_results:
+        primary.share_results()
+        session.pump()
+    total_scanned = sum(app.database.total_rows_scanned for app in apps)
+    rows_visible = [len(app.visible_rows()) for app in apps]
+    stats = session.network.stats.snapshot()
+    session.close()
+    assert all(r == rows_visible[0] for r in rows_visible), "must converge"
+    return {
+        "scanned": total_scanned,
+        "bytes": stats["bytes"],
+        "messages": stats["messages"],
+        "result_rows": rows_visible[0],
+    }
+
+
+class TestToriQueries:
+    def test_mode_sweep(self, benchmark):
+        def sweep():
+            rows = []
+            for n_users, db_rows in SWEEP:
+                reexec = run_mode(n_users, db_rows, share_results=False)
+                share = run_mode(n_users, db_rows, share_results=True)
+                rows.append(
+                    [
+                        n_users,
+                        db_rows,
+                        reexec["scanned"],
+                        share["scanned"],
+                        reexec["bytes"],
+                        share["bytes"],
+                        reexec["result_rows"],
+                    ]
+                )
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        emit_table(
+            "e8_tori_queries",
+            "E8: TORI — re-execute everywhere vs evaluate once & share",
+            ["users", "db rows", "scan reexec", "scan share",
+             "bytes reexec", "bytes share", "result rows"],
+            rows,
+        )
+        for n_users, db_rows, scan_re, scan_sh, bytes_re, bytes_sh, _ in rows:
+            # Shape: re-execution scans N times the database...
+            assert scan_re == n_users * db_rows
+            # ...sharing scans it exactly once...
+            assert scan_sh == db_rows
+            # ...but ships more bytes (the result rows travel).
+            assert bytes_sh > bytes_re
+        # Shape: the scan gap grows with participants (who wins depends on
+        # whether CPU or bandwidth is scarce — the paper's trade-off).
+        assert rows[2][2] / rows[2][3] > rows[0][2] / rows[0][3]
+
+    def test_flexibility_of_reexecution(self, benchmark):
+        """Multiple evaluation lets queries differ per user — here each
+        user queries their *own* database and still stays coordinated."""
+
+        def run():
+            session = LocalSession()
+            a = ToriApplication(
+                session.create_instance("tori-a", user="u1"),
+                sample_publications(300, seed=1),
+            )
+            b = ToriApplication(
+                session.create_instance("tori-b", user="u2"),
+                sample_publications(300, seed=2),
+            )
+            a.make_cooperative("tori-b")
+            session.pump()
+            a.set_condition("author", "eq", "Hoppe")
+            session.pump()
+            a.run_query()
+            session.pump()
+            out = (
+                b.queries_run,
+                a.visible_rows() == b.visible_rows(),
+            )
+            session.close()
+            return out
+
+        b_ran, same_rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert b_ran == 1
+        assert not same_rows  # different corpora, legitimately different hits
+
+    def test_query_wall_clock(self, benchmark):
+        session = LocalSession()
+        app = ToriApplication(
+            session.create_instance("tori", user="u"),
+            sample_publications(2000, seed=3),
+        )
+        app.set_condition("topic", "substring", "system")
+
+        def query():
+            app.run_query()
+
+        benchmark(query)
+        session.close()

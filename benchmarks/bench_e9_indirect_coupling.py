@@ -1,0 +1,126 @@
+"""E9 — §4 COSOFT: indirect coupling of dependent objects.
+
+The paper: "partial coupling can be very efficient since it allows for
+indirect coupling: often it is sufficient to couple UI objects that
+contain information (e.g. certain input fields for parameters ...) from
+which the content or behavior of other components can be generated.  For
+these dependent objects (e.g. simulations or graphical displays), direct
+coupling might be much more costly."
+
+Series reproduced: simulation display resolution sweep → bytes/messages
+per parameter change for (a) indirect coupling (two scales coupled, the
+display regenerated locally) vs (b) direct coupling (the display canvas
+coupled, every regeneration shipped).
+"""
+
+import pytest
+
+from _common import emit_table
+from repro.apps import classroom
+from repro.apps.classroom import (
+    StudentEnvironment,
+    TeacherEnvironment,
+    couple_simulation_directly,
+)
+from repro.session import LocalSession
+
+RESOLUTIONS = (16, 64, 256)
+PARAM_CHANGES = 5
+
+
+def run(indirect, sim_points):
+    original = classroom.SIM_POINTS
+    classroom.SIM_POINTS = sim_points
+    try:
+        session = LocalSession()
+        teacher = TeacherEnvironment(
+            session.create_instance("teacher", user="t")
+        )
+        student = StudentEnvironment(
+            session.create_instance("student-0", user="s")
+        )
+        session.pump()
+        if indirect:
+            teacher.join_session(
+                "student-0",
+                pairs=[
+                    ("/teacher/params/amplitude", "/student/exercise/amplitude"),
+                    ("/teacher/params/frequency", "/student/exercise/frequency"),
+                ],
+            )
+        else:
+            couple_simulation_directly(teacher, "student-0")
+        session.pump()
+        session.network.stats.reset()
+        for value in range(1, PARAM_CHANGES + 1):
+            teacher.set_parameters(value, value % 8)
+        session.pump()
+        stats = session.network.stats.snapshot()
+        converged = (
+            student.simulation_strokes == teacher.simulation_strokes
+        )
+        session.close()
+        assert converged, "both modes must converge the display"
+        return {
+            "bytes": stats["bytes"],
+            "messages": stats["messages"],
+            "per_change_bytes": stats["bytes"] / PARAM_CHANGES,
+        }
+    finally:
+        classroom.SIM_POINTS = original
+
+
+class TestIndirectCoupling:
+    def test_resolution_sweep(self, benchmark):
+        def sweep():
+            rows = []
+            for points in RESOLUTIONS:
+                ind = run(indirect=True, sim_points=points)
+                direct = run(indirect=False, sim_points=points)
+                rows.append(
+                    [
+                        points,
+                        round(ind["per_change_bytes"]),
+                        round(direct["per_change_bytes"]),
+                        round(direct["per_change_bytes"]
+                              / ind["per_change_bytes"], 1),
+                    ]
+                )
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        emit_table(
+            "e9_indirect_coupling",
+            "E9: bytes per parameter change — indirect vs direct coupling",
+            ["display points", "indirect B/change", "direct B/change",
+             "direct/indirect"],
+            rows,
+        )
+        # Shape: indirect cost is flat in display resolution...
+        indirect_costs = [row[1] for row in rows]
+        assert max(indirect_costs) < min(indirect_costs) * 1.5
+        # ...direct cost grows with it...
+        direct_costs = [row[2] for row in rows]
+        assert direct_costs[-1] > direct_costs[0] * 4
+        # ...so the advantage factor grows with display size (the paper's
+        # "much more costly").
+        factors = [row[3] for row in rows]
+        assert factors[-1] > factors[0]
+        assert factors[-1] > 5
+
+    def test_indirect_change_wall_clock(self, benchmark):
+        session = LocalSession()
+        teacher = TeacherEnvironment(session.create_instance("teacher", user="t"))
+        StudentEnvironment(session.create_instance("student-0", user="s"))
+        session.pump()
+        teacher.join_session("student-0")
+        session.pump()
+        value = [0]
+
+        def change():
+            value[0] = (value[0] + 1) % 10
+            teacher.set_parameters(value[0], 2)
+            session.pump()
+
+        benchmark(change)
+        session.close()

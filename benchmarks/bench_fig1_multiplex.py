@@ -1,0 +1,95 @@
+"""F1 — Figure 1: the multiplex (shared-X) architecture.
+
+The paper's claim: the single centralized application instance makes the
+multiplexor the bottleneck — every user event round-trips through it and
+every output is multiplexed N ways, so central load and traffic grow
+linearly with the number of participants while even the *issuing* user's
+echo pays a full round trip.
+
+Series reproduced: users ∈ {2..16} → (echo latency, msgs/action, central
+inbound+outbound messages).
+"""
+
+import pytest
+
+from _common import emit_table, ms
+from repro.baselines.multiplex import CENTRAL, MultiplexHarness
+from repro.workloads import WorkloadConfig, editing_session
+
+USERS = (2, 4, 8, 12, 16)
+
+
+def run(n_users, actions_per_user=12):
+    workload = editing_session(
+        WorkloadConfig(n_users=n_users, actions_per_user=actions_per_user, seed=23)
+    )
+    harness = MultiplexHarness(n_users)
+    harness.run(workload)
+    metrics = harness.metrics()
+    outbound = sum(
+        count
+        for (sender, _), count in harness.network.stats.by_link.items()
+        if sender == CENTRAL
+    )
+    metrics["central_outbound_messages"] = outbound
+    return metrics
+
+
+class TestFigure1:
+    def test_multiplex_scaling(self, benchmark):
+        results = benchmark.pedantic(
+            lambda: [run(n) for n in USERS], rounds=1, iterations=1
+        )
+        rows = [
+            [
+                m["users"],
+                ms(m["echo_latency_mean"]),
+                round(m["messages_per_action"], 1),
+                m["central_inbound_messages"],
+                m["central_outbound_messages"],
+            ]
+            for m in results
+        ]
+        emit_table(
+            "fig1_multiplex",
+            "Figure 1: multiplex architecture vs participant count",
+            ["users", "echo ms", "msgs/action", "central in", "central out"],
+            rows,
+        )
+        # Shape: output multiplexing means msgs/action ~ 1 + N.
+        for m in results:
+            assert m["messages_per_action"] == pytest.approx(1 + m["users"])
+        # Shape: echo is never local — at least two network hops.
+        for m in results:
+            assert m["echo_latency_mean"] >= 0.002 - 1e-9
+        # Shape: central outbound grows linearly with users.
+        assert (
+            results[-1]["central_outbound_messages"]
+            > results[0]["central_outbound_messages"] * 4
+        )
+
+    def test_central_serialization_under_load(self, benchmark):
+        """A busy multiplexor delays everyone: semantic cost stretches the
+        p95 sync latency across ALL users."""
+
+        def run_with_cost(cost):
+            workload = editing_session(
+                WorkloadConfig(n_users=6, actions_per_user=8, seed=5,
+                               mean_think_time=0.05)
+            )
+            harness = MultiplexHarness(6, semantic_cost=cost)
+            harness.run(workload)
+            return harness.metrics()["sync_latency_p95"]
+
+        idle, busy = benchmark.pedantic(
+            lambda: (run_with_cost(0.0), run_with_cost(0.05)),
+            rounds=1,
+            iterations=1,
+        )
+        emit_table(
+            "fig1_serialization",
+            "Figure 1: central semantic cost stretches sync p95",
+            ["semantic cost ms", "sync p95 ms"],
+            [[0, ms(idle)], [50, ms(busy)]],
+        )
+        assert busy > idle * 5

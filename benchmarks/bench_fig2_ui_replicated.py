@@ -1,0 +1,82 @@
+"""F2 — Figure 2: the UI-replicated (partially replicated) architecture.
+
+The paper (§2.1): "If such a semantic action is time-consuming, it may of
+course block the execution of other user's actions for an unacceptably
+long period of time.  If such cases are frequent, the UI-replicated
+architecture is not appropriate."
+
+Series reproduced: semantic-operation cost sweep → sync latency.  The
+echo stays flat (dialogue is local) while the end-to-end sync latency
+degrades super-linearly once requests start queueing behind the single
+semantic process.
+"""
+
+import pytest
+
+from _common import emit_table, ms
+from repro.baselines.ui_replicated import UIReplicatedHarness
+from repro.workloads import WorkloadConfig, editing_session
+
+COSTS = (0.0, 0.005, 0.02, 0.05, 0.1)
+
+
+def run(cost, n_users=6):
+    workload = editing_session(
+        WorkloadConfig(
+            n_users=n_users, actions_per_user=8, seed=31, mean_think_time=0.1
+        )
+    )
+    harness = UIReplicatedHarness(n_users, semantic_cost=cost)
+    harness.run(workload)
+    return harness.metrics()
+
+
+class TestFigure2:
+    def test_semantic_cost_sweep(self, benchmark):
+        results = benchmark.pedantic(
+            lambda: [run(c) for c in COSTS], rounds=1, iterations=1
+        )
+        rows = [
+            [
+                ms(cost),
+                ms(m["echo_latency_mean"]),
+                ms(m["sync_latency_mean"]),
+                ms(m["sync_latency_p95"]),
+            ]
+            for cost, m in zip(COSTS, results)
+        ]
+        emit_table(
+            "fig2_ui_replicated",
+            "Figure 2: UI-replicated — central semantic cost blocks everyone",
+            ["semantic cost ms", "echo ms", "sync mean ms", "sync p95 ms"],
+            rows,
+        )
+        # Shape: echo is local and flat regardless of semantic cost.
+        for m in results:
+            assert m["echo_latency_mean"] == pytest.approx(0.0)
+        # Shape: sync latency strictly degrades with semantic cost...
+        sync = [m["sync_latency_mean"] for m in results]
+        assert all(b > a for a, b in zip(sync, sync[1:]))
+        # ...and worse than proportionally once queueing kicks in: at the
+        # heaviest cost, p95 exceeds the cost of a single operation several
+        # times over (requests wait behind other users' operations).
+        assert results[-1]["sync_latency_p95"] > COSTS[-1] * 2
+
+    def test_queueing_is_the_culprit(self, benchmark):
+        """With a single user (no queueing) the same semantic cost hurts
+        far less — blocking is a *multi-user* pathology."""
+
+        def compare():
+            solo = run(0.05, n_users=1)
+            crowd = run(0.05, n_users=6)
+            return solo, crowd
+
+        solo, crowd = benchmark.pedantic(compare, rounds=1, iterations=1)
+        emit_table(
+            "fig2_queueing",
+            "Figure 2: queueing effect (semantic cost 50ms)",
+            ["users", "sync p95 ms"],
+            [[1, ms(solo["sync_latency_p95"])],
+             [6, ms(crowd["sync_latency_p95"])]],
+        )
+        assert crowd["sync_latency_p95"] > solo["sync_latency_p95"]

@@ -1,0 +1,176 @@
+"""F3 — Figure 3: the fully replicated architecture.
+
+The paper (§2.1): "A fully replicated architecture ... avoids this
+runtime problem" — a time-consuming semantic action is re-executed on
+every replica, but replicas pay independently: one couple group's slow
+work never queues another group's actions behind a central component.
+
+Series reproduced: the same semantic-cost sweep as Figure 2 run through
+the real COSOFT runtime, plus the two-group isolation experiment that
+contrasts directly with the UI-replicated blocking behaviour.
+"""
+
+import pytest
+
+from _common import emit_table, ms
+from repro.baselines.fully_replicated import FullyReplicatedHarness
+from repro.baselines.ui_replicated import UIReplicatedHarness
+from repro.workloads import (
+    SCALE_PATH,
+    TEXT_PATH,
+    UserAction,
+    WorkloadConfig,
+    assign_ids,
+    editing_session,
+)
+
+COSTS = (0.0, 0.005, 0.02, 0.05, 0.1)
+
+
+def run(cost, n_users=6):
+    workload = editing_session(
+        WorkloadConfig(
+            n_users=n_users, actions_per_user=8, seed=31, mean_think_time=0.1
+        )
+    )
+    harness = FullyReplicatedHarness(n_users, semantic_cost=cost)
+    records = harness.run(workload)
+    metrics = harness.metrics()
+    harness.close()
+    return metrics
+
+
+def two_group_workload():
+    """Group X (text field) with users 0,1; group Y (scale) with users 2,3.
+    X's users act at t=0.0/0.1 with heavy semantics; Y's users act densely."""
+    actions = [
+        UserAction(at=0.0, user=0, path=TEXT_PATH, event_type="value_changed",
+                   params={"value": "slow work"}),
+        UserAction(at=0.1, user=1, path=TEXT_PATH, event_type="value_changed",
+                   params={"value": "more slow work"}),
+    ]
+    for i in range(8):
+        actions.append(
+            UserAction(at=0.01 + i * 0.02, user=2 + (i % 2), path=SCALE_PATH,
+                       event_type="value_changed", params={"value": i * 10})
+        )
+    return assign_ids(actions)
+
+
+class TestFigure3:
+    def test_semantic_cost_sweep(self, benchmark):
+        results = benchmark.pedantic(
+            lambda: [run(c) for c in COSTS], rounds=1, iterations=1
+        )
+        rows = [
+            [
+                ms(cost),
+                ms(m["echo_latency_mean"]),
+                ms(m["sync_latency_mean"]),
+                ms(m["sync_latency_p95"]),
+            ]
+            for cost, m in zip(COSTS, results)
+        ]
+        emit_table(
+            "fig3_fully_replicated",
+            "Figure 3: fully replicated — semantic cost sweep",
+            ["semantic cost ms", "echo ms", "sync mean ms", "sync p95 ms"],
+            rows,
+        )
+        # Shape: echo stays local and instant.
+        for m in results:
+            assert m["echo_latency_mean"] == pytest.approx(0.0)
+
+    def test_crossover_vs_ui_replicated(self, benchmark):
+        """Fig 2 vs Fig 3 head-to-head: as the semantic cost grows, the
+        fully replicated architecture wins (the paper's core argument)."""
+
+        def sweep():
+            pairs = []
+            for cost in COSTS:
+                full = run(cost)
+                ui = UIReplicatedHarness(6, semantic_cost=cost)
+                ui.run(
+                    editing_session(
+                        WorkloadConfig(n_users=6, actions_per_user=8, seed=31,
+                                       mean_think_time=0.1)
+                    )
+                )
+                pairs.append((cost, full, ui.metrics()))
+            return pairs
+
+        pairs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        rows = [
+            [ms(cost), ms(ui["sync_latency_p95"]), ms(full["sync_latency_p95"])]
+            for cost, full, ui in pairs
+        ]
+        emit_table(
+            "fig3_vs_fig2",
+            "Figures 2 vs 3: sync p95 under growing semantic cost",
+            ["semantic cost ms", "ui-replicated p95 ms", "fully-replicated p95 ms"],
+            rows,
+        )
+        # Shape: at the heavy end, fully replicated is faster.
+        heavy_cost, heavy_full, heavy_ui = pairs[-1]
+        assert heavy_full["sync_latency_p95"] < heavy_ui["sync_latency_p95"]
+
+    def test_group_isolation(self, benchmark):
+        """Disjoint couple groups on disjoint replicas do not interfere: a
+        slow group X (replicas 0-1) never delays group Y (replicas 2-3) —
+        unlike the centralized-semantics architecture, where X's operations
+        would queue ahead of Y's at the single semantic process."""
+
+        def measure():
+            from repro.session import LocalSession
+            from repro.toolkit.widgets import Scale, Shell, TextField
+
+            session = LocalSession()
+            trees = []
+            for i in range(4):
+                inst = session.create_instance(f"r{i}", user=f"u{i}")
+                root = Shell("ui")
+                TextField("text", parent=root)
+                Scale("scale", parent=root, maximum=100)
+                inst.add_root(root)
+                trees.append(root)
+            # Group X: text coupled between replicas 0 and 1, with a 200ms
+            # semantic callback on each member.
+            session.instances["r0"].couple(
+                trees[0].find("/ui/text"), ("r1", "/ui/text")
+            )
+            for i in (0, 1):
+                trees[i].find("/ui/text").add_callback(
+                    "value_changed",
+                    lambda w, e, i=i: session.network.occupy(f"r{i}", 0.2),
+                )
+            # Group Y: scale coupled between replicas 2 and 3, cheap.
+            session.instances["r2"].couple(
+                trees[2].find("/ui/scale"), ("r3", "/ui/scale")
+            )
+            session.pump()
+            sync_times = []
+            trees[3].find("/ui/scale").add_callback(
+                "value_changed",
+                lambda w, e: sync_times.append(session.now),
+            )
+            # X fires its slow op; Y fires a burst right behind it.
+            trees[0].find("/ui/text").commit("heavy")
+            starts = []
+            for k in range(5):
+                starts.append(session.now)
+                trees[2].find("/ui/scale").set_value(k * 10)
+                session.pump()
+            session.close()
+            return [t - s for s, t in zip(starts, sync_times)]
+
+        y_latencies = benchmark.pedantic(measure, rounds=1, iterations=1)
+        emit_table(
+            "fig3_group_isolation",
+            "Figure 3: group Y sync latency while group X runs 200ms ops",
+            ["y action", "sync ms"],
+            [[i, ms(v)] for i, v in enumerate(y_latencies)],
+        )
+        assert len(y_latencies) == 5
+        # Y's actions complete far faster than X's 200ms semantic ops, even
+        # while X is busy: no central serialization.
+        assert max(y_latencies) < 0.1

@@ -1,0 +1,71 @@
+"""Macro-benchmarks: the scripted collaboration scenarios end to end.
+
+Where the micro-benchmarks isolate one mechanism each, these run whole
+collaboration sessions (classroom lesson, joint retrieval, design
+meeting) through the full stack — toolkit, coupling runtime, server,
+simulated network — and report their aggregate cost.  Useful as a
+regression canary: a protocol change that bloats traffic or time shows up
+here first.
+"""
+
+import pytest
+
+from _common import emit_table
+from repro.workloads.scenarios import (
+    classroom_lesson,
+    design_meeting,
+    joint_retrieval,
+)
+
+SCENARIOS = (
+    ("classroom_lesson", lambda: classroom_lesson(n_students=4, exercises=2)),
+    ("joint_retrieval", lambda: joint_retrieval(n_participants=3, queries=5)),
+    ("design_meeting", lambda: design_meeting(n_participants=4,
+                                              strokes_per_phase=8)),
+)
+
+
+class TestMacroScenarios:
+    @pytest.mark.parametrize("name,factory", SCENARIOS, ids=lambda v: v
+                             if isinstance(v, str) else "")
+    def test_scenario(self, benchmark, name, factory):
+        report = benchmark.pedantic(factory, rounds=1, iterations=1)
+        benchmark.extra_info.update(
+            {
+                "messages": report.messages,
+                "bytes": report.bytes,
+                "sim_duration": report.duration,
+                "phases": len(report.phases),
+            }
+        )
+        assert report.messages > 0
+
+    def test_emit_summary(self, benchmark):
+        def run_all():
+            return [(name, factory()) for name, factory in SCENARIOS]
+
+        results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+        rows = [
+            [
+                name,
+                len(report.phases),
+                report.messages,
+                report.bytes,
+                round(report.duration, 3),
+            ]
+            for name, report in results
+        ]
+        emit_table(
+            "macro_scenarios",
+            "Macro scenarios: whole collaboration sessions",
+            ["scenario", "phases", "messages", "bytes", "sim seconds"],
+            rows,
+        )
+        by_name = dict(results)
+        # Sanity shapes: the lesson's reference reached all students; the
+        # retrieval session re-executed at every analyst; the meeting
+        # converged after churn.
+        assert by_name["classroom_lesson"].observations["reference_reached_all"]
+        queries = by_name["joint_retrieval"].observations["queries_per_app"]
+        assert len(set(queries)) == 1
+        assert by_name["design_meeting"].observations["converged"]

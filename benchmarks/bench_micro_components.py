@@ -1,0 +1,130 @@
+"""Micro-benchmarks of the hot-path components.
+
+Unlike the experiment benchmarks (which reproduce paper claims on
+simulated time), these measure real wall-clock throughput of the pieces
+every coupled event touches: codec, event dispatch, couple-table closure,
+state payload build/apply.  They exist to catch performance regressions
+in the substrate itself.
+"""
+
+import pytest
+
+from repro.core.state_sync import apply_state_payload, build_state_payload
+from repro.net import kinds
+from repro.net.codec import decode, encode
+from repro.net.message import Message
+from repro.server.couples import CoupleLink, CoupleTable, global_id
+from repro.toolkit.builder import build
+from repro.toolkit.events import VALUE_CHANGED, Event
+from repro.toolkit.widgets import Form, Shell, TextField
+from repro.workloads import standard_form_spec
+
+
+@pytest.fixture
+def event_message():
+    return Message(
+        kind=kinds.EVENT,
+        sender="instance-1",
+        payload={
+            "event": Event(
+                type=VALUE_CHANGED,
+                source_path="/app/form/text",
+                params={"value": "the quick brown fox"},
+                user="alice",
+                instance_id="instance-1",
+            ).to_wire(),
+            "token": 42,
+            "release": True,
+        },
+    )
+
+
+class TestCodecThroughput:
+    def test_encode(self, benchmark, event_message):
+        frame = benchmark(encode, event_message)
+        assert len(frame) > 0
+
+    def test_decode(self, benchmark, event_message):
+        frame = encode(event_message)
+        message = benchmark(decode, frame)
+        assert message == event_message
+
+    def test_roundtrip(self, benchmark, event_message):
+        def roundtrip():
+            return decode(encode(event_message))
+
+        assert benchmark(roundtrip) == event_message
+
+
+class TestEventDispatch:
+    def test_fire_uncoupled_widget(self, benchmark):
+        root = build(standard_form_spec())
+        field = root.find("/app/form/text")
+        counter = [0]
+        field.add_callback(VALUE_CHANGED, lambda w, e: counter.__setitem__(
+            0, counter[0] + 1))
+
+        def fire():
+            field.commit("x")
+
+        benchmark(fire)
+        assert counter[0] > 0
+
+    def test_feedback_apply_and_rollback(self, benchmark):
+        field = TextField("t")
+        event = Event(
+            type=VALUE_CHANGED, source_path="/t", params={"value": "abc"}
+        )
+
+        def cycle():
+            undo = field.apply_feedback(event)
+            undo.rollback()
+
+        benchmark(cycle)
+
+
+class TestCoupleClosure:
+    def _big_table(self, groups=20, size=10):
+        table = CoupleTable()
+        for g in range(groups):
+            members = [
+                global_id(f"inst-{g}-{i}", "/app/x") for i in range(size)
+            ]
+            for member in members[1:]:
+                table.add_link(CoupleLink(source=members[0], target=member))
+        return table, global_id("inst-0-0", "/app/x")
+
+    def test_group_of_cold(self, benchmark):
+        table, probe = self._big_table()
+
+        def closure():
+            table._group_cache.clear()  # force recomputation
+            return table.group_of(probe)
+
+        group = benchmark(closure)
+        assert len(group) == 10
+
+    def test_group_of_cached(self, benchmark):
+        table, probe = self._big_table()
+        table.group_of(probe)  # warm the cache
+        group = benchmark(table.group_of, probe)
+        assert len(group) == 10
+
+
+class TestStateSyncThroughput:
+    def test_build_payload(self, benchmark):
+        root = build(standard_form_spec())
+        payload = benchmark(build_state_payload, root)
+        assert "state" in payload
+
+    def test_apply_payload_strict(self, benchmark):
+        source = build(standard_form_spec())
+        source.find("/app/form/text").commit("content")
+        payload = build_state_payload(source)
+        target = build(standard_form_spec())
+
+        def apply():
+            return apply_state_payload(target, payload)
+
+        report = benchmark(apply)
+        assert report.applied_paths

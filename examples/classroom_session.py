@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""COSOFT classroom walkthrough — the paper's §4 scenario end to end.
+
+A teacher on the electronic blackboard and two students on local
+workstations, all heterogeneous application instances:
+
+1. a student asks for help (CoSendCommand; the request is buffered at the
+   teacher's environment);
+2. the teacher inspects the student's answer (CopyFrom);
+3. the teacher opens a joint session with that student — RemoteCouple of
+   the pre-declared shared objects (parameter scales + notes);
+4. *indirect coupling*: moving the coupled parameter scales regenerates
+   the (uncoupled) simulation display on both sides for free;
+5. the session ends with RemoteDecouple; the student keeps working.
+"""
+
+from repro import LocalSession
+from repro.apps.classroom import StudentEnvironment, TeacherEnvironment
+from repro.toolkit import render
+
+
+def main() -> None:
+    session = LocalSession()
+    teacher = TeacherEnvironment(
+        session.create_instance("liveboard", user="dr-hoppe",
+                                app_type="cosoft-teacher")
+    )
+    kim = StudentEnvironment(
+        session.create_instance("ws-kim", user="kim",
+                                app_type="cosoft-student")
+    )
+    lee = StudentEnvironment(
+        session.create_instance("ws-lee", user="lee",
+                                app_type="cosoft-student")
+    )
+    session.pump()
+    print("Registered:", sorted(session.server.registry.instance_ids()))
+
+    # -- 1. Kim gets stuck and asks for help (buffered at the teacher).
+    kim.set_parameters(2, 7)
+    kim.write_answer("I think A=2 but the wave looks wrong?")
+    session.pump()
+    ack = kim.request_help("My wave does not match the target", "liveboard")
+    print(f"\nKim's help request acknowledged: {ack}")
+    print("Teacher's queue:", [
+        (r["student"], r["data"]["message"]) for r in teacher.pending_help()
+    ])
+
+    # -- 2. The teacher pulls Kim's answer onto the board (CopyFrom).
+    teacher.inspect_student_work(
+        "ws-kim", "/student/exercise/answer", "/teacher/notes"
+    )
+    print("\nTeacher inspects Kim's answer:",
+          repr(teacher.ui.find("/teacher/notes").text))
+
+    # -- 3. Joint session: RemoteCouple the pre-declared shared objects.
+    pairs = teacher.join_session("ws-kim")  # indirect mode: no display link
+    session.pump()
+    print("\nJoint session with ws-kim; coupled object pairs:")
+    for teacher_path, student_path in pairs:
+        print(f"  {teacher_path}  <->  ws-kim:{student_path}")
+
+    # -- 4. Indirect coupling at work: the teacher demonstrates the right
+    #       parameters; only two small scale events cross the wire, yet
+    #       both simulation displays regenerate identically.
+    before = session.traffic()["bytes"]
+    teacher.set_parameters(5, 3)
+    session.pump()
+    shipped = session.traffic()["bytes"] - before
+    same = teacher.simulation_strokes == kim.simulation_strokes
+    print(f"\nTeacher sets A=5 f=3 -> {shipped} bytes on the wire; "
+          f"displays identical: {same}")
+    print("Lee (not in the session) still has A="
+          f"{lee._amp.value} — population dimension relaxed.")
+    print("\nKim's exercise window:")
+    print(render(kim.ui.find("/student/exercise"), 46, 17))
+
+    # -- 5. End the joint session; Kim keeps the final state and autonomy.
+    teacher.leave_session("ws-kim")
+    session.pump()
+    kim.set_parameters(9, 1)
+    session.pump()
+    print("After decoupling, Kim works alone: A(kim)="
+          f"{kim._amp.value}, A(teacher)={teacher._amp.value}")
+
+    session.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Shared whiteboard: a GroupDesign-style tool in ~100 lines of app code.
+
+Demonstrates the dimensions of flexibility from §2.2:
+
+* **dynamic population** — participants join and leave the drawing group
+  at run time (late joiners pull the current drawing by state first);
+* **partial coupling** — only the canvas is shared; each user's tool
+  palette (pen color) stays private (congruence relaxation);
+* **decoupled objects survive** — leaving keeps the local drawing.
+"""
+
+from repro import LocalSession
+from repro.apps.drawing import Whiteboard
+from repro.toolkit import render
+
+
+def main() -> None:
+    session = LocalSession()
+    w1 = Whiteboard(session.create_instance("wb-anna", user="anna"))
+    w2 = Whiteboard(session.create_instance("wb-ben", user="ben"))
+    w3 = Whiteboard(session.create_instance("wb-cleo", user="cleo"))
+    session.pump()
+
+    # Anna sketches alone first.
+    w1.draw([(2, 2), (10, 2), (10, 6), (2, 6), (2, 2)])   # a box
+    print(f"Anna drew alone: {w1.stroke_count} stroke, "
+          f"Ben has {w2.stroke_count}.")
+
+    # Ben joins: synchronization by state (pull), then by action (couple).
+    w2.join("wb-anna")
+    session.pump()
+    print(f"Ben joined late and pulled the drawing: {w2.stroke_count} stroke.")
+
+    # Private congruence: Ben picks red — Anna's palette is untouched.
+    w2.pick_color("red")
+    session.pump()
+    print(f"Ben's pen: {w2.color_menu.selection}, "
+          f"Anna's pen: {w1.color_menu.selection} (palettes are private).")
+
+    w2.draw([(14, 2), (20, 5)])
+    session.pump()
+
+    # Cleo joins through Ben; the transitive closure connects her to the
+    # whole group including Anna.
+    w3.join("wb-ben")
+    session.pump()
+    w3.pick_color("blue")
+    w3.draw([(24, 2), (24, 6)])
+    session.pump()
+
+    counts = (w1.stroke_count, w2.stroke_count, w3.stroke_count)
+    print(f"Three participants drawing: stroke counts {counts}")
+    assert counts[0] == counts[1] == counts[2] == 3
+    print("\nAnna's board:")
+    print(render(w1.ui, 46, 12))
+
+    colors = sorted({s["color"] for s in w1.strokes})
+    print("Stroke colors on every board:", colors)
+
+    # Ben leaves; his drawing survives locally.  NB: Cleo was connected to
+    # Anna only *through* Ben (transitive closure), so Ben's departure
+    # splits the group — Cleo re-couples to Anna directly to stay in.
+    w2.leave()
+    session.pump()
+    print(f"\nBen left; Cleo still coupled? "
+          f"{w3.instance.is_coupled(w3.CANVAS_PATH)} "
+          "(the closure ran through Ben)")
+    w3.join("wb-anna")
+    session.pump()
+
+    w1.draw([(5, 8), (30, 8)])
+    session.pump()
+    print(f"Group continues: anna={w1.stroke_count} strokes, "
+          f"cleo={w3.stroke_count}, ben keeps his snapshot of "
+          f"{w2.stroke_count}.")
+
+    # Group clear still reaches everyone coupled.
+    w3.clear()
+    session.pump()
+    print(f"Cleo clears: anna={w1.stroke_count}, cleo={w3.stroke_count}, "
+          f"ben (decoupled)={w2.stroke_count}.")
+
+    session.close()
+
+
+if __name__ == "__main__":
+    main()

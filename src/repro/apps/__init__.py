@@ -1,0 +1,57 @@
+"""The paper's applications, rebuilt on the coupling layer:
+
+* :mod:`~repro.apps.classroom` — COSOFT face-to-face teaching (§4);
+* :mod:`~repro.apps.tori` — cooperative TORI database retrieval (§4);
+* :mod:`~repro.apps.minidb` — the in-memory relational substrate;
+* :mod:`~repro.apps.drawing` — a GroupDesign-style shared whiteboard.
+"""
+
+from repro.apps.classroom import (
+    IntelligentDemon,
+    SHARED_OBJECTS,
+    STUDENT_APP_TYPE,
+    TEACHER_APP_TYPE,
+    StudentEnvironment,
+    TeacherEnvironment,
+    couple_simulation_directly,
+)
+from repro.apps.control_panel import (
+    CouplingControlPanel,
+    enable_panel_introspection,
+)
+from repro.apps.drawing import Whiteboard, whiteboard_spec
+from repro.apps.minidb import (
+    Condition,
+    Database,
+    OPERATORS,
+    QueryError,
+    QueryResult,
+    Table,
+    sample_publications,
+)
+from repro.apps.tori import QUERY_ATTRIBUTES, VIEWS, ToriApplication, tori_spec
+
+__all__ = [
+    "Condition",
+    "CouplingControlPanel",
+    "IntelligentDemon",
+    "Database",
+    "enable_panel_introspection",
+    "OPERATORS",
+    "QUERY_ATTRIBUTES",
+    "QueryError",
+    "QueryResult",
+    "SHARED_OBJECTS",
+    "STUDENT_APP_TYPE",
+    "StudentEnvironment",
+    "TEACHER_APP_TYPE",
+    "Table",
+    "TeacherEnvironment",
+    "ToriApplication",
+    "VIEWS",
+    "Whiteboard",
+    "couple_simulation_directly",
+    "sample_publications",
+    "tori_spec",
+    "whiteboard_spec",
+]

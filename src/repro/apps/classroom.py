@@ -1,0 +1,407 @@
+"""COSOFT: computer support for face-to-face teaching (§4).
+
+The paper's primary application: "the teacher's presentation environment
+that runs on the electronic blackboard; and the local student environments
+that typically offer exercises and ... local context-sensitive help".
+Materials are "closely related to each other, even partially identical
+(e.g. they may use the same simulation windows or function displays)".
+
+Reproduced here:
+
+* :class:`TeacherEnvironment` — presentation board (canvas), parameter
+  scales, a shared simulation display, a notes area, and the buffered
+  help-request queue ("these messages are buffered and can be inspected by
+  the teacher");
+* :class:`StudentEnvironment` — a *structurally different* exercise
+  environment that shares the simulation window and parameter fields
+  (heterogeneous coupling);
+* :meth:`TeacherEnvironment.join_session` — the interactive joint-session
+  procedure: pick a student, pick the objects, RemoteCouple them (§4:
+  "dynamic coupling and decoupling is based on the remote operations
+  RemoteCouple/RemoteDecouple since it is initiated from outside the
+  respective applications");
+* **indirect coupling** (§4): the simulation display is *generated* from
+  the parameter scales, so coupling the two small scales synchronizes the
+  big display for free.  :func:`couple_simulation_directly` is the costly
+  alternative (couple the canvas itself) that experiment E9 compares.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.instance import ApplicationInstance
+from repro.toolkit.builder import build
+from repro.toolkit.events import VALUE_CHANGED
+from repro.toolkit.widget import UIObject
+
+TEACHER_APP_TYPE = "cosoft-teacher"
+STUDENT_APP_TYPE = "cosoft-student"
+
+#: Objects shared between the (heterogeneous) teacher and student
+#: environments, as (teacher path, student path) correspondences — the
+#: paper: "Application-specific correspondences between elements of the
+#: student's and teacher's environments have to be declared on beforehand."
+SHARED_OBJECTS: Tuple[Tuple[str, str], ...] = (
+    ("/teacher/params/amplitude", "/student/exercise/amplitude"),
+    ("/teacher/params/frequency", "/student/exercise/frequency"),
+    ("/teacher/simulation", "/student/exercise/simulation"),
+    ("/teacher/notes", "/student/exercise/answer"),
+)
+
+#: Resolution of the simulation plot (points per curve); the cost of
+#: regenerating or shipping the display scales with it (experiment E9).
+SIM_POINTS = 64
+
+
+def teacher_spec() -> Dict[str, Any]:
+    return {
+        "type": "shell",
+        "name": "teacher",
+        "state": {"title": "COSOFT — Liveboard"},
+        "children": [
+            {
+                "type": "canvas",
+                "name": "board",
+                "state": {"width": 60, "height": 16},
+            },
+            {
+                "type": "form",
+                "name": "params",
+                "children": [
+                    {
+                        "type": "scale",
+                        "name": "amplitude",
+                        "state": {"label": "A", "maximum": 10, "value": 1},
+                    },
+                    {
+                        "type": "scale",
+                        "name": "frequency",
+                        "state": {"label": "f", "maximum": 8, "value": 1},
+                    },
+                ],
+            },
+            {
+                "type": "canvas",
+                "name": "simulation",
+                "state": {"width": 40, "height": 10},
+            },
+            {"type": "textarea", "name": "notes", "state": {"width": 40}},
+        ],
+    }
+
+
+def student_spec() -> Dict[str, Any]:
+    """The student environment: same components inside a different
+    structure, plus exercise-only widgets the teacher does not have."""
+    return {
+        "type": "shell",
+        "name": "student",
+        "state": {"title": "COSOFT — Exercise"},
+        "children": [
+            {
+                "type": "form",
+                "name": "exercise",
+                "state": {"title": "Wave exercise"},
+                "children": [
+                    {
+                        "type": "label",
+                        "name": "task",
+                        "state": {
+                            "text": "Set A and f to match the target wave",
+                            "x": 1, "y": 0, "width": 40,
+                        },
+                    },
+                    {
+                        "type": "scale",
+                        "name": "amplitude",
+                        "state": {"label": "A", "maximum": 10, "value": 1,
+                                  "x": 1, "y": 1, "width": 20},
+                    },
+                    {
+                        "type": "scale",
+                        "name": "frequency",
+                        "state": {"label": "f", "maximum": 8, "value": 1,
+                                  "x": 24, "y": 1, "width": 16},
+                    },
+                    {
+                        "type": "canvas",
+                        "name": "simulation",
+                        "state": {"width": 40, "height": 10, "x": 1, "y": 2},
+                    },
+                    {"type": "textarea", "name": "answer",
+                     "state": {"width": 40, "x": 1, "y": 13}},
+                    {
+                        "type": "pushbutton",
+                        "name": "help",
+                        "state": {"label": "Ask for help", "x": 1, "y": 15},
+                    },
+                ],
+            },
+        ],
+    }
+
+
+def _wave_strokes(
+    amplitude: float, frequency: float, points: Optional[int] = None
+) -> List[Dict[str, Any]]:
+    """Compute the simulation display content from the two parameters.
+
+    A piecewise-linear sine-like wave; pure function of (A, f), which is
+    exactly why indirect coupling works: any replica can regenerate it
+    locally from the coupled parameter fields.  *points* defaults to the
+    module-level :data:`SIM_POINTS` (read at call time so experiments can
+    sweep the display resolution).
+    """
+    import math
+
+    if points is None:
+        points = SIM_POINTS
+    step = 2 * math.pi * max(frequency, 0.1) / max(points - 1, 1)
+    pts = [
+        [round(i * (38.0 / max(points - 1, 1)), 2),
+         round(4.5 - amplitude * 0.4 * math.sin(i * step), 2)]
+        for i in range(points)
+    ]
+    return [{"points": pts, "color": "blue", "width": 1}]
+
+
+class _Environment:
+    """Shared machinery of teacher and student environments."""
+
+    def __init__(self, instance: ApplicationInstance, spec: Dict[str, Any]):
+        self.instance = instance
+        self.ui: UIObject = instance.add_root(build(spec))
+        self.simulation_regenerations = 0
+
+    def _install_simulation(self, amp_path: str, freq_path: str, sim_path: str) -> None:
+        """Wire the indirect-coupling pattern: parameter changes regenerate
+        the simulation display locally."""
+        amp = self.ui.find(amp_path)
+        freq = self.ui.find(freq_path)
+        sim = self.ui.find(sim_path)
+
+        def regenerate(_widget: UIObject, _event: Any) -> None:
+            # Fired, not set: if the display itself is coupled (the costly
+            # direct mode of E9) each regeneration broadcasts the whole
+            # stroke list; when only the parameters are coupled (indirect
+            # mode) this event stays local and free.
+            sim.fire(VALUE_CHANGED, strokes=_wave_strokes(amp.value, freq.value))
+            self.simulation_regenerations += 1
+
+        amp.add_callback(VALUE_CHANGED, regenerate)
+        freq.add_callback(VALUE_CHANGED, regenerate)
+        regenerate(amp, None)  # initial display
+
+    def set_parameters(self, amplitude: float, frequency: float) -> None:
+        """Adjust the wave parameters through the event path."""
+        self._amp.set_value(amplitude, user=self.instance.user)
+        self._freq.set_value(frequency, user=self.instance.user)
+
+    @property
+    def simulation_strokes(self) -> List[Dict[str, Any]]:
+        return self._sim.strokes
+
+    # Set by subclasses:
+    _amp: UIObject
+    _freq: UIObject
+    _sim: UIObject
+
+
+class TeacherEnvironment(_Environment):
+    """The presentation environment on the electronic blackboard."""
+
+    def __init__(self, instance: ApplicationInstance):
+        if instance.app_type != TEACHER_APP_TYPE:
+            instance.app_type = TEACHER_APP_TYPE
+        super().__init__(instance, teacher_spec())
+        self._amp = self.ui.find("/teacher/params/amplitude")
+        self._freq = self.ui.find("/teacher/params/frequency")
+        self._sim = self.ui.find("/teacher/simulation")
+        self._install_simulation(
+            "/teacher/params/amplitude",
+            "/teacher/params/frequency",
+            "/teacher/simulation",
+        )
+        #: Buffered student messages: "these messages are buffered and can
+        #: be inspected by the teacher".
+        self.help_requests: List[Dict[str, Any]] = []
+        #: Object pairs currently coupled per student id.
+        self.active_sessions: Dict[str, List[Tuple[str, str]]] = {}
+        instance.on_command("request_help", self._on_help_request)
+
+    def _on_help_request(self, data: Any, sender: str) -> Any:
+        self.help_requests.append({"student": sender, "data": data})
+        return {"queued": len(self.help_requests)}
+
+    def pending_help(self) -> List[Dict[str, Any]]:
+        return list(self.help_requests)
+
+    def join_session(
+        self,
+        student_id: str,
+        pairs: Optional[List[Tuple[str, str]]] = None,
+        *,
+        indirect: bool = True,
+    ) -> List[Tuple[str, str]]:
+        """Couple the teacher's environment with one student's (§4).
+
+        The two-step interactive procedure — select the student, select the
+        UI objects — collapses here to choosing *pairs* (defaults to the
+        pre-declared :data:`SHARED_OBJECTS`).  With *indirect=True* (the
+        efficient default) the simulation display itself is NOT coupled:
+        the parameter scales are, and each side regenerates the display.
+        """
+        if pairs is None:
+            pairs = list(SHARED_OBJECTS)
+            if indirect:
+                pairs = [
+                    (t, s) for (t, s) in pairs if not t.endswith("/simulation")
+                ]
+        coupled: List[Tuple[str, str]] = []
+        for teacher_path, student_path in pairs:
+            self.instance.remote_couple(
+                (self.instance.instance_id, teacher_path),
+                (student_id, student_path),
+            )
+            coupled.append((teacher_path, student_path))
+        self.active_sessions[student_id] = coupled
+        return coupled
+
+    def leave_session(self, student_id: str) -> int:
+        """Decouple everything shared with one student."""
+        pairs = self.active_sessions.pop(student_id, [])
+        for teacher_path, student_path in pairs:
+            self.instance.remote_decouple(
+                (self.instance.instance_id, teacher_path),
+                (student_id, student_path),
+            )
+        return len(pairs)
+
+    def inspect_student_work(self, student_id: str, student_path: str,
+                             teacher_path: str) -> None:
+        """Pull a student's object onto the board (CopyFrom — monitoring
+        "another person's activities")."""
+        self.instance.copy_from(
+            self.instance.widget(teacher_path),
+            (student_id, student_path),
+            mode="flexible",
+        )
+
+    def write_note(self, text: str) -> None:
+        self.ui.find("/teacher/notes").commit(text, user=self.instance.user)
+
+
+class StudentEnvironment(_Environment):
+    """A local student workstation's exercise environment."""
+
+    def __init__(self, instance: ApplicationInstance):
+        if instance.app_type != STUDENT_APP_TYPE:
+            instance.app_type = STUDENT_APP_TYPE
+        super().__init__(instance, student_spec())
+        self._amp = self.ui.find("/student/exercise/amplitude")
+        self._freq = self.ui.find("/student/exercise/frequency")
+        self._sim = self.ui.find("/student/exercise/simulation")
+        self._install_simulation(
+            "/student/exercise/amplitude",
+            "/student/exercise/frequency",
+            "/student/exercise/simulation",
+        )
+        self.help_acks: List[Any] = []
+
+    def request_help(self, message: str, teacher_id: str) -> Any:
+        """Send a (buffered) help request to the teacher (CoSendCommand)."""
+        ack = self.instance.send_command(
+            "request_help",
+            {"message": message, "exercise": "wave"},
+            targets=[teacher_id],
+            want_reply=True,
+        )
+        self.help_acks.append(ack)
+        return ack
+
+    def write_answer(self, text: str) -> None:
+        self.ui.find("/student/exercise/answer").commit(
+            text, user=self.instance.user
+        )
+
+    @property
+    def answer_text(self) -> str:
+        return self.ui.find("/student/exercise/answer").text
+
+
+class IntelligentDemon:
+    """The §4 "intelligent demon": auto-generated help requests.
+
+    "This is typically initiated either by a direct request sent by a
+    student or by an automatic message generated by an intelligent demon."
+
+    The demon watches a student environment and fires a (buffered) help
+    request at the teacher when the student looks stuck: many parameter
+    changes without ever writing an answer — thrashing the scales is the
+    classic signature of not knowing what to do.
+    """
+
+    def __init__(
+        self,
+        student: StudentEnvironment,
+        teacher_id: str,
+        *,
+        fiddle_threshold: int = 8,
+    ):
+        if fiddle_threshold <= 0:
+            raise ValueError("fiddle_threshold must be positive")
+        self.student = student
+        self.teacher_id = teacher_id
+        self.fiddle_threshold = fiddle_threshold
+        self.fiddle_count = 0
+        self.alerts_sent = 0
+        self._armed = True
+        for widget in (student._amp, student._freq):
+            widget.add_callback(VALUE_CHANGED, self._on_param_change)
+        student.ui.find("/student/exercise/answer").add_callback(
+            VALUE_CHANGED, self._on_answer
+        )
+
+    def _on_param_change(self, _widget: UIObject, event: Any) -> None:
+        # Only the student's own fiddling counts, not a coupled teacher's.
+        if event.user and event.user != self.student.instance.user:
+            return
+        if not self._armed:
+            return
+        self.fiddle_count += 1
+        if self.fiddle_count >= self.fiddle_threshold:
+            self._alert()
+
+    def _on_answer(self, _widget: UIObject, event: Any) -> None:
+        if event.user and event.user != self.student.instance.user:
+            return
+        # Progress: the student wrote something — reset and re-arm.
+        self.fiddle_count = 0
+        self._armed = True
+
+    def _alert(self) -> None:
+        self._armed = False
+        self.fiddle_count = 0
+        self.alerts_sent += 1
+        self.student.instance.send_command(
+            "request_help",
+            {
+                "message": "automatic: student appears stuck "
+                           "(parameter thrashing, no answer)",
+                "exercise": "wave",
+                "demon": True,
+            },
+            targets=[self.teacher_id],
+        )
+
+
+def couple_simulation_directly(
+    teacher: TeacherEnvironment, student_id: str
+) -> None:
+    """The costly alternative to indirect coupling (E9): couple the big
+    simulation canvases themselves, shipping every regenerated display."""
+    teacher.instance.remote_couple(
+        (teacher.instance.instance_id, "/teacher/simulation"),
+        (student_id, "/student/exercise/simulation"),
+    )

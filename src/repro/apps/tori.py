@@ -1,0 +1,314 @@
+"""Cooperative TORI: the task-oriented database retrieval interface (§4).
+
+The paper reports making TORI cooperative "in a few days during one week by
+one person": the coupled UI objects were the *query forms* and *result
+forms* TORI generates — "menus for selecting comparison operators", "text
+input fields associated with attributes", "menus for selecting a certain
+view", and the result-form operations ("using result data to partially
+instantiate new query forms").  Query invocation is synchronized too, so a
+query "will be potentially re-executed several times", which the paper
+discusses as both a cost (multiple evaluation) and a flexibility win
+(queries may differ per user, and "queries can be sent to different
+databases").
+
+:class:`ToriApplication` reproduces this: a query form + result form over a
+:class:`~repro.apps.minidb.Database`, with :meth:`make_cooperative`
+coupling two instances in either the paper's *re-execute* mode or the
+alternative *share-results* mode it contemplates ("one might argue that it
+would be preferable to evaluate the query once and share the results") —
+experiment E8 compares the two.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.apps.minidb import OPERATORS, Condition, Database, QueryResult
+from repro.core.instance import ApplicationInstance
+from repro.toolkit.builder import build
+from repro.toolkit.events import ACTIVATE
+from repro.toolkit.widget import UIObject
+
+#: Query attributes TORI's form exposes (columns of the sample DB).
+QUERY_ATTRIBUTES: Tuple[str, ...] = ("author", "topic", "venue", "year")
+
+#: Views: which columns the result form shows (the paper's "menus for
+#: selecting a certain view (i.e. a set of query attributes)").
+VIEWS: Dict[str, Tuple[str, ...]] = {
+    "full": ("author", "title", "topic", "venue", "year", "pages"),
+    "compact": ("author", "title", "year"),
+    "bibliographic": ("author", "venue", "year", "pages"),
+}
+
+_OPERATOR_CHOICES = tuple(sorted(OPERATORS))
+
+
+def tori_spec() -> Dict[str, Any]:
+    """Builder spec of the TORI user interface."""
+    field_specs = []
+    for attr in QUERY_ATTRIBUTES:
+        field_specs.append(
+            {
+                "type": "form",
+                "name": attr,
+                "children": [
+                    {"type": "label", "name": "caption", "state": {"text": attr}},
+                    {
+                        "type": "optionmenu",
+                        "name": "op",
+                        "state": {
+                            "entries": list(_OPERATOR_CHOICES),
+                            "selection": "eq",
+                        },
+                    },
+                    {"type": "textfield", "name": "value", "state": {"width": 18}},
+                ],
+            }
+        )
+    return {
+        "type": "shell",
+        "name": "tori",
+        "state": {"title": "TORI"},
+        "children": [
+            {
+                "type": "form",
+                "name": "query",
+                "state": {"title": "Query"},
+                "children": [
+                    {
+                        "type": "optionmenu",
+                        "name": "view",
+                        "state": {
+                            "entries": list(VIEWS),
+                            "selection": "compact",
+                        },
+                    },
+                    {"type": "form", "name": "fields", "children": field_specs},
+                    {
+                        "type": "pushbutton",
+                        "name": "run",
+                        "state": {"label": "Run Query"},
+                    },
+                    {
+                        "type": "pushbutton",
+                        "name": "clear",
+                        "state": {"label": "Clear"},
+                    },
+                ],
+            },
+            {
+                "type": "form",
+                "name": "result",
+                "state": {"title": "Results"},
+                "children": [
+                    {"type": "label", "name": "count", "state": {"text": "no query"}},
+                    {"type": "listbox", "name": "rows", "state": {"width": 60}},
+                    {
+                        "type": "pushbutton",
+                        "name": "refine",
+                        "state": {"label": "Refine from selection"},
+                    },
+                ],
+            },
+        ],
+    }
+
+
+class ToriApplication:
+    """One TORI instance: query form + result form over a local database."""
+
+    def __init__(
+        self,
+        instance: ApplicationInstance,
+        database: Database,
+        *,
+        table: str = "publications",
+    ):
+        self.instance = instance
+        self.database = database
+        self.table = table
+        self.ui: UIObject = instance.add_root(build(tori_spec()))
+        self.query_form = self.ui.find("/tori/query")
+        self.result_form = self.ui.find("/tori/result")
+        self.queries_run = 0
+        self.last_result: Optional[QueryResult] = None
+        self._share_results_peers: List[str] = []
+        #: Raw result rows as semantic data behind the result form (§3.1).
+        self._semantic_rows: List[Dict[str, Any]] = []
+        self._wire_callbacks()
+        self._register_semantics()
+
+    # ------------------------------------------------------------------
+    # UI accessors
+    # ------------------------------------------------------------------
+
+    def field_value(self, attr: str) -> UIObject:
+        return self.ui.find(f"/tori/query/fields/{attr}/value")
+
+    def field_op(self, attr: str) -> UIObject:
+        return self.ui.find(f"/tori/query/fields/{attr}/op")
+
+    @property
+    def view_menu(self) -> UIObject:
+        return self.ui.find("/tori/query/view")
+
+    @property
+    def run_button(self) -> UIObject:
+        return self.ui.find("/tori/query/run")
+
+    @property
+    def rows_list(self) -> UIObject:
+        return self.ui.find("/tori/result/rows")
+
+    @property
+    def count_label(self) -> UIObject:
+        return self.ui.find("/tori/result/count")
+
+    # ------------------------------------------------------------------
+    # User-level operations
+    # ------------------------------------------------------------------
+
+    def set_condition(self, attr: str, op: str, value: str) -> None:
+        """Fill one query field through the event path (couples propagate)."""
+        self.field_op(attr).select(op, user=self.instance.user)
+        self.field_value(attr).commit(value, user=self.instance.user)
+
+    def choose_view(self, view: str) -> None:
+        if view not in VIEWS:
+            raise ValueError(f"unknown view {view!r}")
+        self.view_menu.select(view, user=self.instance.user)
+
+    def run_query(self) -> QueryResult:
+        """Press the Run button (synchronized invocation when coupled)."""
+        self.run_button.press(user=self.instance.user)
+        assert self.last_result is not None
+        return self.last_result
+
+    def refine_from_selection(self) -> None:
+        """Use the selected result row to partially instantiate a new query
+        (the paper's result-form operation)."""
+        self.ui.find("/tori/result/refine").press(user=self.instance.user)
+
+    def clear(self) -> None:
+        self.ui.find("/tori/query/clear").press(user=self.instance.user)
+
+    def visible_rows(self) -> List[str]:
+        return list(self.rows_list.get("items"))
+
+    # ------------------------------------------------------------------
+    # Cooperation (§4)
+    # ------------------------------------------------------------------
+
+    #: Relative paths of the query-form objects the paper couples.
+    COUPLED_PATHS: Tuple[str, ...] = (
+        ("/tori/query/view",)
+        + tuple(f"/tori/query/fields/{a}/op" for a in QUERY_ATTRIBUTES)
+        + tuple(f"/tori/query/fields/{a}/value" for a in QUERY_ATTRIBUTES)
+        + ("/tori/query/run", "/tori/query/clear")
+        + ("/tori/result/rows", "/tori/result/refine")
+    )
+
+    def make_cooperative(
+        self, peer_instance_id: str, *, share_results: bool = False
+    ) -> List[str]:
+        """Couple this TORI with a peer instance's TORI.
+
+        With the default *share_results=False* the run button is coupled,
+        so each participant re-executes the query locally (the paper's
+        mode: multiple evaluation, possibly against different databases).
+        With *share_results=True* the run button stays uncoupled and the
+        invoker ships its result form via CopyTo instead.
+        """
+        paths = [p for p in self.COUPLED_PATHS]
+        if share_results:
+            paths.remove("/tori/query/run")
+        for path in paths:
+            self.instance.couple(
+                self.instance.widget(path), (peer_instance_id, path)
+            )
+        if share_results:
+            self._share_results_peers.append(peer_instance_id)
+        return paths
+
+    def share_results(self) -> int:
+        """Push this instance's result form to the share-results peers."""
+        for peer in self._share_results_peers:
+            self.instance.copy_to(self.result_form, (peer, "/tori/result"))
+        return len(self._share_results_peers)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _wire_callbacks(self) -> None:
+        self.run_button.add_callback(ACTIVATE, self._on_run)
+        self.ui.find("/tori/query/clear").add_callback(ACTIVATE, self._on_clear)
+        self.ui.find("/tori/result/refine").add_callback(ACTIVATE, self._on_refine)
+
+    def _register_semantics(self) -> None:
+        def store() -> Any:
+            return self._semantic_rows
+
+        def load(data: Any) -> None:
+            self._semantic_rows = list(data or [])
+
+        self.instance.semantics.register_widget(self.result_form, store, load)
+
+    def current_conditions(self) -> List[Condition]:
+        """Read the query form into WHERE conditions."""
+        conditions: List[Condition] = []
+        for attr in QUERY_ATTRIBUTES:
+            raw = self.field_value(attr).value.strip()
+            if not raw:
+                continue
+            value: Any = raw
+            if attr == "year":
+                try:
+                    value = int(raw)
+                except ValueError:
+                    pass
+            conditions.append(
+                Condition(attr, self.field_op(attr).selection, value)
+            )
+        return conditions
+
+    def _on_run(self, _widget: UIObject, _event: Any) -> None:
+        """Execute the query against the *local* database.
+
+        When the run button is coupled this callback re-runs in every
+        instance — the multiple evaluation the paper describes.
+        """
+        view = self.view_menu.selection or "compact"
+        columns = VIEWS.get(view, VIEWS["compact"])
+        result = self.database.select(
+            self.table, self.current_conditions(), columns, order_by=columns[0]
+        )
+        self.queries_run += 1
+        self.last_result = result
+        self._semantic_rows = result.as_dicts()
+        self.rows_list.set("items", result.formatted())
+        self.rows_list.set("selected", [])
+        self.count_label.set(
+            "text", f"{len(result)} rows ({result.rows_scanned} scanned)"
+        )
+
+    def _on_clear(self, _widget: UIObject, _event: Any) -> None:
+        for attr in QUERY_ATTRIBUTES:
+            self.field_value(attr).set("value", "")
+            self.field_op(attr).set("selection", "eq")
+
+    def _on_refine(self, _widget: UIObject, _event: Any) -> None:
+        """Partially instantiate the query form from the selected row."""
+        selected = self.rows_list.get("selected")
+        if not selected or not self._semantic_rows:
+            return
+        index = selected[0]
+        if not 0 <= index < len(self._semantic_rows):
+            return
+        row = self._semantic_rows[index]
+        if "author" in row:
+            self.field_op("author").set("selection", "eq")
+            self.field_value("author").set("value", str(row["author"]))
+        if "year" in row:
+            self.field_op("year").set("selection", "eq")
+            self.field_value("year").set("value", str(row["year"]))

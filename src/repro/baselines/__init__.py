@@ -1,0 +1,22 @@
+"""Architecture baselines (paper §2): multiplex, UI-replicated, and the
+fully replicated COSOFT model, all behind one harness interface."""
+
+from repro.baselines.common import ActionRecord, ArchitectureHarness
+from repro.baselines.fully_replicated import FullyReplicatedHarness
+from repro.baselines.multiplex import MultiplexHarness
+from repro.baselines.ui_replicated import UIReplicatedHarness
+
+ALL_ARCHITECTURES = (
+    MultiplexHarness,
+    UIReplicatedHarness,
+    FullyReplicatedHarness,
+)
+
+__all__ = [
+    "ALL_ARCHITECTURES",
+    "ActionRecord",
+    "ArchitectureHarness",
+    "FullyReplicatedHarness",
+    "MultiplexHarness",
+    "UIReplicatedHarness",
+]

@@ -1,0 +1,188 @@
+"""Shared harness for comparing multi-user architectures (paper §2).
+
+The paper contrasts three implementation models:
+
+* the **multiplex** architecture (Figure 1) — one central application
+  instance, dumb multiplexed displays;
+* the **UI-replicated** architecture (Figure 2) — replicated user
+  interfaces, one central semantic component (Suite, Rendezvous);
+* the **fully replicated** architecture (Figure 3/4) — everything
+  replicated, coordinated by the COSOFT server.
+
+Each architecture is a :class:`ArchitectureHarness`: it hosts ``n_users``
+participants around a shared widget tree and replays a
+:class:`~repro.workloads.generator.UserAction` workload, recording for each
+action when the issuing user saw the echo and when every participant was in
+sync.  The benchmarks behind Table 1 and Figures 1–3 run identical
+workloads through all three harnesses.
+"""
+
+from __future__ import annotations
+
+import abc
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set
+
+from repro.net.clock import SimClock
+from repro.net.memory import MemoryNetwork
+from repro.workloads.generator import UserAction, standard_form_spec
+
+
+@dataclass
+class ActionRecord:
+    """Timing of one user action through an architecture."""
+
+    action_id: int
+    user: int
+    t_issue: float
+    t_echo: Optional[float] = None      # issuing user's display updated
+    t_all: Optional[float] = None       # every user's display updated
+    executed: bool = True               # False if floor control denied it
+    synced_users: Set[int] = field(default_factory=set)
+
+    @property
+    def echo_latency(self) -> Optional[float]:
+        if self.t_echo is None:
+            return None
+        return self.t_echo - self.t_issue
+
+    @property
+    def sync_latency(self) -> Optional[float]:
+        if self.t_all is None:
+            return None
+        return self.t_all - self.t_issue
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+class ArchitectureHarness(abc.ABC):
+    """Base class of the three architecture models."""
+
+    #: Architecture name reported in tables.
+    name: str = "abstract"
+    #: Qualitative feature columns of the paper's comparison table (§2.2).
+    features: Mapping[str, object] = {}
+
+    def __init__(
+        self,
+        n_users: int,
+        *,
+        app_spec: Optional[Mapping[str, Any]] = None,
+        base_latency: float = 0.001,
+        semantic_cost: float = 0.0,
+        seed: int = 0,
+    ):
+        if n_users <= 0:
+            raise ValueError("n_users must be positive")
+        self.n_users = n_users
+        self.app_spec = dict(app_spec) if app_spec is not None else standard_form_spec()
+        self.semantic_cost = semantic_cost
+        self.clock = SimClock()
+        self.network = MemoryNetwork(
+            self.clock, base_latency=base_latency, seed=seed
+        )
+        self.records: Dict[int, ActionRecord] = {}
+        self._setup()
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _setup(self) -> None:
+        """Create endpoints, widget trees and wiring."""
+
+    @abc.abstractmethod
+    def _perform(self, action: UserAction) -> None:
+        """Inject one user action into the architecture."""
+
+    @abc.abstractmethod
+    def user_state(self, user: int, path: str) -> Dict[str, Any]:
+        """The attribute state of *path* as seen by *user* (for
+        convergence assertions in tests)."""
+
+    # ------------------------------------------------------------------
+    # Workload driving
+    # ------------------------------------------------------------------
+
+    def run(self, actions: Sequence[UserAction]) -> List[ActionRecord]:
+        """Replay a workload; returns the per-action timing records."""
+        for action in sorted(actions, key=lambda a: (a.at, a.action_id)):
+            self.network.pump_until_time(action.at)
+            record = ActionRecord(
+                action_id=action.action_id,
+                user=action.user,
+                t_issue=self.clock.now(),
+            )
+            self.records[action.action_id] = record
+            self._perform(action)
+        self.network.pump()
+        return [self.records[k] for k in sorted(self.records)]
+
+    # ------------------------------------------------------------------
+    # Timing capture helpers (called by subclasses)
+    # ------------------------------------------------------------------
+
+    def _mark_synced(self, action_id: int, user: int) -> None:
+        record = self.records.get(action_id)
+        if record is None:
+            return
+        now = self.clock.now()
+        record.synced_users.add(user)
+        if user == record.user and record.t_echo is None:
+            record.t_echo = now
+        if len(record.synced_users) >= self.n_users and record.t_all is None:
+            record.t_all = now
+
+    def _mark_denied(self, action_id: int) -> None:
+        record = self.records.get(action_id)
+        if record is not None:
+            record.executed = False
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        """Quantitative summary: the numeric columns of Table 1."""
+        executed = [r for r in self.records.values() if r.executed]
+        denied = [r for r in self.records.values() if not r.executed]
+        echo = [r.echo_latency for r in executed if r.echo_latency is not None]
+        sync = [r.sync_latency for r in executed if r.sync_latency is not None]
+        snapshot = self.network.stats.snapshot()
+        central_in = sum(
+            count
+            for (sender, receiver), count in self.network.stats.by_link.items()
+            if receiver == self.central_endpoint
+        )
+        return {
+            "architecture": self.name,
+            "users": self.n_users,
+            "actions": len(self.records),
+            "executed": len(executed),
+            "denied": len(denied),
+            "echo_latency_mean": statistics.fmean(echo) if echo else float("nan"),
+            "echo_latency_p95": _percentile(echo, 0.95),
+            "sync_latency_mean": statistics.fmean(sync) if sync else float("nan"),
+            "sync_latency_p95": _percentile(sync, 0.95),
+            "messages_total": snapshot["messages"],
+            "bytes_total": snapshot["bytes"],
+            "messages_per_action": (
+                snapshot["messages"] / len(self.records) if self.records else 0.0
+            ),
+            "central_inbound_messages": central_in,
+            "duration": self.clock.now(),
+        }
+
+    #: Endpoint id of the centralized component (for load accounting).
+    central_endpoint: str = "server"
+
+    def close(self) -> None:
+        """Release resources (overridden where needed)."""

@@ -1,0 +1,223 @@
+"""Synchronization by multiple execution (§3.2).
+
+This module implements the paper's algorithm verbatim (client side):
+
+    Assume event e to occur on UI object O.  Let CO(o) be the set of the UI
+    objects that have been coupled with O.
+      - lock every object of the group in the server (all-or-nothing);
+      - if locking failed: undo locking and *undo the syntactic built-in
+        feedback* of e;
+      - else: for each coupled O': simulate the feedback of e and execute
+        the callbacks of e on O';
+      - release all locks, re-enable the objects.
+
+The server performs the all-or-nothing group acquisition atomically (see
+:meth:`repro.server.locks.LockTable.acquire_all`, which mirrors the
+pseudo-code's per-object loop with undo), grants or denies the floor, and
+after the event broadcast releases the group.
+
+On the initiating instance the flow is:
+
+1. the widget applies its built-in feedback immediately (the user sees the
+   local echo, as in any direct-manipulation UI);
+2. the floor is requested for ``CO(o)``;
+3. denied -> the feedback is rolled back and no callbacks run;
+4. granted -> local callbacks execute, the event is sent to the server,
+   which broadcasts it to every other instance owning coupled objects and
+   releases the floor.
+
+Receiving instances execute :func:`apply_remote_event`: each local coupled
+object is disabled (floor-locked), the event is re-executed on it —
+"simulate the feedback of e; execute callbacks of the event e on object O'"
+— and the object is re-enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
+
+from repro.net import kinds
+from repro.net.message import Message
+from repro.server.couples import GlobalId, gid_from_wire, gid_to_wire
+from repro.toolkit.events import Event
+from repro.toolkit.widget import UIObject, UndoRecord
+
+
+@dataclass(frozen=True)
+class FloorGrant:
+    """A granted floor: the lock token and the locked group."""
+
+    token: int
+    group: Tuple[GlobalId, ...]
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one local event under multiple execution."""
+
+    executed: bool
+    lock_denied: bool = False
+    group: Tuple[GlobalId, ...] = ()
+    conflicts: Tuple[GlobalId, ...] = ()
+    local_only: bool = False
+
+
+def request_floor(instance: Any, source: GlobalId, timeout: float) -> Optional[FloorGrant]:
+    """Ask the server to lock the couple group of *source*.
+
+    Returns the grant, or ``None`` when the floor was denied or the request
+    timed out (a timeout is treated as a denial: the caller rolls back, the
+    server's floor record — if the grant raced the timeout — is reclaimed
+    by the eventual unlock of a later floor or by instance cleanup).
+    """
+    token = instance.next_token()
+    request = Message(
+        kind=kinds.LOCK_REQUEST,
+        sender=instance.instance_id,
+        payload={"source": gid_to_wire(source), "token": token},
+    )
+    reply = instance.request(request, timeout=timeout)
+    if reply is None or reply.kind != kinds.LOCK_REPLY:
+        return None
+    if not reply.payload.get("granted", False):
+        return None
+    group = tuple(gid_from_wire(g) for g in reply.payload.get("group", ()))
+    return FloorGrant(token=token, group=group)
+
+
+def release_floor(instance: Any, grant: FloorGrant) -> None:
+    """Explicitly release a floor obtained via :func:`request_floor`."""
+    instance.send(
+        Message(
+            kind=kinds.UNLOCK,
+            sender=instance.instance_id,
+            payload={
+                "token": grant.token,
+                "objects": [gid_to_wire(g) for g in grant.group],
+            },
+        )
+    )
+
+
+def run_multiple_execution(
+    instance: Any,
+    widget: UIObject,
+    event: Event,
+    undo: UndoRecord,
+    *,
+    timeout: float,
+) -> ExecutionResult:
+    """Execute the paper's multiple-execution algorithm for a local event.
+
+    *undo* is the built-in-feedback rollback record captured when the
+    widget echoed the user action.
+    """
+    source: GlobalId = (instance.instance_id, widget.pathname)
+    grant = request_floor(instance, source, timeout)
+    if grant is None:
+        # "undo syntactic built-in feedback of the event e" (§3.2)
+        undo.rollback()
+        instance.stats["lock_denials"] += 1
+        return ExecutionResult(executed=False, lock_denied=True)
+
+    # Disable the locally owned members of the group while the floor is
+    # held ("Actions on locked objects are disabled").
+    local_members = _local_widgets(instance, grant.group, exclude=widget.pathname)
+    for member in local_members:
+        member.floor_lock()
+    try:
+        # Execute callbacks on the source object (feedback already echoed).
+        widget.run_callbacks(event)
+        # Ship the event; the server broadcasts it to every other owning
+        # instance and releases the floor afterwards.
+        instance.send(
+            Message(
+                kind=kinds.EVENT,
+                sender=instance.instance_id,
+                payload={
+                    "event": event.to_wire(),
+                    "token": grant.token,
+                    "release": True,
+                },
+            )
+        )
+        # The group may include other local objects (two objects coupled
+        # "within the same application instance", §3.3) — the server's
+        # broadcast deliberately skips the sending instance, so re-execute
+        # on local members here.
+        for member in local_members:
+            _reexecute(member, event)
+    finally:
+        for member in local_members:
+            member.floor_unlock()
+    instance.stats["events_coupled"] += 1
+    return ExecutionResult(executed=True, group=grant.group)
+
+
+def apply_remote_event(instance: Any, payload: Mapping[str, Any]) -> int:
+    """Re-execute a broadcast event on this instance's coupled objects.
+
+    Returns the number of objects the event was executed on (objects that
+    disappeared since the broadcast are skipped — their decoupling is
+    already in flight).
+    """
+    event = Event.from_wire(dict(payload["event"]))
+    if not instance.accept_remote_event(event):
+        # Duplicate delivery (at-least-once transport): the event was
+        # already executed here.  Still acknowledge, so a floor waiting on
+        # this receiver can never wedge on a duplicate.
+        _ack(instance, payload)
+        return 0
+    executed = 0
+    for path in payload.get("targets", ()):
+        widget = instance.find_widget(path)
+        if widget is None or widget.destroyed:
+            continue
+        widget.floor_lock()
+        try:
+            _reexecute(widget, event)
+            executed += 1
+        finally:
+            widget.floor_unlock()
+    instance.stats["events_remote"] += executed
+    instance.trace_remote_event(event)
+    # Confirm completion so the server can release the floor — the group
+    # stays locked "until the processing of this event is completed".
+    _ack(instance, payload)
+    return executed
+
+
+def _ack(instance: Any, payload: Mapping[str, Any]) -> None:
+    owner = payload.get("owner")
+    if owner is not None:
+        instance.send(
+            Message(
+                kind=kinds.EVENT_ACK,
+                sender=instance.instance_id,
+                payload={"owner": [str(owner[0]), int(owner[1])]},
+            )
+        )
+
+
+def _reexecute(widget: UIObject, event: Event) -> None:
+    """Simulate feedback and run callbacks of *event* on a coupled object."""
+    local_event = event.retargeted(
+        widget.pathname, getattr(widget.runtime, "instance_id", "")
+    )
+    widget.apply_feedback(local_event)
+    widget.run_callbacks(local_event)
+
+
+def _local_widgets(
+    instance: Any, group: Sequence[GlobalId], *, exclude: str
+) -> List[UIObject]:
+    """The group members owned by *instance*, resolved to live widgets."""
+    members: List[UIObject] = []
+    for gid in group:
+        if gid[0] != instance.instance_id or gid[1] == exclude:
+            continue
+        widget = instance.find_widget(gid[1])
+        if widget is not None and not widget.destroyed:
+            members.append(widget)
+    return members

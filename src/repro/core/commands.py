@@ -1,0 +1,65 @@
+"""CoSendCommand: the extensible application-specific protocol (§3.4).
+
+"To define application-specific communication protocol, we provide a
+primitive (CoSendCommand) which enables programmers to define their own
+protocols.  An application can call this primitive to send a command (i.e.
+a symbolic name of a function) together with a packed message to other
+instances.  In the receiver instances, a function (corresponding to the
+command) is defined to unpack and interpret the message."
+
+The messages are routed by the central server; this module is the
+receiver-side dispatch table.  A handler receives ``(data, sender_id)`` and
+may return a JSON-safe value, which (when the sender asked for replies) is
+sent back as a COMMAND_REPLY.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.errors import UnknownCommandError
+from repro.toolkit.attributes import json_safe
+
+CommandHandler = Callable[[Any, str], Any]
+
+
+class CommandRegistry:
+    """Per-instance table of application-defined command handlers."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, CommandHandler] = {}
+        self.dispatched = 0
+        self.unknown = 0
+
+    def register(self, command: str, handler: CommandHandler) -> None:
+        """Define (or replace) the function interpreting *command*."""
+        if not command:
+            raise ValueError("command name must be non-empty")
+        self._handlers[command] = handler
+
+    def unregister(self, command: str) -> bool:
+        return self._handlers.pop(command, None) is not None
+
+    def knows(self, command: str) -> bool:
+        return command in self._handlers
+
+    def commands(self) -> List[str]:
+        return sorted(self._handlers)
+
+    def dispatch(self, command: str, data: Any, sender: str) -> Any:
+        """Invoke the handler for *command*; returns its reply value.
+
+        Raises :class:`UnknownCommandError` for unregistered commands and
+        :class:`ValueError` if the handler's reply is not JSON-safe.
+        """
+        handler = self._handlers.get(command)
+        if handler is None:
+            self.unknown += 1
+            raise UnknownCommandError(command)
+        self.dispatched += 1
+        reply = handler(data, sender)
+        if reply is not None and not json_safe(reply):
+            raise ValueError(
+                f"handler for command {command!r} returned non-serializable data"
+            )
+        return reply

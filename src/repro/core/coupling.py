@@ -1,0 +1,59 @@
+"""Client-side coupling helpers: the replicated couple table (§3.2).
+
+"In a group of coupled objects, the coupling information is replicated for
+each object (to be completely available locally)."  Every application
+instance therefore mirrors the server's couple table, updated by the
+COUPLE_UPDATE broadcasts the server emits on every link change.  The
+replica answers the hot-path question — *is this object coupled at all?* —
+without a server round trip, so purely local interaction stays local.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.errors import NoSuchCoupleError
+from repro.server.couples import CoupleLink, CoupleTable
+
+
+def apply_couple_update(table: CoupleTable, payload: Mapping[str, Any]) -> Optional[CoupleLink]:
+    """Apply one COUPLE_UPDATE broadcast onto the local replica.
+
+    Returns the affected link (None for no-op updates).  Updates are
+    idempotent: the same broadcast may arrive twice (once as a direct reply
+    to the requesting instance, once via a race with the broadcast path).
+    """
+    action = payload.get("action")
+    link_wire = payload.get("link")
+    if action == "noop" or not link_wire:
+        return None
+    link = CoupleLink.from_wire(dict(link_wire))
+    if action == "add":
+        table.add_link(link)
+        return link
+    if action == "remove":
+        try:
+            table.remove_link(link.source, link.target)
+        except NoSuchCoupleError:
+            pass  # Already removed locally (idempotent).
+        return link
+    raise ValueError(f"unknown couple update action {action!r}")
+
+
+def bootstrap_replica(table: CoupleTable, links_wire: Any) -> int:
+    """Initialize a fresh replica from the REGISTER_ACK couple dump."""
+    count = 0
+    for link_wire in links_wire or ():
+        link = CoupleLink.from_wire(dict(link_wire))
+        if table.add_link(link):
+            count += 1
+    return count
+
+
+def subtree_is_coupled(table: CoupleTable, instance_id: str, pathname: str) -> bool:
+    """Whether any object at or below *pathname* participates in a couple."""
+    prefix = pathname.rstrip("/") + "/"
+    for gid in table.objects_of_instance(instance_id):
+        if gid[1] == pathname or gid[1].startswith(prefix):
+            return True
+    return False

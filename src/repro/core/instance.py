@@ -1,0 +1,793 @@
+"""The application-instance runtime: a COSOFT client.
+
+An :class:`ApplicationInstance` is one replica in the fully replicated
+architecture (Figure 4): it owns a widget tree (its user interface), its
+own application functionality (callbacks and semantic data), a connection
+to the central server, and a local replica of the coupling information.
+
+Converting a single-user application into a multi-user one takes exactly
+the paper's promise — "no more programming than inserting a statement to
+register the application with the server":
+
+    inst = ApplicationInstance("editor-1", user="alice").connect(network)
+    inst.add_root(shell)        # the existing single-user widget tree
+    inst.register()
+
+From then on every ``widget.fire(...)`` is routed through the
+multiple-execution algorithm whenever the widget is coupled, and stays
+purely local otherwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.core import action_sync, coupling, state_sync
+from repro.core.action_sync import ExecutionResult, FloorGrant
+from repro.core.commands import CommandRegistry
+from repro.core.compat import ComponentMapping, CorrespondenceRegistry
+from repro.core.semantic import SemanticHookRegistry
+from repro.core.state_sync import ApplyReport, STRICT
+from repro.errors import (
+    NotRegisteredError,
+    PathError,
+    ReproError,
+    ServerError,
+)
+from repro.net import kinds
+from repro.net.memory import MemoryNetwork
+from repro.net.message import Message
+from repro.net.tcp import TcpClientTransport
+from repro.net.transport import Transport
+from repro.server.couples import CoupleTable, GlobalId, gid_from_wire, gid_to_wire
+from repro.server.permissions import PermissionRule
+from repro.server.registry import RegistrationRecord
+from repro.toolkit.events import Event, EventTrace
+from repro.toolkit.tree import subtree_state
+from repro.toolkit.widget import UIObject
+
+WidgetRef = Union[UIObject, str]
+
+
+class ApplicationInstance:
+    """One application instance in the COSOFT architecture.
+
+    Parameters
+    ----------
+    instance_id:
+        Globally unique identifier (the first half of the paper's
+        ``<instance-id, pathname>`` object ids).
+    user:
+        The participant operating this instance (permissions key on it).
+    app_type:
+        Free-form application type tag; heterogeneous coupling means
+        coupling instances with different ``app_type``.
+    correspondences:
+        Type-correspondence registry for heterogeneous object coupling;
+        defaults to the process-wide registry.
+    lock_timeout / request_timeout:
+        How long blocking operations wait for server replies (simulated
+        seconds on the memory network, wall seconds on TCP).
+    """
+
+    def __init__(
+        self,
+        instance_id: str,
+        user: str,
+        *,
+        app_type: str = "",
+        host: str = "localhost",
+        correspondences: Optional[CorrespondenceRegistry] = None,
+        lock_timeout: float = 5.0,
+        request_timeout: float = 5.0,
+        replica_fast_path: bool = True,
+    ):
+        if not instance_id or instance_id == "server":
+            raise ValueError(f"invalid instance id {instance_id!r}")
+        self.instance_id = instance_id
+        self.user = user
+        self.app_type = app_type
+        self.host = host
+        self.correspondences = correspondences
+        self.lock_timeout = lock_timeout
+        self.request_timeout = request_timeout
+        #: Use the local replica of the coupling information to keep
+        #: uncoupled interaction fully local (§3.2 "to be completely
+        #: available locally").  ``False`` forces every event through the
+        #: server — kept for the ablation benchmark quantifying what the
+        #: replica buys.
+        self.replica_fast_path = replica_fast_path
+
+        self._roots: Dict[str, UIObject] = {}
+        #: Local replica of the server's couple table (§3.2).
+        self.replica = CoupleTable()
+        self.roster: Dict[str, RegistrationRecord] = {}
+        self.semantics = SemanticHookRegistry()
+        self.commands = CommandRegistry()
+        self.trace = EventTrace()
+        self.stats: Counter = Counter()
+        self.registered = False
+        self.last_execution: Optional[ExecutionResult] = None
+
+        self._transport: Optional[Transport] = None
+        self._replies: Dict[int, Message] = {}
+        #: msg_ids whose request timed out: a late reply is dropped instead
+        #: of accumulating forever in ``_replies``.
+        self._abandoned: set = set()
+        #: highest event seq executed per originating instance (dedup of
+        #: at-least-once broadcast deliveries).
+        self._last_event_seq: Dict[str, int] = {}
+        self._tokens = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def connect(self, network: MemoryNetwork) -> "ApplicationInstance":
+        """Attach to a simulated network; returns self for chaining."""
+        self.bind(network.attach(self.instance_id, self.handle_message))
+        return self
+
+    def connect_tcp(self, host: str, port: int) -> "ApplicationInstance":
+        """Connect to a TCP server; returns self for chaining."""
+        self.bind(
+            TcpClientTransport(self.instance_id, self.handle_message, host, port)
+        )
+        return self
+
+    def bind(self, transport: Transport) -> None:
+        self._transport = transport
+
+    @property
+    def transport(self) -> Optional[Transport]:
+        return self._transport
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def register(self) -> None:
+        """Join the session: the paper's one-statement multi-user upgrade."""
+        reply = self.request(
+            Message(
+                kind=kinds.REGISTER,
+                sender=self.instance_id,
+                payload={
+                    "user": self.user,
+                    "host": self.host,
+                    "app_type": self.app_type,
+                },
+            )
+        )
+        if reply is None:
+            raise ServerError("registration timed out")
+        self.registered = True
+        self._apply_roster(reply.payload.get("roster", []))
+        coupling.bootstrap_replica(self.replica, reply.payload.get("couples"))
+
+    def unregister(self) -> None:
+        """Leave the session; the server auto-decouples our objects."""
+        if not self.registered:
+            return
+        self.send(Message(kind=kinds.UNREGISTER, sender=self.instance_id))
+        self.registered = False
+        self.replica.clear()
+
+    def close(self) -> None:
+        """Unregister and release the transport."""
+        transport = self._transport
+        if transport is None:
+            return
+        try:
+            if self.registered and not transport.closed:
+                self.unregister()
+        finally:
+            transport.close()
+            self._transport = None
+
+    # ------------------------------------------------------------------
+    # Widget trees
+    # ------------------------------------------------------------------
+
+    def add_root(self, widget: UIObject) -> UIObject:
+        """Adopt a widget tree; its events now route through this runtime."""
+        if widget.parent is not None:
+            raise ValueError("only root widgets can be added to an instance")
+        if widget.name in self._roots:
+            raise ValueError(f"root {widget.name!r} already added")
+        self._roots[widget.name] = widget
+        widget.attach_runtime(self)
+        return widget
+
+    def remove_root(self, widget: UIObject) -> None:
+        if self._roots.get(widget.name) is widget:
+            del self._roots[widget.name]
+
+    def roots(self) -> Tuple[UIObject, ...]:
+        return tuple(self._roots.values())
+
+    def find_widget(self, pathname: str) -> Optional[UIObject]:
+        """Resolve an absolute pathname to a live widget, or ``None``."""
+        parts = [p for p in pathname.split("/") if p]
+        if not parts:
+            return None
+        root = self._roots.get(parts[0])
+        if root is None:
+            return None
+        try:
+            return root.find(pathname)
+        except PathError:
+            return None
+
+    def widget(self, pathname: str) -> UIObject:
+        """Like :meth:`find_widget` but raising :class:`PathError`."""
+        found = self.find_widget(pathname)
+        if found is None:
+            raise PathError(pathname)
+        return found
+
+    def gid(self, ref: WidgetRef) -> GlobalId:
+        """The global id ``<instance-id, pathname>`` of a local widget."""
+        pathname = ref.pathname if isinstance(ref, UIObject) else str(ref)
+        return (self.instance_id, pathname)
+
+    # ------------------------------------------------------------------
+    # Coupling (§3.2, §3.3)
+    # ------------------------------------------------------------------
+
+    def couple(self, source: WidgetRef, target: GlobalId) -> None:
+        """Create a couple link from a local object to *target*."""
+        self._couple_request(kinds.COUPLE, self.gid(source), target)
+
+    def decouple(self, source: WidgetRef, target: GlobalId) -> None:
+        """Remove the couple link between a local object and *target*."""
+        self._couple_request(kinds.DECOUPLE, self.gid(source), target)
+
+    def decouple_object(self, source: WidgetRef) -> None:
+        """Remove every couple link touching a local object (and its
+        subtree) — leaving a group entirely, the same operation the
+        automatic decoupling on destroy performs (§3.2)."""
+        self._require_connected()
+        reply = self.request(
+            Message(
+                kind=kinds.DECOUPLE,
+                sender=self.instance_id,
+                payload={"object": gid_to_wire(self.gid(source))},
+            )
+        )
+        if reply is None:
+            raise ServerError("decouple_object timed out")
+
+    def remote_couple(self, source: GlobalId, target: GlobalId) -> None:
+        """Couple two objects in (possibly) other instances (§3.3):
+        "allow a third application instance to couple objects in remote
+        instances"."""
+        self._couple_request(kinds.REMOTE_COUPLE, source, target)
+
+    def remote_decouple(self, source: GlobalId, target: GlobalId) -> None:
+        self._couple_request(kinds.REMOTE_DECOUPLE, source, target)
+
+    def _couple_request(self, kind: str, source: GlobalId, target: GlobalId) -> None:
+        self._require_connected()
+        reply = self.request(
+            Message(
+                kind=kind,
+                sender=self.instance_id,
+                payload={
+                    "source": gid_to_wire(source),
+                    "target": gid_to_wire(target),
+                },
+            )
+        )
+        if reply is None:
+            raise ServerError(f"{kind} request timed out")
+
+    def coupled_objects(self, ref: WidgetRef) -> Tuple[GlobalId, ...]:
+        """The paper's ``CO(o)`` for a local object, from the replica."""
+        return tuple(sorted(self.replica.coupled_objects(self.gid(ref))))
+
+    def is_coupled(self, ref: WidgetRef) -> bool:
+        return self.replica.is_coupled(self.gid(ref))
+
+    # ------------------------------------------------------------------
+    # Synchronization by UI state (§3.1)
+    # ------------------------------------------------------------------
+
+    def fetch_state(self, source: GlobalId) -> Dict[str, Any]:
+        """Fetch a remote object's state payload *without* applying it.
+
+        Returns the raw payload (``structure``, ``state`` and — if the
+        owner registered hooks — ``semantic``).  Used for inspection UIs
+        such as the §4 coupling control panel, which shows "a (potentially
+        simplified) graphical representation of the student's environment".
+        """
+        reply = self.request(
+            Message(
+                kind=kinds.FETCH_STATE,
+                sender=self.instance_id,
+                payload={"object": gid_to_wire(source)},
+            )
+        )
+        if reply is None:
+            raise ServerError("fetch_state timed out")
+        return dict(reply.payload)
+
+    def copy_from(
+        self,
+        local: WidgetRef,
+        source: GlobalId,
+        *,
+        mode: str = STRICT,
+        strategy: str = state_sync.AUTO,
+        predefined: Optional[ComponentMapping] = None,
+    ) -> ApplyReport:
+        """Active synchronization: pull *source*'s state onto a local object.
+
+        "With the active synchronization (implemented as a function
+        CopyFrom) ... an application actively requests the state of UI
+        objects in other instances, and updates its own state" (§3.1).
+        """
+        widget = self._resolve_local(local)
+        reply = self.request(
+            Message(
+                kind=kinds.FETCH_STATE,
+                sender=self.instance_id,
+                payload={"object": gid_to_wire(source)},
+            )
+        )
+        if reply is None:
+            raise ServerError("copy_from timed out")
+        report = state_sync.apply_state_payload(
+            widget,
+            reply.payload,
+            mode=mode,
+            strategy=strategy,
+            semantics=self.semantics,
+            correspondences=self.correspondences,
+            predefined=predefined,
+        )
+        self._push_history(widget, report.old_state, reason="copy_from")
+        self.stats["states_applied"] += 1
+        return report
+
+    def copy_to(
+        self,
+        local: WidgetRef,
+        target: GlobalId,
+        *,
+        mode: str = STRICT,
+        predefined: Optional[ComponentMapping] = None,
+    ) -> None:
+        """Passive synchronization: push a local object's state at *target*.
+
+        "The passive synchronization (implemented as a function CopyTo)
+        indicates a scenario in which one person lets another person see
+        his or her work" (§3.1).
+        """
+        widget = self._resolve_local(local)
+        payload = state_sync.build_state_payload(widget, self.semantics)
+        payload["target"] = gid_to_wire(target)
+        payload["mode"] = mode
+        payload["source"] = gid_to_wire(self.gid(widget))
+        if predefined is not None:
+            payload["predefined"] = dict(predefined)
+        reply = self.request(
+            Message(kind=kinds.PUSH_STATE, sender=self.instance_id, payload=payload)
+        )
+        if reply is None:
+            raise ServerError("copy_to timed out")
+
+    def remote_copy(
+        self, source: GlobalId, target: GlobalId, *, mode: str = STRICT
+    ) -> None:
+        """Third-party copy: "remotely copy complex UI objects from the
+        first application instance ... into a third application instance"
+        (§3.1, the RemoteCopy primitive)."""
+        reply = self.request(
+            Message(
+                kind=kinds.REMOTE_COPY,
+                sender=self.instance_id,
+                payload={
+                    "source": gid_to_wire(source),
+                    "target": gid_to_wire(target),
+                    "mode": mode,
+                },
+            )
+        )
+        if reply is None:
+            raise ServerError("remote_copy timed out")
+
+    def undo(self, local: WidgetRef) -> bool:
+        """Restore the most recent overwritten UI state of a local object."""
+        return self._history_restore(local, redo=False)
+
+    def redo(self, local: WidgetRef) -> bool:
+        """Inverse of :meth:`undo`."""
+        return self._history_restore(local, redo=True)
+
+    def _history_restore(self, local: WidgetRef, *, redo: bool) -> bool:
+        widget = self._resolve_local(local)
+        current = subtree_state(widget, relevant_only=True)
+        try:
+            reply = self.request(
+                Message(
+                    kind=kinds.UNDO_REQUEST,
+                    sender=self.instance_id,
+                    payload={
+                        "object": gid_to_wire(self.gid(widget)),
+                        "current_state": current,
+                        "redo": redo,
+                    },
+                )
+            )
+        except ServerError:
+            return False
+        if reply is None:
+            return False
+        state = reply.payload.get("state", {})
+        from repro.toolkit.tree import apply_subtree_state
+
+        apply_subtree_state(widget, state)
+        return True
+
+    def _push_history(
+        self, widget: UIObject, old_state: Mapping[str, Any], reason: str
+    ) -> None:
+        if not self.registered:
+            return
+        self.send(
+            Message(
+                kind=kinds.HISTORY_PUSH,
+                sender=self.instance_id,
+                payload={
+                    "object": gid_to_wire(self.gid(widget)),
+                    "state": dict(old_state),
+                    "reason": reason,
+                    "user": self.user,
+                },
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def export_ui(self) -> Dict[str, Any]:
+        """Serialize every root widget tree (structure + full state).
+
+        The result is JSON-safe; :meth:`import_ui` reconstructs the trees
+        in a fresh instance — e.g. to persist a workspace across runs or
+        to seed a test fixture from a live session.
+        """
+        from repro.toolkit.builder import to_spec
+
+        return {
+            "roots": [
+                to_spec(root, full_state=True) for root in self.roots()
+            ],
+        }
+
+    def import_ui(self, exported: Mapping[str, Any]) -> List[UIObject]:
+        """Rebuild previously exported widget trees as roots of this
+        instance.  Root names must not collide with existing roots."""
+        from repro.toolkit.builder import build
+
+        added: List[UIObject] = []
+        for spec in exported.get("roots", []):
+            added.append(self.add_root(build(spec)))
+        return added
+
+    # ------------------------------------------------------------------
+    # CoSendCommand (§3.4)
+    # ------------------------------------------------------------------
+
+    def send_command(
+        self,
+        command: str,
+        data: Any = None,
+        *,
+        targets: Optional[List[str]] = None,
+        want_reply: bool = False,
+        timeout: Optional[float] = None,
+    ) -> Optional[Any]:
+        """Send an application-defined command through the server.
+
+        With ``want_reply`` the call blocks for the first COMMAND_REPLY and
+        returns its data (sensible with a single target).
+        """
+        self._require_connected()
+        message = Message(
+            kind=kinds.COMMAND,
+            sender=self.instance_id,
+            payload={
+                "command": command,
+                "data": data,
+                "targets": list(targets or []),
+                "want_reply": want_reply,
+            },
+        )
+        if not want_reply:
+            self.send(message)
+            return None
+        reply = self.request(message, timeout=timeout)
+        if reply is None:
+            raise ServerError(f"command {command!r} got no reply")
+        return reply.payload.get("data")
+
+    def on_command(self, command: str, handler: Any) -> None:
+        """Register the receiver-side function interpreting *command*."""
+        self.commands.register(command, handler)
+
+    # ------------------------------------------------------------------
+    # Permissions
+    # ------------------------------------------------------------------
+
+    def set_permission(self, rule: PermissionRule, *, action: str = "add") -> None:
+        reply = self.request(
+            Message(
+                kind=kinds.PERMISSION_SET,
+                sender=self.instance_id,
+                payload={"rule": rule.to_wire(), "action": action},
+            )
+        )
+        if reply is None:
+            raise ServerError("permission_set timed out")
+
+    # ------------------------------------------------------------------
+    # Floor control (explicit; normally implicit in fire())
+    # ------------------------------------------------------------------
+
+    def acquire_floor(self, ref: WidgetRef) -> Optional[FloorGrant]:
+        """Explicitly lock a couple group (e.g. around a long operation)."""
+        return action_sync.request_floor(
+            self, self.gid(ref), timeout=self.lock_timeout
+        )
+
+    def release_floor(self, grant: FloorGrant) -> None:
+        action_sync.release_floor(self, grant)
+
+    # ------------------------------------------------------------------
+    # Runtime interface (used by widgets and the action-sync algorithm)
+    # ------------------------------------------------------------------
+
+    def process_local_event(self, widget: UIObject, event: Event) -> ExecutionResult:
+        """Entry point for every local ``widget.fire(...)``."""
+        guard = self._transport.guard() if self._transport else None
+        if guard is not None:
+            with guard:
+                return self._process_local_event(widget, event)
+        return self._process_local_event(widget, event)
+
+    def _process_local_event(self, widget: UIObject, event: Event) -> ExecutionResult:
+        self.trace.record(event)
+        undo = widget.apply_feedback(event)
+        source = (self.instance_id, widget.pathname)
+        if not self.registered or self._transport is None or (
+            self.replica_fast_path and not self.replica.is_coupled(source)
+        ):
+            # Uncoupled objects never touch the network: interaction stays
+            # fully local, the key win of the replicated architecture.
+            widget.run_callbacks(event)
+            self.stats["events_local"] += 1
+            result = ExecutionResult(executed=True, local_only=True)
+        else:
+            result = action_sync.run_multiple_execution(
+                self, widget, event, undo, timeout=self.lock_timeout
+            )
+        self.last_execution = result
+        return result
+
+    def next_token(self) -> int:
+        return next(self._tokens)
+
+    def send(self, message: Message) -> None:
+        self._require_connected()
+        assert self._transport is not None
+        self._transport.send(message)
+
+    def request(
+        self, message: Message, timeout: Optional[float] = None
+    ) -> Optional[Message]:
+        """Send *message* and block for its correlated reply.
+
+        Returns ``None`` on timeout.  An ERROR reply raises
+        :class:`ServerError`.
+        """
+        self._require_connected()
+        assert self._transport is not None
+        self._transport.send(message)
+        msg_id = message.msg_id
+        arrived = self._transport.drive(
+            lambda: msg_id in self._replies,
+            timeout=self.request_timeout if timeout is None else timeout,
+        )
+        if not arrived:
+            self.stats["request_timeouts"] += 1
+            self._abandoned.add(msg_id)
+            return None
+        reply = self._replies.pop(msg_id)
+        if reply.kind == kinds.ERROR:
+            raise ServerError(
+                f"server rejected {message.kind}: {reply.payload.get('reason')}"
+            )
+        return reply
+
+    def trace_remote_event(self, event: Event) -> None:
+        self.trace.record(event)
+
+    def accept_remote_event(self, event: Event) -> bool:
+        """Deduplicate broadcast events (at-least-once tolerance).
+
+        Event sequence numbers are strictly increasing per originating
+        instance, so a seq at or below the last one seen from that origin
+        is a duplicate delivery and must not be re-executed.
+        """
+        origin = event.instance_id
+        if not origin:
+            return True
+        last = self._last_event_seq.get(origin, -1)
+        if event.seq <= last:
+            self.stats["duplicate_events"] += 1
+            return False
+        self._last_event_seq[origin] = event.seq
+        return True
+
+    def on_widget_destroyed(self, widget: UIObject) -> None:
+        """Runtime hook from the toolkit: auto-decouple destroyed objects.
+
+        "The decoupling algorithm is applied automatically when a UI object
+        is destroyed" (§3.2).
+        """
+        if not self.registered or self._transport is None:
+            return
+        gid = self.gid(widget)
+        if not coupling.subtree_is_coupled(self.replica, *gid):
+            return
+        self.send(
+            Message(
+                kind=kinds.DECOUPLE,
+                sender=self.instance_id,
+                payload={"object": gid_to_wire(gid)},
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Inbound message handling
+    # ------------------------------------------------------------------
+
+    #: Exceptions a malformed inbound payload can trigger; they are
+    #: counted, never allowed to kill the client's receive path.
+    _MALFORMED = (ReproError, KeyError, ValueError, TypeError, AttributeError,
+                  IndexError)
+
+    def handle_message(self, message: Message) -> None:
+        """Sans-I/O inbound dispatch (invoked by the bound transport).
+
+        Replies are stashed for :meth:`request` before dispatch, so even a
+        malformed reply unblocks its waiter; handler failures on garbage
+        payloads are counted in ``stats['malformed_messages']`` and
+        swallowed — one bad message must not wedge the event loop.
+        """
+        self.stats[f"rx_{message.kind}"] += 1
+        if message.reply_to is not None:
+            if message.reply_to in self._abandoned:
+                self._abandoned.discard(message.reply_to)
+                self.stats["late_replies"] += 1
+            else:
+                self._replies[message.reply_to] = message
+        try:
+            self._dispatch_message(message)
+        except self._MALFORMED:
+            self.stats["malformed_messages"] += 1
+
+    def _dispatch_message(self, message: Message) -> None:
+        if message.kind == kinds.COUPLE_UPDATE:
+            coupling.apply_couple_update(self.replica, message.payload)
+        elif message.kind == kinds.INSTANCE_LIST:
+            self._apply_roster(message.payload.get("roster", []))
+        elif message.kind == kinds.EVENT_BROADCAST:
+            action_sync.apply_remote_event(self, message.payload)
+        elif message.kind == kinds.FETCH_STATE:
+            self._on_fetch_state(message)
+        elif message.kind == kinds.PUSH_STATE:
+            self._on_push_state(message)
+        elif message.kind == kinds.COMMAND:
+            self._on_command(message)
+
+    def _on_fetch_state(self, message: Message) -> None:
+        """Owner side of CopyFrom/RemoteCopy: serialize the asked object."""
+        obj = gid_from_wire(message.payload["object"])
+        widget = self.find_widget(obj[1])
+        if widget is None or widget.destroyed:
+            self.send(
+                message.error_reply(
+                    self.instance_id, f"no such object {obj[1]!r}"
+                )
+            )
+            return
+        payload = state_sync.build_state_payload(widget, self.semantics)
+        payload["object"] = gid_to_wire(obj)
+        self.send(
+            Message(
+                kind=kinds.STATE_REPLY,
+                sender=self.instance_id,
+                payload=payload,
+                reply_to=message.msg_id,
+            )
+        )
+
+    def _on_push_state(self, message: Message) -> None:
+        """Receiver side of CopyTo/RemoteCopy: apply the shipped state."""
+        payload = message.payload
+        target = gid_from_wire(payload["target"])
+        widget = self.find_widget(target[1])
+        if widget is None or widget.destroyed:
+            self.stats["push_state_misses"] += 1
+            return
+        predefined = payload.get("predefined")
+        try:
+            report = state_sync.apply_state_payload(
+                widget,
+                payload,
+                mode=str(payload.get("mode", STRICT)),
+                semantics=self.semantics,
+                correspondences=self.correspondences,
+                predefined=dict(predefined) if predefined else None,
+            )
+        except ReproError:
+            self.stats["push_state_failures"] += 1
+            return
+        self._push_history(widget, report.old_state, reason="push_state")
+        self.stats["states_applied"] += 1
+
+    def _on_command(self, message: Message) -> None:
+        """Receiver side of CoSendCommand: unpack and interpret."""
+        payload = message.payload
+        command = str(payload.get("command", ""))
+        try:
+            reply_data = self.commands.dispatch(
+                command, payload.get("data"), str(payload.get("origin", ""))
+            )
+        except ReproError:
+            self.stats["command_failures"] += 1
+            return
+        if payload.get("want_reply"):
+            self.send(
+                Message(
+                    kind=kinds.COMMAND_REPLY,
+                    sender=self.instance_id,
+                    payload={
+                        "command": command,
+                        "data": reply_data,
+                        "origin": payload.get("origin", ""),
+                        "origin_msg_id": payload.get("origin_msg_id"),
+                    },
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _apply_roster(self, roster: Any) -> None:
+        self.roster = {
+            str(entry["instance_id"]): RegistrationRecord.from_wire(dict(entry))
+            for entry in roster or []
+        }
+
+    def _resolve_local(self, ref: WidgetRef) -> UIObject:
+        if isinstance(ref, UIObject):
+            return ref
+        return self.widget(str(ref))
+
+    def _require_connected(self) -> None:
+        if self._transport is None or self._transport.closed:
+            raise NotRegisteredError(self.instance_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ApplicationInstance {self.instance_id!r} user={self.user!r} "
+            f"registered={self.registered}>"
+        )

@@ -1,0 +1,196 @@
+"""Destructive merging and flexible matching (§3.3).
+
+For complex objects that are **not** structurally compatible, the paper
+introduces two copy/couple enablers:
+
+* **Destructive merging** — "Not only the attribute values, but also the
+  structure of the dominating complex object is copied to the dominated
+  object.  Copying structure includes destroying objects of the dominated
+  complex object if they conflict with the dominating complex object, and
+  creating objects if they do not exist in the dominated complex object."
+* **Flexible matching** — "identifies identical substructures between two
+  complex objects when they are coupled or synchronized by copying.
+  Differing substructures are conserved by merging."
+
+Both operate on a live target widget and a *source spec* (builder-format
+structure of the dominating object) plus its subtree state, and return a
+:class:`MergeReport` describing what happened — tests and the E7 benchmark
+consume the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.toolkit.builder import _build_unchecked, validate_spec
+from repro.toolkit.widget import UIObject
+
+
+
+@dataclass
+class MergeReport:
+    """What a merge did, in target-relative paths."""
+
+    created: List[str] = field(default_factory=list)
+    destroyed: List[str] = field(default_factory=list)
+    updated: List[str] = field(default_factory=list)
+    conserved: List[str] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.created or self.destroyed or self.updated)
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "created": len(self.created),
+            "destroyed": len(self.destroyed),
+            "updated": len(self.updated),
+            "conserved": len(self.conserved),
+        }
+
+
+def _join(prefix: str, name: str) -> str:
+    return f"{prefix}/{name}" if prefix else name
+
+
+def _apply_node_state(
+    widget: UIObject,
+    rel_path: str,
+    state: Mapping[str, Mapping[str, Any]],
+    report: MergeReport,
+) -> None:
+    values = state.get(rel_path)
+    if not values:
+        return
+    # The merge root itself is never replaced, so when the dominating
+    # object's type differs the shipped state may name attributes this
+    # widget type does not declare — skip those rather than fail the merge.
+    known = {
+        name: value
+        for name, value in values.items()
+        if name in type(widget).ATTRIBUTES
+    }
+    if known:
+        widget.set_state(known)
+        report.updated.append(rel_path)
+
+
+def destructive_merge(
+    target: UIObject,
+    source_spec: Mapping[str, Any],
+    source_state: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> MergeReport:
+    """Force *target*'s structure and state to match the dominating object.
+
+    Children are matched by name: a same-named child of a different widget
+    type *conflicts* and is destroyed and rebuilt from the spec; children
+    present only in the source are created; children present only in the
+    target do not conflict with anything and survive (their state is
+    conserved).
+    """
+    validate_spec(source_spec)
+    state = source_state or {}
+    report = MergeReport()
+    _destructive_merge_node(target, source_spec, "", state, report)
+    return report
+
+
+def _destructive_merge_node(
+    target: UIObject,
+    spec: Mapping[str, Any],
+    rel_path: str,
+    state: Mapping[str, Mapping[str, Any]],
+    report: MergeReport,
+) -> None:
+    _apply_node_state(target, rel_path, state, report)
+    spec_children = {c["name"]: c for c in spec.get("children", [])}
+    existing = {child.name: child for child in target.children}
+
+    for name, child_spec in spec_children.items():
+        child_path = _join(rel_path, name)
+        child = existing.get(name)
+        if child is not None and child.TYPE_NAME != child_spec["type"]:
+            # Conflicting object: destroy and rebuild from the spec.
+            child.destroy()
+            report.destroyed.append(child_path)
+            child = None
+        if child is None:
+            child = _build_unchecked(child_spec, target)
+            report.created.append(child_path)
+            # Newly built widgets already carry the spec's embedded state;
+            # the shipped subtree state still overrides (it is fresher).
+            _apply_created_subtree(child, child_path, state, report)
+        else:
+            _destructive_merge_node(child, child_spec, child_path, state, report)
+
+    for name, child in existing.items():
+        if name not in spec_children and not child.destroyed:
+            report.conserved.append(_join(rel_path, name))
+
+
+def _apply_created_subtree(
+    widget: UIObject,
+    rel_path: str,
+    state: Mapping[str, Mapping[str, Any]],
+    report: MergeReport,
+) -> None:
+    values = state.get(rel_path)
+    if values:
+        widget.set_state(values)
+    for child in widget.children:
+        _apply_created_subtree(child, _join(rel_path, child.name), state, report)
+
+
+def flexible_match(
+    target: UIObject,
+    source_spec: Mapping[str, Any],
+    source_state: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> MergeReport:
+    """Copy state onto matching substructures; conserve and merge the rest.
+
+    Matching is by (name, type) against the target's children.  Source
+    substructures with no match are *merged in* (created); target
+    substructures with no source counterpart are conserved untouched —
+    nothing is ever destroyed.
+    """
+    validate_spec(source_spec)
+    state = source_state or {}
+    report = MergeReport()
+    _flexible_match_node(target, source_spec, "", state, report)
+    return report
+
+
+def _flexible_match_node(
+    target: UIObject,
+    spec: Mapping[str, Any],
+    rel_path: str,
+    state: Mapping[str, Mapping[str, Any]],
+    report: MergeReport,
+) -> None:
+    if target.TYPE_NAME == spec["type"]:
+        _apply_node_state(target, rel_path, state, report)
+    else:
+        report.conserved.append(rel_path)
+    spec_children = {c["name"]: c for c in spec.get("children", [])}
+    existing = {child.name: child for child in target.children}
+
+    for name, child_spec in spec_children.items():
+        child_path = _join(rel_path, name)
+        child = existing.get(name)
+        if child is not None and child.TYPE_NAME == child_spec["type"]:
+            # Identical substructure root: recurse.
+            _flexible_match_node(child, child_spec, child_path, state, report)
+        elif child is None:
+            # Differing substructure: merge it in, conserving the target's
+            # own children.
+            created = _build_unchecked(child_spec, target)
+            report.created.append(child_path)
+            _apply_created_subtree(created, child_path, state, report)
+        else:
+            # Same name, different type: conserve the target's version.
+            report.conserved.append(child_path)
+
+    for name in existing:
+        if name not in spec_children:
+            report.conserved.append(_join(rel_path, name))

@@ -1,0 +1,138 @@
+"""Semantic store/load hooks (§3.1, "Synchronizing semantic state").
+
+Copying a complex UI object's state only guarantees consistency on the UI
+level.  To carry the *semantic* data behind the surface, "application
+programmers have to define two functions for each semantic data structure
+to store and load application data.  They are automatically invoked in the
+dominating and dominated application instances respectively when the state
+of a UI object is copied."
+
+A hook is registered per widget pathname (relative lookups walk the
+registered path's subtree).  ``store()`` must return JSON-serializable
+data; ``load(data)`` installs it in the receiving application.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.errors import SemanticHookError
+from repro.toolkit.attributes import json_safe
+from repro.toolkit.widget import UIObject
+
+StoreFn = Callable[[], Any]
+LoadFn = Callable[[Any], None]
+
+
+class SemanticHookRegistry:
+    """Per-instance table of store/load hook pairs keyed by pathname."""
+
+    def __init__(self) -> None:
+        self._hooks: Dict[str, Tuple[StoreFn, LoadFn]] = {}
+
+    def register(self, pathname: str, store: StoreFn, load: LoadFn) -> None:
+        """Attach a store/load pair to the widget at *pathname*."""
+        if not pathname.startswith("/"):
+            raise ValueError(f"semantic hooks need absolute paths: {pathname!r}")
+        self._hooks[pathname] = (store, load)
+
+    def register_widget(
+        self, widget: UIObject, store: StoreFn, load: LoadFn
+    ) -> None:
+        self.register(widget.pathname, store, load)
+
+    def unregister(self, pathname: str) -> bool:
+        return self._hooks.pop(pathname, None) is not None
+
+    def has_hook(self, pathname: str) -> bool:
+        return pathname in self._hooks
+
+    def paths(self) -> List[str]:
+        return list(self._hooks)
+
+    # ------------------------------------------------------------------
+    # Invocation during state copies
+    # ------------------------------------------------------------------
+
+    def store_subtree(self, root: UIObject) -> Dict[str, Any]:
+        """Run ``store()`` for every hooked widget inside *root*'s subtree.
+
+        Returns a mapping of subtree-relative paths to stored data, ready to
+        ship inside a state payload.  Invoked in the *dominating* instance.
+        """
+        result: Dict[str, Any] = {}
+        root_path = root.pathname
+        for pathname, (store, _load) in self._hooks.items():
+            if not _inside(root_path, pathname):
+                continue
+            try:
+                data = store()
+            except Exception as exc:
+                raise SemanticHookError(
+                    f"store hook at {pathname!r} failed: {exc}"
+                ) from exc
+            if not json_safe(data):
+                raise SemanticHookError(
+                    f"store hook at {pathname!r} returned non-serializable data"
+                )
+            result[_relative(root_path, pathname)] = data
+        return result
+
+    def load_subtree(self, root: UIObject, data: Dict[str, Any]) -> List[str]:
+        """Run ``load()`` for every shipped entry with a local hook.
+
+        Invoked in the *dominated* instance after the UI state is applied.
+        Entries without a matching local hook are skipped (the receiving
+        application chose not to define one — the paper explicitly allows
+        applications to "avoid them completely").  Returns the relative
+        paths actually loaded.
+        """
+        loaded: List[str] = []
+        root_path = root.pathname
+        for rel, payload in data.items():
+            pathname = root_path if not rel else f"{root_path.rstrip('/')}/{rel}"
+            hook = self._hooks.get(pathname)
+            if hook is None:
+                continue
+            try:
+                hook[1](payload)
+            except Exception as exc:
+                raise SemanticHookError(
+                    f"load hook at {pathname!r} failed: {exc}"
+                ) from exc
+            loaded.append(rel)
+        return loaded
+
+
+def _inside(root_path: str, pathname: str) -> bool:
+    return pathname == root_path or pathname.startswith(
+        root_path.rstrip("/") + "/"
+    )
+
+
+def _relative(root_path: str, pathname: str) -> str:
+    if pathname == root_path:
+        return ""
+    return pathname[len(root_path.rstrip("/")) + 1 :]
+
+
+def attach_attribute_semantics(
+    registry: SemanticHookRegistry,
+    widget: UIObject,
+    storage: Dict[str, Any],
+    key: str,
+) -> None:
+    """Convenience: bind a dict slot as a widget's semantic data.
+
+    Implements the paper's recommended programming convention of "attaching
+    all relevant application data to UI objects": ``storage[key]`` is
+    shipped with the widget's state and replaced on load.
+    """
+
+    def store() -> Any:
+        return storage.get(key)
+
+    def load(data: Any) -> None:
+        storage[key] = data
+
+    registry.register_widget(widget, store, load)

@@ -1,0 +1,185 @@
+"""Standard semantic-state extensions for typical applications (§5).
+
+The paper's conclusion names this as the path forward: "Currently, it is
+left to the application programmer to extend the initial
+synchronization-by-state ... to include such internal states.  However,
+this task may be supported by some standard extensions for typical
+applications."
+
+This module provides those standard extensions: ready-made *model
+bindings* that pair an application-internal data structure with a widget,
+register the store/load hook pair automatically, and keep the widget
+rendered from the model on both ends of a state copy.
+
+* :class:`ValueModel` — an arbitrary JSON-safe blob behind any widget;
+* :class:`ListModel` — a list of records behind a :class:`ListBox`
+  (rows travel with the UI state; the receiving side re-renders);
+* :class:`DocumentModel` — a text document with metadata (title, author,
+  revision) behind a :class:`TextArea`, with revision bumping on edit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.instance import ApplicationInstance
+from repro.toolkit.events import VALUE_CHANGED
+from repro.toolkit.widget import UIObject
+from repro.toolkit.widgets.lists import ListBox
+from repro.toolkit.widgets.text import TextArea
+
+
+class ValueModel:
+    """A JSON-safe value bound to a widget as its semantic state.
+
+    The most general binding: whatever the application stores under the
+    widget travels with every state copy of that widget (or an enclosing
+    complex object).
+    """
+
+    def __init__(
+        self,
+        instance: ApplicationInstance,
+        widget: UIObject,
+        initial: Any = None,
+        *,
+        on_load: Optional[Callable[[Any], None]] = None,
+    ):
+        self.instance = instance
+        self.widget = widget
+        self._value = initial
+        self._on_load = on_load
+        instance.semantics.register_widget(widget, self._store, self._load)
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    @value.setter
+    def value(self, new_value: Any) -> None:
+        self._value = new_value
+
+    def _store(self) -> Any:
+        return self._value
+
+    def _load(self, data: Any) -> None:
+        self._value = data
+        if self._on_load is not None:
+            self._on_load(data)
+
+
+class ListModel:
+    """A list of records behind a :class:`ListBox`.
+
+    The records are the semantic truth; the list box shows
+    ``formatter(record)`` per row.  On ``load`` (i.e. after a CopyTo /
+    CopyFrom / RemoteCopy delivered new rows) the widget is re-rendered
+    locally, so UI state and semantic state can never drift apart.
+    """
+
+    def __init__(
+        self,
+        instance: ApplicationInstance,
+        listbox: ListBox,
+        rows: Optional[Sequence[Mapping[str, Any]]] = None,
+        *,
+        formatter: Optional[Callable[[Mapping[str, Any]], str]] = None,
+    ):
+        self.instance = instance
+        self.listbox = listbox
+        self._formatter = formatter or (lambda row: " | ".join(
+            str(v) for v in row.values()
+        ))
+        self._rows: List[Dict[str, Any]] = [dict(r) for r in rows or []]
+        instance.semantics.register_widget(listbox, self._store, self._load)
+        self.render()
+
+    @property
+    def rows(self) -> List[Dict[str, Any]]:
+        return [dict(r) for r in self._rows]
+
+    def set_rows(self, rows: Sequence[Mapping[str, Any]]) -> None:
+        """Replace the model and re-render the list box."""
+        self._rows = [dict(r) for r in rows]
+        self.render()
+
+    def append(self, row: Mapping[str, Any]) -> None:
+        self._rows.append(dict(row))
+        self.render()
+
+    def selected_rows(self) -> List[Dict[str, Any]]:
+        """The records behind the widget's current selection."""
+        return [
+            dict(self._rows[i])
+            for i in self.listbox.get("selected")
+            if 0 <= i < len(self._rows)
+        ]
+
+    def render(self) -> None:
+        self.listbox.set("items", [self._formatter(r) for r in self._rows])
+
+    def _store(self) -> Any:
+        return self._rows
+
+    def _load(self, data: Any) -> None:
+        self._rows = [dict(r) for r in data or []]
+        self.render()
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class DocumentModel:
+    """A text document with metadata behind a :class:`TextArea`.
+
+    Metadata (title, author, monotonically increasing revision) is the
+    internal structure a window-level share would lose (§5: "internal
+    structures of text documents, even if they are being displayed in a
+    window").  Edits through the text area bump the revision; state
+    copies carry both text and metadata.
+    """
+
+    def __init__(
+        self,
+        instance: ApplicationInstance,
+        textarea: TextArea,
+        *,
+        title: str = "",
+        author: str = "",
+    ):
+        self.instance = instance
+        self.textarea = textarea
+        self.title = title
+        self.author = author or instance.user
+        self.revision = 0
+        instance.semantics.register_widget(textarea, self._store, self._load)
+        textarea.add_callback(VALUE_CHANGED, self._on_edit)
+
+    def edit(self, text: str) -> None:
+        """Commit new text through the event path (couples propagate)."""
+        self.textarea.commit(text, user=self.instance.user)
+
+    @property
+    def text(self) -> str:
+        return self.textarea.text
+
+    def _on_edit(self, _widget: UIObject, event: Any) -> None:
+        self.revision += 1
+        if event.user:
+            self.author = event.user
+
+    def _store(self) -> Any:
+        return {
+            "title": self.title,
+            "author": self.author,
+            "revision": self.revision,
+        }
+
+    def _load(self, data: Any) -> None:
+        payload = dict(data or {})
+        self.title = str(payload.get("title", self.title))
+        self.author = str(payload.get("author", self.author))
+        incoming = int(payload.get("revision", 0))
+        # Never regress: a copy of an older document must not roll the
+        # local revision counter backwards.
+        self.revision = max(self.revision, incoming)

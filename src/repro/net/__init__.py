@@ -1,0 +1,42 @@
+"""Network substrate: wire messages, codec, clocks and transports.
+
+The server and application instances are sans-I/O; this package moves their
+messages — deterministically in memory for experiments, or over real TCP
+sockets.
+"""
+
+from repro.net.clock import Clock, SimClock, WallClock
+from repro.net.codec import (
+    HEADER_SIZE,
+    MAX_FRAME_SIZE,
+    StreamDecoder,
+    decode,
+    encode,
+    wire_size,
+)
+from repro.net.memory import MemoryNetwork, MemoryTransport
+from repro.net.message import Message
+from repro.net import message as kinds
+from repro.net.tcp import TcpClientTransport, TcpHostTransport
+from repro.net.transport import TrafficStats, Transport, resolve_destination
+
+__all__ = [
+    "Clock",
+    "HEADER_SIZE",
+    "MAX_FRAME_SIZE",
+    "MemoryNetwork",
+    "MemoryTransport",
+    "Message",
+    "SimClock",
+    "StreamDecoder",
+    "TcpClientTransport",
+    "TcpHostTransport",
+    "TrafficStats",
+    "Transport",
+    "WallClock",
+    "decode",
+    "encode",
+    "kinds",
+    "resolve_destination",
+    "wire_size",
+]

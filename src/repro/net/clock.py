@@ -1,0 +1,62 @@
+"""Clock abstraction: simulated (deterministic) and wall-clock time.
+
+All timing in the library flows through a :class:`Clock` so experiments run
+on a discrete-event :class:`SimClock` and are reproducible bit-for-bit,
+while the TCP transport uses :class:`WallClock`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+
+class Clock(Protocol):
+    """Minimal clock interface used throughout the library."""
+
+    def now(self) -> float:
+        """Current time in seconds."""
+        ...
+
+
+class SimClock:
+    """A manually-advanced simulation clock.
+
+    The in-memory network advances this clock to each message's delivery
+    time, so "latency" is modeled without sleeping.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by *dt* seconds (dt >= 0); returns the new now."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock backwards (dt={dt})")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move time forward to absolute time *t* (never backwards)."""
+        if t < self._now:
+            raise ValueError(
+                f"cannot advance clock backwards (now={self._now}, t={t})"
+            )
+        self._now = float(t)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"
+
+
+class WallClock:
+    """Real time, for the TCP transport and interactive use."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def __repr__(self) -> str:
+        return "WallClock()"

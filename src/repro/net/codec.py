@@ -1,0 +1,110 @@
+"""Length-prefixed JSON codec for protocol messages.
+
+The wire format is a 4-byte big-endian length header followed by a UTF-8
+JSON document.  The same codec serves the TCP transport (real framing) and
+the in-memory transport's byte accounting (message sizes feed the latency
+model and the traffic statistics the benchmarks report).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Iterator, List, Optional
+
+from repro.errors import CodecError
+from repro.net.message import Message
+
+_HEADER = struct.Struct(">I")
+HEADER_SIZE = _HEADER.size
+
+#: Upper bound on one frame; protects the decoder from corrupt headers.
+MAX_FRAME_SIZE = 16 * 1024 * 1024
+
+
+def encode(message: Message) -> bytes:
+    """Serialize *message* into one length-prefixed frame."""
+    try:
+        body = json.dumps(
+            message.to_wire(), separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"cannot encode message: {exc}") from exc
+    if len(body) > MAX_FRAME_SIZE:
+        raise CodecError(
+            f"message of {len(body)} bytes exceeds MAX_FRAME_SIZE"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode(frame: bytes) -> Message:
+    """Inverse of :func:`encode` for exactly one complete frame."""
+    if len(frame) < HEADER_SIZE:
+        raise CodecError("frame shorter than header")
+    (length,) = _HEADER.unpack_from(frame)
+    body = frame[HEADER_SIZE:]
+    if len(body) != length:
+        raise CodecError(
+            f"frame length mismatch: header says {length}, got {len(body)}"
+        )
+    return _decode_body(body)
+
+
+def wire_size(message: Message) -> int:
+    """Number of bytes :func:`encode` would produce for *message*."""
+    return len(encode(message))
+
+
+def _decode_body(body: bytes) -> Message:
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"cannot decode message body: {exc}") from exc
+    if not isinstance(data, dict):
+        raise CodecError("message body is not a JSON object")
+    return Message.from_wire(data)
+
+
+class StreamDecoder:
+    """Incremental decoder for a byte stream of concatenated frames.
+
+    Feed arbitrary chunks with :meth:`feed`; complete messages come out of
+    :meth:`messages`.  Used by the TCP transport, whose reads do not align
+    with frame boundaries.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Message]:
+        """Append *data*; return all messages completed by it."""
+        self._buffer.extend(data)
+        out: List[Message] = []
+        while True:
+            message = self._try_extract()
+            if message is None:
+                return out
+            out.append(message)
+
+    def _try_extract(self) -> Optional[Message]:
+        if len(self._buffer) < HEADER_SIZE:
+            return None
+        (length,) = _HEADER.unpack_from(bytes(self._buffer[:HEADER_SIZE]))
+        if length > MAX_FRAME_SIZE:
+            raise CodecError(f"frame of {length} bytes exceeds MAX_FRAME_SIZE")
+        end = HEADER_SIZE + length
+        if len(self._buffer) < end:
+            return None
+        body = bytes(self._buffer[HEADER_SIZE:end])
+        del self._buffer[:end]
+        return _decode_body(body)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)
+
+
+def encode_many(messages: Iterator[Message]) -> bytes:
+    """Concatenate the frames of several messages."""
+    return b"".join(encode(m) for m in messages)

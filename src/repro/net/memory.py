@@ -1,0 +1,320 @@
+"""Deterministic in-memory network: a discrete-event message simulator.
+
+This is the default substrate for tests and benchmarks.  It models the
+paper's LAN of X workstations:
+
+* each directed delivery takes ``base_latency`` seconds plus
+  ``per_byte_latency * size`` (serialization) plus seeded jitter;
+* messages between the same (sender, receiver) pair are FIFO — like a TCP
+  connection — which the protocol relies on;
+* optional seeded message loss for failure-injection tests;
+* a single :class:`~repro.net.clock.SimClock` advances to each delivery
+  time, so experiments measure latency without sleeping.
+
+The network is *pumped*: :meth:`MemoryNetwork.pump` pops the earliest
+scheduled delivery, advances the clock, and hands the message to the
+receiving endpoint's handler, which may send further messages.  Pumping
+until quiescence executes a whole distributed interaction deterministically
+on one thread.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import DeliveryError, TransportClosedError
+from repro.net.clock import SimClock
+from repro.net.codec import wire_size
+from repro.net.message import Message
+from repro.net.transport import (
+    MessageHandler,
+    TrafficStats,
+    Transport,
+    resolve_destination,
+)
+
+
+class MemoryNetwork:
+    """A simulated network connecting named endpoints.
+
+    Parameters
+    ----------
+    clock:
+        The simulation clock (a fresh one is created if omitted).
+    base_latency:
+        Fixed one-way delay per message, seconds.
+    per_byte_latency:
+        Additional delay per encoded byte (bandwidth model).
+    jitter:
+        Uniform random extra delay in ``[0, jitter]`` drawn from *seed*.
+    loss_rate:
+        Probability of silently dropping a message (0 disables loss; FIFO
+        order among surviving messages is preserved).
+    duplicate_rate:
+        Probability of delivering a message twice (at-least-once delivery
+        injection; the duplicate follows the original on the same link).
+    seed:
+        Seed for the jitter/loss/duplication random stream.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        *,
+        base_latency: float = 0.001,
+        per_byte_latency: float = 0.0,
+        jitter: float = 0.0,
+        loss_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if not 0.0 <= duplicate_rate < 1.0:
+            raise ValueError("duplicate_rate must be in [0, 1)")
+        if base_latency < 0 or per_byte_latency < 0 or jitter < 0:
+            raise ValueError("latencies must be non-negative")
+        self.clock = clock if clock is not None else SimClock()
+        self.base_latency = base_latency
+        self.per_byte_latency = per_byte_latency
+        self.jitter = jitter
+        self.loss_rate = loss_rate
+        self.duplicate_rate = duplicate_rate
+        self.stats = TrafficStats()
+        self._rng = random.Random(seed)
+        self._handlers: Dict[str, MessageHandler] = {}
+        self._queue: List[Tuple[float, int, str, Message]] = []
+        self._tiebreak = itertools.count()
+        #: Per-link FIFO watermark: earliest time the next message on a link
+        #: may be delivered, so jitter cannot reorder a link's messages.
+        self._link_clock: Dict[Tuple[str, str], float] = {}
+        #: Endpoints cut off by a simulated partition.
+        self._partitioned: set = set()
+        #: Per-endpoint serial-processing model: an endpoint that called
+        #: :meth:`occupy` receives no further deliveries until the busy
+        #: period elapses (messages are deferred, preserving order).
+        self._busy_until: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def attach(self, endpoint_id: str, handler: MessageHandler) -> "MemoryTransport":
+        """Register an endpoint and return its transport handle."""
+        if endpoint_id in self._handlers:
+            raise ValueError(f"endpoint {endpoint_id!r} already attached")
+        self._handlers[endpoint_id] = handler
+        return MemoryTransport(self, endpoint_id)
+
+    def detach(self, endpoint_id: str) -> None:
+        """Remove an endpoint; queued messages to it are dropped on pump."""
+        self._handlers.pop(endpoint_id, None)
+        self._partitioned.discard(endpoint_id)
+
+    def endpoints(self) -> Tuple[str, ...]:
+        return tuple(self._handlers)
+
+    def partition(self, endpoint_id: str) -> None:
+        """Simulate a network partition: drop traffic to/from the endpoint."""
+        self._partitioned.add(endpoint_id)
+
+    def heal(self, endpoint_id: str) -> None:
+        """End a simulated partition."""
+        self._partitioned.discard(endpoint_id)
+
+    # ------------------------------------------------------------------
+    # Sending and pumping
+    # ------------------------------------------------------------------
+
+    def submit(self, message: Message) -> None:
+        """Schedule *message* for delivery (called by transport handles)."""
+        receiver = resolve_destination(message)
+        if message.sender in self._partitioned or receiver in self._partitioned:
+            self.stats.record_drop()
+            return
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.stats.record_drop()
+            return
+        size = wire_size(message)
+        delay = self.base_latency + self.per_byte_latency * size
+        if self.jitter:
+            delay += self._rng.random() * self.jitter
+        deliver_at = self.clock.now() + delay
+        link = (message.sender, receiver)
+        # FIFO per link: never deliver before the link's previous message.
+        deliver_at = max(deliver_at, self._link_clock.get(link, 0.0))
+        self._link_clock[link] = deliver_at
+        self.stats.record(message, size, receiver)
+        heapq.heappush(
+            self._queue, (deliver_at, next(self._tiebreak), receiver, message)
+        )
+        if self.duplicate_rate and self._rng.random() < self.duplicate_rate:
+            # At-least-once injection: a second copy right behind the
+            # first on the same (FIFO-ordered) link.
+            dup_at = max(deliver_at, self._link_clock.get(link, 0.0))
+            self._link_clock[link] = dup_at
+            heapq.heappush(
+                self._queue, (dup_at, next(self._tiebreak), receiver, message)
+            )
+
+    def pending(self) -> int:
+        """Number of scheduled, undelivered messages."""
+        return len(self._queue)
+
+    def occupy(self, endpoint_id: str, duration: float) -> float:
+        """Model *endpoint_id* doing *duration* seconds of serial work.
+
+        Called from a message handler (or before injecting load), it
+        defers all subsequent deliveries to that endpoint until the work
+        completes — this is how the architecture baselines model a
+        time-consuming semantic operation blocking a centralized component
+        (paper §2.1).  Returns the time the endpoint becomes free.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        start = max(self.clock.now(), self._busy_until.get(endpoint_id, 0.0))
+        self._busy_until[endpoint_id] = start + duration
+        return self._busy_until[endpoint_id]
+
+    def busy_until(self, endpoint_id: str) -> float:
+        """When *endpoint_id* finishes its modeled work (0.0 if idle)."""
+        return self._busy_until.get(endpoint_id, 0.0)
+
+    def step(self) -> bool:
+        """Deliver the earliest scheduled message; False if queue is empty."""
+        while self._queue:
+            deliver_at, _, receiver, message = heapq.heappop(self._queue)
+            busy = self._busy_until.get(receiver, 0.0)
+            if busy > deliver_at:
+                # Receiver is mid-work: defer the delivery, keeping FIFO
+                # order via the monotonically increasing tiebreak counter.
+                heapq.heappush(
+                    self._queue, (busy, next(self._tiebreak), receiver, message)
+                )
+                continue
+            self.clock.advance_to(max(self.clock.now(), deliver_at))
+            if receiver in self._partitioned:
+                self.stats.record_drop()
+                continue
+            handler = self._handlers.get(receiver)
+            if handler is None:
+                # Receiver detached (instance terminated): drop silently,
+                # like a closed socket.
+                self.stats.record_drop()
+                continue
+            handler(message)
+            return True
+        return False
+
+    def pump(self, max_steps: int = 1_000_000) -> int:
+        """Deliver messages until the network is quiescent.
+
+        Returns the number of deliveries.  *max_steps* guards against a
+        protocol bug producing an infinite message loop.
+        """
+        steps = 0
+        while self._queue and steps < max_steps:
+            if not self.step():
+                break
+            steps += 1
+        if self._queue and steps >= max_steps:
+            raise DeliveryError(
+                f"network did not quiesce within {max_steps} deliveries"
+            )
+        return steps
+
+    def pump_until_time(self, t: float, max_steps: int = 1_000_000) -> int:
+        """Deliver everything scheduled up to simulated time *t*, then
+        advance the clock to exactly *t*.  Used by workload drivers to
+        inject user actions at their scripted times."""
+        steps = 0
+        while self._queue and steps < max_steps:
+            deliver_at, _, receiver, message = self._queue[0]
+            if deliver_at > t:
+                break
+            busy = self._busy_until.get(receiver, 0.0)
+            if busy > deliver_at:
+                # Defer past the busy period (possibly beyond *t*).
+                heapq.heapreplace(
+                    self._queue, (busy, next(self._tiebreak), receiver, message)
+                )
+                continue
+            heapq.heappop(self._queue)
+            self.clock.advance_to(max(self.clock.now(), deliver_at))
+            handler = self._handlers.get(receiver)
+            if handler is None or receiver in self._partitioned:
+                self.stats.record_drop()
+                continue
+            handler(message)
+            steps += 1
+        if steps >= max_steps:
+            raise DeliveryError(
+                f"network did not quiesce within {max_steps} deliveries"
+            )
+        if self.clock.now() < t:
+            self.clock.advance_to(t)
+        return steps
+
+    def pump_until(
+        self,
+        predicate: Callable[[], bool],
+        *,
+        timeout: float = 5.0,
+        max_steps: int = 1_000_000,
+    ) -> bool:
+        """Pump until *predicate* is true; False on quiescence or timeout.
+
+        *timeout* is simulated seconds measured from the current clock.
+        """
+        deadline = self.clock.now() + timeout
+        for _ in range(max_steps):
+            if predicate():
+                return True
+            if not self._queue:
+                return predicate()
+            next_delivery = self._queue[0][0]
+            if next_delivery > deadline:
+                return predicate()
+            self.step()
+        raise DeliveryError(
+            f"predicate not reached within {max_steps} deliveries"
+        )
+
+
+class MemoryTransport(Transport):
+    """One endpoint's handle onto a :class:`MemoryNetwork`."""
+
+    def __init__(self, network: MemoryNetwork, endpoint_id: str):
+        self._network = network
+        self._endpoint_id = endpoint_id
+        self._closed = False
+
+    @property
+    def local_id(self) -> str:
+        return self._endpoint_id
+
+    @property
+    def network(self) -> MemoryNetwork:
+        return self._network
+
+    def send(self, message: Message) -> None:
+        if self._closed:
+            raise TransportClosedError(
+                f"transport for {self._endpoint_id!r} is closed"
+            )
+        self._network.submit(message)
+
+    def drive(self, predicate: Callable[[], bool], timeout: float = 5.0) -> bool:
+        return self._network.pump_until(predicate, timeout=timeout)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._network.detach(self._endpoint_id)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

@@ -1,0 +1,192 @@
+"""Wire messages of the COSOFT communication protocol.
+
+Everything the central server and the application instances exchange is a
+:class:`Message`: a small, JSON-serializable envelope with a *kind*, a
+sender, an optional addressee, a payload dict and request/reply
+correlation ids.
+
+The protocol is deliberately application-independent (§3.4): its kinds talk
+about UI objects, couple links, locks, UI states and generic commands —
+never about application semantics.  Application-specific protocols ride on
+:data:`COMMAND` (the paper's ``CoSendCommand`` primitive).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import CodecError
+from repro.toolkit.attributes import json_safe
+
+# ---------------------------------------------------------------------------
+# Message kinds
+# ---------------------------------------------------------------------------
+
+# Registration (server database: "registration records")
+REGISTER = "register"              # client -> server: join the session
+REGISTER_ACK = "register_ack"      # server -> client
+UNREGISTER = "unregister"          # client -> server: leave (auto-decouples)
+INSTANCE_LIST = "instance_list"    # server -> client: roster update broadcast
+
+# Couple links (§3.2 "coupling information is replicated for each object")
+COUPLE = "couple"                  # client -> server: create couple link
+DECOUPLE = "decouple"              # client -> server: remove couple link
+COUPLE_UPDATE = "couple_update"    # server -> all: link added/removed + groups
+REMOTE_COUPLE = "remote_couple"    # third party -> server: couple remote objs
+REMOTE_DECOUPLE = "remote_decouple"
+
+# Floor control (§3.2 lock table)
+LOCK_REQUEST = "lock_request"      # client -> server: lock CO(o)
+LOCK_REPLY = "lock_reply"          # server -> client: granted / denied
+UNLOCK = "unlock"                  # client -> server: release group lock
+
+# Synchronization by multiple execution (§3.2)
+EVENT = "event"                    # client -> server: high-level UI event
+EVENT_BROADCAST = "event_broadcast"  # server -> clients: re-execute event
+EVENT_ACK = "event_ack"            # client -> server: re-execution done
+#   (the floor is released only when every receiver acked: objects stay
+#   locked "until the processing of this event is completed", §3.2)
+
+# Synchronization by UI state (§3.1)
+FETCH_STATE = "fetch_state"        # CopyFrom: requester -> server -> owner
+STATE_REPLY = "state_reply"        # owner -> server -> requester
+PUSH_STATE = "push_state"          # CopyTo: owner -> server -> receiver(s)
+REMOTE_COPY = "remote_copy"        # third party -> server: copy A's obj to B
+
+# Protocol extension (§3.4)
+COMMAND = "command"                # CoSendCommand: app-defined RPC
+COMMAND_REPLY = "command_reply"
+
+# Access permissions & history (server database categories)
+PERMISSION_SET = "permission_set"
+PERMISSION_REPLY = "permission_reply"
+HISTORY_PUSH = "history_push"      # receiver backs up an overwritten state
+UNDO_REQUEST = "undo_request"      # restore a historical UI state
+UNDO_REPLY = "undo_reply"
+
+# Errors
+ERROR = "error"                    # server -> client: request failed
+
+ALL_KINDS = frozenset(
+    {
+        REGISTER,
+        REGISTER_ACK,
+        UNREGISTER,
+        INSTANCE_LIST,
+        COUPLE,
+        DECOUPLE,
+        COUPLE_UPDATE,
+        REMOTE_COUPLE,
+        REMOTE_DECOUPLE,
+        LOCK_REQUEST,
+        LOCK_REPLY,
+        UNLOCK,
+        EVENT,
+        EVENT_ACK,
+        EVENT_BROADCAST,
+        FETCH_STATE,
+        STATE_REPLY,
+        PUSH_STATE,
+        REMOTE_COPY,
+        COMMAND,
+        COMMAND_REPLY,
+        PERMISSION_SET,
+        PERMISSION_REPLY,
+        HISTORY_PUSH,
+        UNDO_REQUEST,
+        UNDO_REPLY,
+        ERROR,
+    }
+)
+
+_msg_counter = itertools.count(1)
+
+
+def _next_msg_id() -> int:
+    return next(_msg_counter)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message.
+
+    Attributes
+    ----------
+    kind:
+        One of the module-level kind constants.
+    sender:
+        The instance id of the sending endpoint (``"server"`` for the
+        central controller).
+    payload:
+        Kind-specific JSON-safe data.
+    to:
+        Addressee instance id; empty string means "to the server" for
+        client messages, and is never empty for server messages.
+    msg_id:
+        Unique id for request/reply correlation.
+    reply_to:
+        The ``msg_id`` this message answers, or ``None``.
+    """
+
+    kind: str
+    sender: str
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    to: str = ""
+    msg_id: int = field(default_factory=_next_msg_id)
+    reply_to: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise CodecError(f"unknown message kind {self.kind!r}")
+        if not json_safe(dict(self.payload)):
+            raise CodecError(
+                f"payload of {self.kind!r} message is not JSON-serializable"
+            )
+
+    def reply(self, kind: str, sender: str, **payload: Any) -> "Message":
+        """Build a reply to this message (correlated via ``reply_to``)."""
+        return Message(
+            kind=kind,
+            sender=sender,
+            to=self.sender,
+            payload=payload,
+            reply_to=self.msg_id,
+        )
+
+    def error_reply(self, sender: str, reason: str, **extra: Any) -> "Message":
+        """Build an :data:`ERROR` reply carrying *reason*."""
+        payload: Dict[str, Any] = {"reason": reason, "failed_kind": self.kind}
+        payload.update(extra)
+        return Message(
+            kind=ERROR,
+            sender=sender,
+            to=self.sender,
+            payload=payload,
+            reply_to=self.msg_id,
+        )
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "sender": self.sender,
+            "to": self.to,
+            "payload": dict(self.payload),
+            "msg_id": self.msg_id,
+            "reply_to": self.reply_to,
+        }
+
+    @classmethod
+    def from_wire(cls, data: Mapping[str, Any]) -> "Message":
+        try:
+            return cls(
+                kind=data["kind"],
+                sender=data["sender"],
+                to=data.get("to", ""),
+                payload=dict(data.get("payload", {})),
+                msg_id=int(data["msg_id"]),
+                reply_to=data.get("reply_to"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CodecError(f"malformed wire message: {exc}") from exc

@@ -1,0 +1,239 @@
+"""Real-socket transport: the protocol over TCP.
+
+Topology is a star, exactly like the paper's implementation: every
+application instance holds one TCP connection to the central server; all
+communication is mediated by the server ("these messages are directly
+handled by our communication server", §3.4).
+
+Threading model
+---------------
+* The host side runs an accept thread plus one reader thread per
+  connection; the client side runs one reader thread.
+* Each endpoint's message handler is *serialized*: the transport owns a
+  condition variable and invokes the handler under its lock, so the sans-IO
+  cores never see concurrent calls.  Application threads synchronize with
+  the same lock through :meth:`TcpTransportBase.guard` and block in
+  :meth:`drive`, which waits on the condition (released while waiting, so
+  the reader thread can make progress).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import socket
+import threading
+import time
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.errors import DeliveryError, TransportClosedError
+from repro.net.codec import StreamDecoder, encode
+from repro.net.message import Message
+from repro.net.transport import MessageHandler, TrafficStats, Transport
+
+
+class TcpTransportBase(Transport):
+    """Shared machinery of the host and client TCP transports."""
+
+    def __init__(self, local_id: str, handler: MessageHandler):
+        self._local_id = local_id
+        self._handler = handler
+        self._cond = threading.Condition(threading.RLock())
+        self._closed = False
+        self.stats = TrafficStats()
+
+    @property
+    def local_id(self) -> str:
+        return self._local_id
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @contextlib.contextmanager
+    def guard(self) -> Iterator[None]:
+        """Serialize application-thread access with the reader thread(s)."""
+        with self._cond:
+            yield
+
+    def _dispatch(self, message: Message) -> None:
+        """Run the endpoint handler under the serialization lock."""
+        with self._cond:
+            if self._closed:
+                return
+            self._handler(message)
+            self._cond.notify_all()
+
+    def drive(self, predicate: Callable[[], bool], timeout: float = 5.0) -> bool:
+        end = time.monotonic() + timeout
+        with self._cond:
+            while not predicate():
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    return bool(predicate())
+                self._cond.wait(remaining)
+            return True
+
+    @staticmethod
+    def _send_on(sock: socket.socket, message: Message) -> int:
+        frame = encode(message)
+        sock.sendall(frame)
+        return len(frame)
+
+
+class TcpHostTransport(TcpTransportBase):
+    """The server's transport: listens, accepts, routes by instance id.
+
+    A connection is associated with an instance id on the first message it
+    sends (normally REGISTER); from then on the server can address that
+    instance by id.
+    """
+
+    def __init__(
+        self,
+        handler: MessageHandler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        local_id: str = "server",
+        backlog: int = 32,
+    ):
+        super().__init__(local_id, handler)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(backlog)
+        self.address = self._listener.getsockname()
+        self._conns: Dict[str, socket.socket] = {}
+        self._threads: list = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="tcp-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def send(self, message: Message) -> None:
+        if self._closed:
+            raise TransportClosedError("host transport is closed")
+        target = message.to
+        with self._cond:
+            sock = self._conns.get(target)
+        if sock is None:
+            raise DeliveryError(f"no connection for instance {target!r}")
+        try:
+            size = self._send_on(sock, message)
+        except OSError as exc:
+            raise DeliveryError(f"send to {target!r} failed: {exc}") from exc
+        self.stats.record(message, size, target)
+
+    def close(self) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            conns = list(self._conns.values())
+            self._conns.clear()
+        with contextlib.suppress(OSError):
+            self._listener.close()
+        for sock in conns:
+            with contextlib.suppress(OSError):
+                sock.shutdown(socket.SHUT_RDWR)
+            with contextlib.suppress(OSError):
+                sock.close()
+
+    # Internal ----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            thread = threading.Thread(
+                target=self._reader_loop, args=(sock,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _reader_loop(self, sock: socket.socket) -> None:
+        decoder = StreamDecoder()
+        peer_id: Optional[str] = None
+        try:
+            while not self._closed:
+                data = sock.recv(65536)
+                if not data:
+                    break
+                for message in decoder.feed(data):
+                    if peer_id is None:
+                        peer_id = message.sender
+                        with self._cond:
+                            self._conns[peer_id] = sock
+                    self._dispatch(message)
+        except OSError:
+            pass
+        finally:
+            if peer_id is not None:
+                with self._cond:
+                    if self._conns.get(peer_id) is sock:
+                        del self._conns[peer_id]
+            with contextlib.suppress(OSError):
+                sock.close()
+
+
+class TcpClientTransport(TcpTransportBase):
+    """An application instance's connection to the central server."""
+
+    def __init__(
+        self,
+        local_id: str,
+        handler: MessageHandler,
+        host: str,
+        port: int,
+        *,
+        connect_timeout: float = 5.0,
+    ):
+        super().__init__(local_id, handler)
+        self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        self._sock.settimeout(None)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._reader = threading.Thread(
+            target=self._reader_loop, name=f"tcp-client-{local_id}", daemon=True
+        )
+        self._reader.start()
+
+    def send(self, message: Message) -> None:
+        if self._closed:
+            raise TransportClosedError(
+                f"client transport {self._local_id!r} is closed"
+            )
+        try:
+            size = self._send_on(self._sock, message)
+        except OSError as exc:
+            raise DeliveryError(f"send to server failed: {exc}") from exc
+        self.stats.record(message, size, "server")
+
+    def close(self) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+        with contextlib.suppress(OSError):
+            self._sock.shutdown(socket.SHUT_RDWR)
+        with contextlib.suppress(OSError):
+            self._sock.close()
+
+    # Internal ----------------------------------------------------------
+
+    def _reader_loop(self) -> None:
+        decoder = StreamDecoder()
+        try:
+            while not self._closed:
+                data = self._sock.recv(65536)
+                if not data:
+                    break
+                for message in decoder.feed(data):
+                    self._dispatch(message)
+        except OSError:
+            pass
+        finally:
+            with self._cond:
+                self._cond.notify_all()

@@ -1,0 +1,127 @@
+"""Transport abstraction shared by the simulated and TCP networks.
+
+The server and the application instances are **sans-I/O state machines**:
+they expose ``handle_message(Message)`` and emit messages through a
+:class:`Transport` handle.  Two implementations exist:
+
+* :class:`~repro.net.memory.MemoryNetwork` — deterministic discrete-event
+  simulation with a latency model (the default for tests and benchmarks);
+* :class:`~repro.net.tcp.TcpTransport` — real sockets, one thread per
+  connection.
+
+Blocking request/reply interactions (CopyFrom, lock acquisition, …) are
+expressed through :meth:`Transport.drive`: "make progress until *predicate*
+becomes true or *timeout* elapses".  On the memory network this pumps the
+event queue (no real waiting); on TCP it waits on a condition variable fed
+by the receive thread.
+"""
+
+from __future__ import annotations
+
+import abc
+import contextlib
+from collections import Counter
+from typing import Callable, Dict
+
+from repro.net.message import Message
+
+MessageHandler = Callable[[Message], None]
+
+
+class TrafficStats:
+    """Counters of protocol traffic, reported by every benchmark.
+
+    Tracks message and byte counts globally, per message kind and per
+    directed (sender, receiver) link.
+    """
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.bytes = 0
+        self.dropped = 0
+        self.by_kind: Counter = Counter()
+        self.bytes_by_kind: Counter = Counter()
+        self.by_link: Counter = Counter()
+
+    def record(self, message: Message, size: int, receiver: str) -> None:
+        self.messages += 1
+        self.bytes += size
+        self.by_kind[message.kind] += 1
+        self.bytes_by_kind[message.kind] += size
+        self.by_link[(message.sender, receiver)] += 1
+
+    def record_drop(self) -> None:
+        self.dropped += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict summary (stable keys, benchmark-friendly)."""
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "dropped": self.dropped,
+            "by_kind": dict(self.by_kind),
+            "bytes_by_kind": dict(self.bytes_by_kind),
+            "by_link": {f"{a}->{b}": n for (a, b), n in self.by_link.items()},
+        }
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes = 0
+        self.dropped = 0
+        self.by_kind.clear()
+        self.bytes_by_kind.clear()
+        self.by_link.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"TrafficStats(messages={self.messages}, bytes={self.bytes}, "
+            f"dropped={self.dropped})"
+        )
+
+
+class Transport(abc.ABC):
+    """One endpoint's handle onto a network."""
+
+    def guard(self):
+        """Context manager serializing application threads with handler
+        invocations.  A no-op on single-threaded transports; the TCP
+        transport overrides it with its condition lock."""
+        return contextlib.nullcontext()
+
+    @property
+    @abc.abstractmethod
+    def local_id(self) -> str:
+        """The endpoint id this handle sends as."""
+
+    @abc.abstractmethod
+    def send(self, message: Message) -> None:
+        """Queue *message* for delivery to ``message.to``.
+
+        An empty ``to`` addresses the central server.  Raises
+        :class:`~repro.errors.TransportClosedError` after :meth:`close`.
+        """
+
+    @abc.abstractmethod
+    def drive(
+        self, predicate: Callable[[], bool], timeout: float = 5.0
+    ) -> bool:
+        """Make network progress until *predicate* is true.
+
+        Returns True if the predicate became true, False on timeout.  On a
+        simulated network "timeout" is simulated time; no real waiting
+        happens.
+        """
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Detach this endpoint; further sends raise."""
+
+    @property
+    @abc.abstractmethod
+    def closed(self) -> bool:
+        ...
+
+
+def resolve_destination(message: Message) -> str:
+    """The endpoint id a message should be delivered to."""
+    return message.to or "server"

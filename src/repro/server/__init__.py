@@ -1,0 +1,46 @@
+"""The central COSOFT server and its four-category database (§2.2)."""
+
+from repro.server.couples import (
+    CoupleLink,
+    CoupleTable,
+    GlobalId,
+    gid_from_wire,
+    gid_to_wire,
+    global_id,
+)
+from repro.server.history import HistoricalState, HistoryStore
+from repro.server.locks import LockOwner, LockTable, LockTableStats
+from repro.server.permissions import (
+    COUPLE,
+    READ,
+    RIGHTS,
+    WRITE,
+    AccessControl,
+    PermissionRule,
+)
+from repro.server.registry import RegistrationRecord, Registry
+from repro.server.server import SERVER_ID, CosoftServer
+
+__all__ = [
+    "AccessControl",
+    "COUPLE",
+    "CosoftServer",
+    "CoupleLink",
+    "CoupleTable",
+    "GlobalId",
+    "HistoricalState",
+    "HistoryStore",
+    "LockOwner",
+    "LockTable",
+    "LockTableStats",
+    "PermissionRule",
+    "READ",
+    "RIGHTS",
+    "RegistrationRecord",
+    "Registry",
+    "SERVER_ID",
+    "WRITE",
+    "gid_from_wire",
+    "gid_to_wire",
+    "global_id",
+]

@@ -1,0 +1,251 @@
+"""The couple relation: links, transitive closure, couple groups.
+
+From the paper (§3): "A couple link is a directed arc from the source UI
+object to destination UI object, labeled with the application instance
+identifier which creates the link.  The couple relation C consists of all
+pairs of UI objects connected by a couple link.  To compute the set of
+objects CO(o) connected to or coupled with a given object o, we use the
+transitive closure of C."
+
+Link creation replicates coupling info: "objects already connected to O2
+are added to the list of targets, and objects already connected to O1 are
+added to the source, thus computing the complete transitive closure"
+(§3.2) — i.e. a couple *group* is the connected component of the link
+graph, treating links as bidirectional for closure purposes.
+
+This table is used twice: authoritatively on the server, and replicated in
+every application instance (updated by COUPLE_UPDATE broadcasts) so each
+client can compute CO(o) locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.errors import NoSuchCoupleError
+
+#: The paper's global object identifier: ``<instance-id, pathname>``.
+GlobalId = Tuple[str, str]
+
+
+def global_id(instance_id: str, pathname: str) -> GlobalId:
+    """Normalize a global object id."""
+    return (str(instance_id), str(pathname))
+
+
+def gid_to_wire(gid: GlobalId) -> List[str]:
+    return [gid[0], gid[1]]
+
+
+def gid_from_wire(data: Iterable[str]) -> GlobalId:
+    items = list(data)
+    if len(items) != 2:
+        raise ValueError(f"malformed global id {items!r}")
+    return (str(items[0]), str(items[1]))
+
+
+@dataclass(frozen=True)
+class CoupleLink:
+    """A directed couple arc, labeled with its creating instance."""
+
+    source: GlobalId
+    target: GlobalId
+    creator: str = ""
+
+    def to_wire(self) -> Dict[str, object]:
+        return {
+            "source": gid_to_wire(self.source),
+            "target": gid_to_wire(self.target),
+            "creator": self.creator,
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, object]) -> "CoupleLink":
+        return cls(
+            source=gid_from_wire(data["source"]),  # type: ignore[arg-type]
+            target=gid_from_wire(data["target"]),  # type: ignore[arg-type]
+            creator=str(data.get("creator", "")),
+        )
+
+    @property
+    def endpoints(self) -> Tuple[GlobalId, GlobalId]:
+        return (self.source, self.target)
+
+
+class CoupleTable:
+    """All current couple links plus the derived group structure.
+
+    Groups (connected components) are maintained incrementally on link
+    addition and recomputed lazily after removals.
+    """
+
+    def __init__(self) -> None:
+        self._links: Set[CoupleLink] = set()
+        self._adjacency: Dict[GlobalId, Set[GlobalId]] = {}
+        #: Lazily maintained component cache: object -> frozenset(group).
+        self._group_cache: Dict[GlobalId, FrozenSet[GlobalId]] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_link(self, link: CoupleLink) -> bool:
+        """Insert *link*; returns False if it already existed.
+
+        Self-links (object coupled with itself) are rejected; the paper
+        allows coupling two *different* objects within one instance, which
+        is fine (same instance id, different pathnames).
+        """
+        if link.source == link.target:
+            raise ValueError(f"cannot couple object {link.source} with itself")
+        if link in self._links:
+            return False
+        self._links.add(link)
+        self._adjacency.setdefault(link.source, set()).add(link.target)
+        self._adjacency.setdefault(link.target, set()).add(link.source)
+        self._group_cache.clear()
+        return True
+
+    def remove_link(self, source: GlobalId, target: GlobalId) -> List[CoupleLink]:
+        """Decouple *source* and *target*: remove every arc between them.
+
+        Arcs may exist in both directions (each side may have coupled to
+        the other); decoupling the pair removes them all, so the two
+        objects are no longer directly coupled afterwards.
+        """
+        matches = [
+            candidate
+            for candidate in self._links
+            if candidate.endpoints in ((source, target), (target, source))
+        ]
+        if not matches:
+            raise NoSuchCoupleError(
+                f"no couple link between {source} and {target}"
+            )
+        for candidate in matches:
+            self._remove(candidate)
+        return matches
+
+    def _remove(self, link: CoupleLink) -> CoupleLink:
+        self._links.discard(link)
+        # Rebuild adjacency for the two endpoints from the remaining links.
+        for endpoint in link.endpoints:
+            neighbours = set()
+            for other in self._links:
+                if other.source == endpoint:
+                    neighbours.add(other.target)
+                elif other.target == endpoint:
+                    neighbours.add(other.source)
+            if neighbours:
+                self._adjacency[endpoint] = neighbours
+            else:
+                self._adjacency.pop(endpoint, None)
+        self._group_cache.clear()
+        return link
+
+    def remove_object(self, obj: GlobalId) -> List[CoupleLink]:
+        """Drop every link touching *obj* (widget destroyed, §3.2)."""
+        removed = [l for l in self._links if obj in l.endpoints]
+        for link in removed:
+            self._remove(link)
+        return removed
+
+    def remove_instance(self, instance_id: str) -> List[CoupleLink]:
+        """Drop every link touching any object of *instance_id*
+        (application instance terminated, §3.2)."""
+        removed = [
+            l
+            for l in self._links
+            if l.source[0] == instance_id or l.target[0] == instance_id
+        ]
+        for link in removed:
+            self._remove(link)
+        return removed
+
+    def remove_subtree(self, instance_id: str, path_prefix: str) -> List[CoupleLink]:
+        """Drop links of every object at or below *path_prefix*."""
+        def below(gid: GlobalId) -> bool:
+            if gid[0] != instance_id:
+                return False
+            path = gid[1]
+            return path == path_prefix or path.startswith(path_prefix.rstrip("/") + "/")
+
+        removed = [
+            l for l in self._links if below(l.source) or below(l.target)
+        ]
+        for link in removed:
+            self._remove(link)
+        return removed
+
+    def clear(self) -> None:
+        self._links.clear()
+        self._adjacency.clear()
+        self._group_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def links(self) -> List[CoupleLink]:
+        return list(self._links)
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def __contains__(self, link: object) -> bool:
+        return link in self._links
+
+    def has_link(self, source: GlobalId, target: GlobalId) -> bool:
+        return any(l.endpoints == (source, target) for l in self._links)
+
+    def is_coupled(self, obj: GlobalId) -> bool:
+        """Whether *obj* participates in any couple link."""
+        return obj in self._adjacency
+
+    def group_of(self, obj: GlobalId) -> FrozenSet[GlobalId]:
+        """The couple group of *obj*: ``{obj} ∪ CO(obj)``.
+
+        Returns ``frozenset({obj})`` for an uncoupled object.
+        """
+        cached = self._group_cache.get(obj)
+        if cached is not None:
+            return cached
+        if obj not in self._adjacency:
+            return frozenset({obj})
+        # BFS over the undirected closure.
+        seen: Set[GlobalId] = {obj}
+        frontier = [obj]
+        while frontier:
+            node = frontier.pop()
+            for neighbour in self._adjacency.get(node, ()):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        group = frozenset(seen)
+        for member in group:
+            self._group_cache[member] = group
+        return group
+
+    def coupled_objects(self, obj: GlobalId) -> FrozenSet[GlobalId]:
+        """The paper's ``CO(o)``: the group of *obj* excluding *obj* itself."""
+        return self.group_of(obj) - {obj}
+
+    def groups(self) -> List[FrozenSet[GlobalId]]:
+        """All couple groups with at least two members."""
+        seen: Set[GlobalId] = set()
+        result: List[FrozenSet[GlobalId]] = []
+        for obj in self._adjacency:
+            if obj not in seen:
+                group = self.group_of(obj)
+                seen.update(group)
+                result.append(group)
+        return result
+
+    def objects_of_instance(self, instance_id: str) -> Set[GlobalId]:
+        """All coupled objects belonging to one application instance."""
+        return {gid for gid in self._adjacency if gid[0] == instance_id}
+
+    def to_wire(self) -> List[Dict[str, object]]:
+        """Wire form of all links (sent to newly registered instances)."""
+        return [link.to_wire() for link in self._links]

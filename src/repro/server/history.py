@@ -1,0 +1,136 @@
+"""Historical UI states — undo/redo support of the server database.
+
+"The historical UI states backup the UI states which have been overwritten
+when synchronizing by state was applied, and provide the possibility of
+undoing/redoing user's actions" (§2.2).
+
+Whenever a synchronization-by-state overwrites a UI object's state, the
+receiving instance pushes the *old* state here (HISTORY via the state
+messages).  :meth:`HistoryStore.undo` pops the most recent backup; the
+state current at undo time goes onto the redo stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import HistoryError
+from repro.server.couples import GlobalId
+
+
+@dataclass(frozen=True)
+class HistoricalState:
+    """One backed-up UI state of one object."""
+
+    obj: GlobalId
+    state: Mapping[str, Any]
+    timestamp: float = 0.0
+    reason: str = ""        # e.g. "copy_to", "copy_from", "destructive_merge"
+    by_user: str = ""
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "obj": [self.obj[0], self.obj[1]],
+            "state": dict(self.state),
+            "timestamp": self.timestamp,
+            "reason": self.reason,
+            "by_user": self.by_user,
+        }
+
+
+class HistoryStore:
+    """Bounded per-object undo and redo stacks."""
+
+    def __init__(self, max_depth: int = 100):
+        if max_depth <= 0:
+            raise ValueError("max_depth must be positive")
+        self._max_depth = max_depth
+        self._undo: Dict[GlobalId, List[HistoricalState]] = {}
+        self._redo: Dict[GlobalId, List[HistoricalState]] = {}
+
+    def push(self, entry: HistoricalState) -> None:
+        """Record an overwritten state; clears the object's redo stack."""
+        stack = self._undo.setdefault(entry.obj, [])
+        stack.append(entry)
+        if len(stack) > self._max_depth:
+            del stack[0]
+        self._redo.pop(entry.obj, None)
+
+    def undo(
+        self, obj: GlobalId, current_state: Optional[Mapping[str, Any]] = None
+    ) -> HistoricalState:
+        """Pop the newest backup of *obj*.
+
+        If *current_state* is given it is pushed onto the redo stack so the
+        undo itself can be undone.
+        """
+        stack = self._undo.get(obj)
+        if not stack:
+            raise HistoryError(f"no historical state for {obj}")
+        entry = stack.pop()
+        if not stack:
+            del self._undo[obj]
+        if current_state is not None:
+            redo_stack = self._redo.setdefault(obj, [])
+            redo_stack.append(
+                HistoricalState(
+                    obj=obj,
+                    state=dict(current_state),
+                    timestamp=entry.timestamp,
+                    reason="undo",
+                )
+            )
+            if len(redo_stack) > self._max_depth:
+                del redo_stack[0]
+        return entry
+
+    def redo(
+        self, obj: GlobalId, current_state: Optional[Mapping[str, Any]] = None
+    ) -> HistoricalState:
+        """Pop the newest redo entry of *obj* (inverse of :meth:`undo`)."""
+        stack = self._redo.get(obj)
+        if not stack:
+            raise HistoryError(f"nothing to redo for {obj}")
+        entry = stack.pop()
+        if not stack:
+            del self._redo[obj]
+        if current_state is not None:
+            undo_stack = self._undo.setdefault(obj, [])
+            undo_stack.append(
+                HistoricalState(
+                    obj=obj,
+                    state=dict(current_state),
+                    timestamp=entry.timestamp,
+                    reason="redo",
+                )
+            )
+            if len(undo_stack) > self._max_depth:
+                del undo_stack[0]
+        return entry
+
+    def depth(self, obj: GlobalId) -> Tuple[int, int]:
+        """(undo depth, redo depth) for *obj*."""
+        return (
+            len(self._undo.get(obj, ())),
+            len(self._redo.get(obj, ())),
+        )
+
+    def peek(self, obj: GlobalId) -> Optional[HistoricalState]:
+        stack = self._undo.get(obj)
+        return stack[-1] if stack else None
+
+    def forget_instance(self, instance_id: str) -> int:
+        """Drop all history of a terminated instance; returns entry count."""
+        dropped = 0
+        for table in (self._undo, self._redo):
+            for obj in [o for o in table if o[0] == instance_id]:
+                dropped += len(table[obj])
+                del table[obj]
+        return dropped
+
+    def objects(self) -> List[GlobalId]:
+        return list(self._undo)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._undo.values())

@@ -1,0 +1,159 @@
+"""Access permissions — the server database's access-control category.
+
+"Access permissions are three-valued tuples with user ID, UI state
+identifier, and access right category" (§2.2).  The UI state identifier is
+a global object id; we additionally allow ``*`` wildcards on the instance
+and pathname-prefix matching, which is what the classroom application
+needs ("teacher may couple with anything, students only with the public
+exercise area").
+
+Right categories:
+
+* ``read``   — may fetch the object's UI state (CopyFrom source side);
+* ``write``  — may overwrite the object's state or send events to it;
+* ``couple`` — may create/remove couple links touching the object.
+
+Policy: an operation is allowed if *any* matching grant exists, or if no
+rule at all matches and the table's ``default_allow`` is set (the paper's
+training scenario starts permissive and restricts selectively).
+Deny rules override grants of equal or narrower scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.server.couples import GlobalId
+
+READ = "read"
+WRITE = "write"
+COUPLE = "couple"
+RIGHTS = (READ, WRITE, COUPLE)
+
+
+@dataclass(frozen=True)
+class PermissionRule:
+    """One access-permission tuple, possibly wildcarded."""
+
+    user: str            # user name or "*"
+    instance_id: str     # instance id or "*"
+    path_prefix: str     # pathname prefix ("" or "/" matches everything)
+    right: str           # one of RIGHTS or "*"
+    allow: bool = True
+
+    def __post_init__(self) -> None:
+        if self.right not in RIGHTS and self.right != "*":
+            raise ValueError(f"unknown access right {self.right!r}")
+
+    def matches(self, user: str, obj: GlobalId, right: str) -> bool:
+        if self.user not in ("*", user):
+            return False
+        if self.instance_id not in ("*", obj[0]):
+            return False
+        if self.right not in ("*", right):
+            return False
+        prefix = self.path_prefix
+        if prefix in ("", "/"):
+            return True
+        path = obj[1]
+        return path == prefix or path.startswith(prefix.rstrip("/") + "/")
+
+    @property
+    def specificity(self) -> int:
+        """Rule precision: more concrete rules win over wildcards."""
+        score = 0
+        if self.user != "*":
+            score += 4
+        if self.instance_id != "*":
+            score += 2
+        if self.path_prefix not in ("", "/"):
+            score += len(self.path_prefix.split("/"))
+        if self.right != "*":
+            score += 1
+        return score
+
+    def to_wire(self) -> Dict[str, object]:
+        return {
+            "user": self.user,
+            "instance_id": self.instance_id,
+            "path_prefix": self.path_prefix,
+            "right": self.right,
+            "allow": self.allow,
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, object]) -> "PermissionRule":
+        return cls(
+            user=str(data.get("user", "*")),
+            instance_id=str(data.get("instance_id", "*")),
+            path_prefix=str(data.get("path_prefix", "")),
+            right=str(data.get("right", "*")),
+            allow=bool(data.get("allow", True)),
+        )
+
+
+class AccessControl:
+    """The table of :class:`PermissionRule` entries with decision logic."""
+
+    def __init__(self, *, default_allow: bool = True):
+        self.default_allow = default_allow
+        self._rules: List[PermissionRule] = []
+
+    def add(self, rule: PermissionRule) -> None:
+        if rule not in self._rules:
+            self._rules.append(rule)
+
+    def grant(
+        self,
+        user: str,
+        instance_id: str = "*",
+        path_prefix: str = "",
+        right: str = "*",
+    ) -> PermissionRule:
+        rule = PermissionRule(user, instance_id, path_prefix, right, allow=True)
+        self.add(rule)
+        return rule
+
+    def deny(
+        self,
+        user: str,
+        instance_id: str = "*",
+        path_prefix: str = "",
+        right: str = "*",
+    ) -> PermissionRule:
+        rule = PermissionRule(user, instance_id, path_prefix, right, allow=False)
+        self.add(rule)
+        return rule
+
+    def remove(self, rule: PermissionRule) -> bool:
+        try:
+            self._rules.remove(rule)
+            return True
+        except ValueError:
+            return False
+
+    def check(self, user: str, obj: GlobalId, right: str) -> bool:
+        """Decide whether *user* may exercise *right* on *obj*.
+
+        The most specific matching rule decides; ties break toward deny.
+        With no matching rule, ``default_allow`` decides.
+        """
+        matching = [r for r in self._rules if r.matches(user, obj, right)]
+        if not matching:
+            return self.default_allow
+        best = max(r.specificity for r in matching)
+        winners = [r for r in matching if r.specificity == best]
+        return all(r.allow for r in winners)
+
+    def rules(self) -> List[PermissionRule]:
+        return list(self._rules)
+
+    def forget_instance(self, instance_id: str) -> int:
+        """Drop rules scoped to a terminated instance."""
+        before = len(self._rules)
+        self._rules = [r for r in self._rules if r.instance_id != instance_id]
+        return before - len(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)

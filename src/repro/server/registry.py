@@ -1,0 +1,93 @@
+"""Registration records — one of the four categories of the server database.
+
+"Registration records store the application instance as well as participant
+information such as application instance identifier, host name, and user
+name, etc." (§2.2, COSOFT architecture).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import AlreadyRegisteredError, NotRegisteredError
+
+
+@dataclass(frozen=True)
+class RegistrationRecord:
+    """One registered application instance."""
+
+    instance_id: str
+    user: str
+    host: str = "localhost"
+    app_type: str = ""
+    registered_at: float = 0.0
+
+    def to_wire(self) -> Dict[str, object]:
+        return {
+            "instance_id": self.instance_id,
+            "user": self.user,
+            "host": self.host,
+            "app_type": self.app_type,
+            "registered_at": self.registered_at,
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, object]) -> "RegistrationRecord":
+        return cls(
+            instance_id=str(data["instance_id"]),
+            user=str(data.get("user", "")),
+            host=str(data.get("host", "localhost")),
+            app_type=str(data.get("app_type", "")),
+            registered_at=float(data.get("registered_at", 0.0)),
+        )
+
+
+class Registry:
+    """The server's table of registered application instances."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, RegistrationRecord] = {}
+
+    def add(self, record: RegistrationRecord) -> None:
+        if record.instance_id in self._records:
+            raise AlreadyRegisteredError(
+                f"instance {record.instance_id!r} is already registered"
+            )
+        self._records[record.instance_id] = record
+
+    def remove(self, instance_id: str) -> RegistrationRecord:
+        try:
+            return self._records.pop(instance_id)
+        except KeyError:
+            raise NotRegisteredError(instance_id) from None
+
+    def get(self, instance_id: str) -> RegistrationRecord:
+        try:
+            return self._records[instance_id]
+        except KeyError:
+            raise NotRegisteredError(instance_id) from None
+
+    def __contains__(self, instance_id: object) -> bool:
+        return instance_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def instance_ids(self) -> Tuple[str, ...]:
+        return tuple(self._records)
+
+    def records(self) -> List[RegistrationRecord]:
+        return list(self._records.values())
+
+    def by_user(self, user: str) -> List[RegistrationRecord]:
+        """All instances registered by *user*."""
+        return [r for r in self._records.values() if r.user == user]
+
+    def by_app_type(self, app_type: str) -> List[RegistrationRecord]:
+        """All instances of one application type (homogeneous set)."""
+        return [r for r in self._records.values() if r.app_type == app_type]
+
+    def roster(self) -> List[Dict[str, object]]:
+        """Wire form of all records, for INSTANCE_LIST broadcasts."""
+        return [r.to_wire() for r in self._records.values()]

@@ -1,0 +1,780 @@
+"""The central COSOFT server (Figure 4).
+
+"A central controller (the server) coordinates the communication and access
+control.  A centralized database residing on the server consists of four
+categories of data: the access permissions, the registration records, the
+historical UI states, and the lock table." (§2.2)
+
+The server is a **sans-I/O state machine**: :meth:`CosoftServer.handle_message`
+consumes one decoded :class:`~repro.net.message.Message` and emits messages
+through the bound transport.  It never blocks and holds no threads of its
+own, so the same class runs on the deterministic in-memory network and on
+TCP.
+
+Responsibilities per the paper:
+
+* registration records (join/leave, roster broadcast);
+* the couple table with transitive-closure groups, replicated to every
+  instance via COUPLE_UPDATE broadcasts (§3.2);
+* the floor-control lock table serializing events per couple group (§3.2);
+* relaying and broadcasting UI events for multiple execution (§3.2);
+* mediating synchronization by state — CopyFrom/CopyTo/RemoteCopy (§3.1);
+* historical UI states with undo/redo (§2.2);
+* access permissions (§2.2);
+* the application-defined command channel, "directly handled by our
+  communication server" (§3.4).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import (
+    AlreadyRegisteredError,
+    NoSuchCoupleError,
+    NotRegisteredError,
+    ReproError,
+)
+from repro.net import kinds
+from repro.net.clock import Clock, SimClock
+from repro.net.message import Message
+from repro.net.transport import Transport
+from repro.server.couples import (
+    CoupleLink,
+    CoupleTable,
+    GlobalId,
+    gid_from_wire,
+    gid_to_wire,
+)
+from repro.server.history import HistoricalState, HistoryStore
+from repro.server.locks import LockOwner, LockTable
+from repro.server.permissions import (
+    COUPLE,
+    READ,
+    WRITE,
+    AccessControl,
+    PermissionRule,
+)
+from repro.server.registry import RegistrationRecord, Registry
+
+SERVER_ID = "server"
+
+
+@dataclass
+class _PendingRoute:
+    """Book-keeping for a request the server forwarded on a client's behalf."""
+
+    requester: str
+    requester_msg_id: int
+    purpose: str                      # "copy_from" | "remote_copy"
+    forward_to: str = ""               # the owner the fetch was sent to
+    target: Optional[GlobalId] = None  # remote-copy final destination
+    mode: str = "strict"
+
+
+class CosoftServer:
+    """The central controller of the fully replicated COSOFT architecture."""
+
+    def __init__(
+        self,
+        *,
+        clock: Optional[Clock] = None,
+        access: Optional[AccessControl] = None,
+        history_depth: int = 100,
+        admin_users: Tuple[str, ...] = (),
+        floor_lease: float = 30.0,
+        ack_release: bool = True,
+    ):
+        self.clock: Clock = clock if clock is not None else SimClock()
+        self.registry = Registry()
+        self.couples = CoupleTable()
+        self.locks = LockTable()
+        self.history = HistoryStore(max_depth=history_depth)
+        self.access = access if access is not None else AccessControl()
+        self.admin_users = set(admin_users)
+        #: Maximum age of a floor before a competing lock request may
+        #: forcibly reclaim it (protects liveness against a receiver that
+        #: never acknowledges, e.g. because it was partitioned away).
+        self.floor_lease = floor_lease
+        #: Hold floors until receivers acknowledge re-execution (the
+        #: correct reading of §3.2).  ``False`` releases on broadcast —
+        #: kept only for the ablation benchmark, which shows that mode
+        #: diverges under contention.
+        self.ack_release = ack_release
+        #: token-keyed record of what each granted floor currently locks.
+        self._floors: Dict[Tuple[str, int], Tuple[GlobalId, ...]] = {}
+        #: when each floor was granted (for lease expiry).
+        self._floor_granted_at: Dict[Tuple[str, int], float] = {}
+        #: receivers whose EVENT_ACK the floor release still waits for.
+        self._pending_acks: Dict[Tuple[str, int], set] = {}
+        self._pending: Dict[int, _PendingRoute] = {}
+        self.processed: Counter = Counter()
+        self._transport: Optional[Transport] = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def bind(self, transport: Transport) -> None:
+        """Attach the transport this server sends through."""
+        self._transport = transport
+
+    def _send(self, message: Message) -> None:
+        if self._transport is None:
+            raise ReproError("server has no transport bound")
+        self._transport.send(message)
+
+    def _broadcast(
+        self, kind: str, payload: Mapping[str, Any], *, exclude: Tuple[str, ...] = ()
+    ) -> int:
+        """Send *payload* to every registered instance except *exclude*."""
+        count = 0
+        for instance_id in self.registry.instance_ids():
+            if instance_id in exclude:
+                continue
+            self._send(
+                Message(kind=kind, sender=SERVER_ID, to=instance_id, payload=payload)
+            )
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+
+    _HANDLERS: Dict[str, str] = {
+        kinds.REGISTER: "_on_register",
+        kinds.UNREGISTER: "_on_unregister",
+        kinds.COUPLE: "_on_couple",
+        kinds.REMOTE_COUPLE: "_on_couple",
+        kinds.DECOUPLE: "_on_decouple",
+        kinds.REMOTE_DECOUPLE: "_on_decouple",
+        kinds.LOCK_REQUEST: "_on_lock_request",
+        kinds.UNLOCK: "_on_unlock",
+        kinds.EVENT: "_on_event",
+        kinds.EVENT_ACK: "_on_event_ack",
+        kinds.FETCH_STATE: "_on_fetch_state",
+        kinds.STATE_REPLY: "_on_state_reply",
+        kinds.PUSH_STATE: "_on_push_state",
+        kinds.REMOTE_COPY: "_on_remote_copy",
+        kinds.HISTORY_PUSH: "_on_history_push",
+        kinds.UNDO_REQUEST: "_on_undo_request",
+        kinds.COMMAND: "_on_command",
+        kinds.COMMAND_REPLY: "_on_command_reply",
+        kinds.PERMISSION_SET: "_on_permission_set",
+        kinds.ERROR: "_on_client_error",
+    }
+
+    #: Exception classes a malformed payload can trigger inside a handler;
+    #: they become ERROR replies instead of killing the server.  Anything
+    #: else is a genuine bug and propagates.
+    _MALFORMED = (ReproError, KeyError, ValueError, TypeError, AttributeError,
+                  IndexError)
+
+    def handle_message(self, message: Message) -> None:
+        """Process one inbound message; errors become ERROR replies.
+
+        The server must survive any payload a (buggy or malicious) client
+        sends: handler failures on malformed data are answered with an
+        ERROR reply and counted, never raised.
+        """
+        self.processed[message.kind] += 1
+        handler_name = self._HANDLERS.get(message.kind)
+        if handler_name is None:
+            self._send(message.error_reply(SERVER_ID, "unsupported message kind"))
+            return
+        try:
+            getattr(self, handler_name)(message)
+        except self._MALFORMED as exc:
+            self.processed["__rejected__"] += 1
+            try:
+                self._send(
+                    message.error_reply(
+                        SERVER_ID, f"{type(exc).__name__}: {exc}"
+                    )
+                )
+            except ReproError:
+                pass  # no transport bound / sender unreachable
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def _require_registered(self, instance_id: str) -> RegistrationRecord:
+        return self.registry.get(instance_id)
+
+    def _user_of(self, instance_id: str) -> str:
+        return self.registry.get(instance_id).user
+
+    def _on_register(self, message: Message) -> None:
+        payload = dict(message.payload)
+        record = RegistrationRecord(
+            instance_id=message.sender,
+            user=str(payload.get("user", "")),
+            host=str(payload.get("host", "localhost")),
+            app_type=str(payload.get("app_type", "")),
+            registered_at=self.clock.now(),
+        )
+        self.registry.add(record)
+        # Ack carries the roster and the full couple table, initializing the
+        # newcomer's local replica of the coupling information (§3.2).
+        self._send(
+            message.reply(
+                kinds.REGISTER_ACK,
+                SERVER_ID,
+                roster=self.registry.roster(),
+                couples=self.couples.to_wire(),
+                server_time=self.clock.now(),
+            )
+        )
+        self._broadcast(
+            kinds.INSTANCE_LIST,
+            {"roster": self.registry.roster(), "joined": record.instance_id},
+            exclude=(record.instance_id,),
+        )
+
+    def _on_unregister(self, message: Message) -> None:
+        instance_id = message.sender
+        self._require_registered(instance_id)
+        # "The decoupling algorithm is applied automatically when ... an
+        # application instance terminates" (§3.2).
+        removed = self.couples.remove_instance(instance_id)
+        self.locks.release_instance(instance_id)
+        self.history.forget_instance(instance_id)
+        self.access.forget_instance(instance_id)
+        for key in [k for k in self._floors if k[0] == instance_id]:
+            self._release_floor(key)
+        # A departing instance can no longer acknowledge broadcasts: drop
+        # it from every pending-ack set and release floors that drain.
+        for key, pending in list(self._pending_acks.items()):
+            pending.discard(instance_id)
+            if not pending:
+                self._release_floor(key)
+        # Requests forwarded to the departing instance can never be
+        # answered: fail them back to their requesters now instead of
+        # leaking the route (and leaving the requester to time out).
+        for msg_id, route in list(self._pending.items()):
+            if route.forward_to != instance_id:
+                continue
+            del self._pending[msg_id]
+            if route.requester in self.registry:
+                self._send(
+                    Message(
+                        kind=kinds.ERROR,
+                        sender=SERVER_ID,
+                        to=route.requester,
+                        payload={
+                            "reason": f"instance {instance_id!r} left before "
+                                      "answering",
+                        },
+                        reply_to=route.requester_msg_id,
+                    )
+                )
+        self.registry.remove(instance_id)
+        for link in removed:
+            self._broadcast(
+                kinds.COUPLE_UPDATE,
+                {"action": "remove", "link": link.to_wire(), "cause": "unregister"},
+            )
+        self._broadcast(
+            kinds.INSTANCE_LIST,
+            {"roster": self.registry.roster(), "left": instance_id},
+        )
+
+    # ------------------------------------------------------------------
+    # Couple links
+    # ------------------------------------------------------------------
+
+    def _on_couple(self, message: Message) -> None:
+        payload = message.payload
+        self._require_registered(message.sender)
+        source = gid_from_wire(payload["source"])
+        target = gid_from_wire(payload["target"])
+        user = self._user_of(message.sender)
+        for endpoint in (source, target):
+            if endpoint[0] not in self.registry:
+                self._send(
+                    message.error_reply(
+                        SERVER_ID, f"instance {endpoint[0]!r} is not registered"
+                    )
+                )
+                return
+            if not self.access.check(user, endpoint, COUPLE):
+                self._send(
+                    message.error_reply(
+                        SERVER_ID,
+                        f"user {user!r} may not couple {endpoint[0]}:{endpoint[1]}",
+                    )
+                )
+                return
+        link = CoupleLink(source=source, target=target, creator=message.sender)
+        added = self.couples.add_link(link)
+        update = {
+            "action": "add",
+            "link": link.to_wire(),
+            "group": [gid_to_wire(g) for g in sorted(self.couples.group_of(source))],
+            "already_existed": not added,
+        }
+        # Direct reply to the requester (correlated), broadcast to the rest.
+        self._send(message.reply(kinds.COUPLE_UPDATE, SERVER_ID, **update))
+        self._broadcast(kinds.COUPLE_UPDATE, update, exclude=(message.sender,))
+
+    def _on_decouple(self, message: Message) -> None:
+        payload = message.payload
+        self._require_registered(message.sender)
+        if "object" in payload:
+            # Subtree decouple: widget destroyed or whole object withdrawn.
+            obj = gid_from_wire(payload["object"])
+            removed = self.couples.remove_subtree(obj[0], obj[1])
+            if not removed and payload.get("strict", False):
+                raise NoSuchCoupleError(f"no couple links under {obj}")
+        else:
+            source = gid_from_wire(payload["source"])
+            target = gid_from_wire(payload["target"])
+            removed = self.couples.remove_link(source, target)
+        for link in removed:
+            update = {"action": "remove", "link": link.to_wire(), "cause": "decouple"}
+            self._send(message.reply(kinds.COUPLE_UPDATE, SERVER_ID, **update))
+            self._broadcast(kinds.COUPLE_UPDATE, update, exclude=(message.sender,))
+        if not removed:
+            # Nothing to remove: still confirm so the requester unblocks.
+            self._send(
+                message.reply(
+                    kinds.COUPLE_UPDATE, SERVER_ID, action="noop", link=None
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Floor control
+    # ------------------------------------------------------------------
+
+    def _release_floor(self, key: Tuple[str, int]) -> None:
+        """Drop a floor: its locks, lease record and pending acks."""
+        objects = self._floors.pop(key, ())
+        self._floor_granted_at.pop(key, None)
+        self._pending_acks.pop(key, None)
+        self.locks.release_all(objects, LockOwner(key[0], key[1]))
+
+    def _expire_stale_floors(self) -> None:
+        """Lease expiry: reclaim floors whose acks never arrived."""
+        now = self.clock.now()
+        expired = [
+            key
+            for key, granted_at in self._floor_granted_at.items()
+            if now - granted_at > self.floor_lease
+        ]
+        for key in expired:
+            self._release_floor(key)
+
+    def _on_lock_request(self, message: Message) -> None:
+        payload = message.payload
+        self._require_registered(message.sender)
+        self._expire_stale_floors()
+        source = gid_from_wire(payload["source"])
+        token = int(payload.get("token", 0))
+        owner = LockOwner(message.sender, token)
+        group = self.couples.group_of(source)
+        granted, conflicts = self.locks.acquire_all(sorted(group), owner)
+        if granted:
+            key = (owner.instance_id, owner.token)
+            self._floors[key] = tuple(sorted(group))
+            self._floor_granted_at[key] = self.clock.now()
+        self._send(
+            message.reply(
+                kinds.LOCK_REPLY,
+                SERVER_ID,
+                granted=granted,
+                group=[gid_to_wire(g) for g in sorted(group)],
+                conflicts=[gid_to_wire(c) for c in conflicts],
+            )
+        )
+
+    def _on_unlock(self, message: Message) -> None:
+        payload = message.payload
+        token = int(payload.get("token", 0))
+        owner = LockOwner(message.sender, token)
+        key = (owner.instance_id, owner.token)
+        if key in self._floors:
+            self._release_floor(key)
+        elif "objects" in payload:
+            objects = tuple(gid_from_wire(g) for g in payload["objects"])
+            self.locks.release_all(objects, owner)
+
+    # ------------------------------------------------------------------
+    # Synchronization by multiple execution (§3.2)
+    # ------------------------------------------------------------------
+
+    def _on_event(self, message: Message) -> None:
+        payload = message.payload
+        self._require_registered(message.sender)
+        event_wire = dict(payload["event"])
+        token = int(payload.get("token", 0))
+        release = bool(payload.get("release", True))
+        source: GlobalId = (
+            str(event_wire.get("instance_id", message.sender)),
+            str(event_wire.get("source_path", "")),
+        )
+        owner = LockOwner(message.sender, token)
+        locked = self._floors.get((owner.instance_id, owner.token))
+        if locked is not None:
+            group = frozenset(locked)
+        else:
+            group = self.couples.group_of(source)
+        # Group the coupled objects by owning instance and broadcast one
+        # message per instance, listing the local target pathnames.
+        targets_by_instance: Dict[str, List[str]] = {}
+        for gid in sorted(group - {source}):
+            targets_by_instance.setdefault(gid[0], []).append(gid[1])
+        key = (owner.instance_id, owner.token)
+        receivers = [
+            instance_id
+            for instance_id in targets_by_instance
+            if instance_id in self.registry and instance_id != message.sender
+        ]
+        for instance_id in receivers:
+            self._send(
+                Message(
+                    kind=kinds.EVENT_BROADCAST,
+                    sender=SERVER_ID,
+                    to=instance_id,
+                    payload={
+                        "event": event_wire,
+                        "targets": targets_by_instance[instance_id],
+                        "owner": [owner.instance_id, owner.token],
+                    },
+                )
+            )
+        if release and locked is not None:
+            if receivers and self.ack_release:
+                # "They are unlocked when the processing of this event is
+                # completed" (§3.2): hold the floor until every receiving
+                # instance confirms it re-executed the event.
+                self._pending_acks[key] = set(receivers)
+            else:
+                self._release_floor(key)
+
+    def _on_event_ack(self, message: Message) -> None:
+        payload = message.payload
+        owner_wire = payload.get("owner")
+        if not owner_wire:
+            return
+        key = (str(owner_wire[0]), int(owner_wire[1]))
+        pending = self._pending_acks.get(key)
+        if pending is None:
+            return
+        pending.discard(message.sender)
+        if not pending:
+            self._release_floor(key)
+
+    # ------------------------------------------------------------------
+    # Synchronization by UI state (§3.1)
+    # ------------------------------------------------------------------
+
+    def _forward_fetch(
+        self, message: Message, obj: GlobalId, route: _PendingRoute
+    ) -> None:
+        forward = Message(
+            kind=kinds.FETCH_STATE,
+            sender=SERVER_ID,
+            to=obj[0],
+            payload={"object": gid_to_wire(obj)},
+        )
+        route.forward_to = obj[0]
+        self._pending[forward.msg_id] = route
+        self._send(forward)
+
+    def _on_fetch_state(self, message: Message) -> None:
+        """CopyFrom, step 1: requester asks for another object's state."""
+        payload = message.payload
+        self._require_registered(message.sender)
+        obj = gid_from_wire(payload["object"])
+        user = self._user_of(message.sender)
+        if not self.access.check(user, obj, READ):
+            self._send(
+                message.error_reply(
+                    SERVER_ID, f"user {user!r} may not read {obj[0]}:{obj[1]}"
+                )
+            )
+            return
+        if obj[0] not in self.registry:
+            self._send(
+                message.error_reply(
+                    SERVER_ID, f"instance {obj[0]!r} is not registered"
+                )
+            )
+            return
+        self._forward_fetch(
+            message,
+            obj,
+            _PendingRoute(
+                requester=message.sender,
+                requester_msg_id=message.msg_id,
+                purpose="copy_from",
+            ),
+        )
+
+    def _on_state_reply(self, message: Message) -> None:
+        """The owning instance answered a forwarded FETCH_STATE."""
+        route = self._pending.pop(message.reply_to or -1, None)
+        if route is None:
+            return  # Late or duplicate reply; drop.
+        if route.purpose == "copy_from":
+            self._send(
+                Message(
+                    kind=kinds.STATE_REPLY,
+                    sender=SERVER_ID,
+                    to=route.requester,
+                    payload=dict(message.payload),
+                    reply_to=route.requester_msg_id,
+                )
+            )
+        elif route.purpose == "remote_copy" and route.target is not None:
+            push_payload = dict(message.payload)
+            push_payload["target"] = gid_to_wire(route.target)
+            push_payload["mode"] = route.mode
+            self._send(
+                Message(
+                    kind=kinds.PUSH_STATE,
+                    sender=SERVER_ID,
+                    to=route.target[0],
+                    payload=push_payload,
+                )
+            )
+            # Confirm to the initiating (third) instance.
+            self._send(
+                Message(
+                    kind=kinds.STATE_REPLY,
+                    sender=SERVER_ID,
+                    to=route.requester,
+                    payload={"status": "copied", "target": gid_to_wire(route.target)},
+                    reply_to=route.requester_msg_id,
+                )
+            )
+
+    def _on_push_state(self, message: Message) -> None:
+        """CopyTo: an owner pushes its state at a target object."""
+        payload = dict(message.payload)
+        self._require_registered(message.sender)
+        target = gid_from_wire(payload["target"])
+        user = self._user_of(message.sender)
+        if not self.access.check(user, target, WRITE):
+            self._send(
+                message.error_reply(
+                    SERVER_ID, f"user {user!r} may not write {target[0]}:{target[1]}"
+                )
+            )
+            return
+        if target[0] not in self.registry:
+            self._send(
+                message.error_reply(
+                    SERVER_ID, f"instance {target[0]!r} is not registered"
+                )
+            )
+            return
+        self._send(
+            Message(
+                kind=kinds.PUSH_STATE,
+                sender=SERVER_ID,
+                to=target[0],
+                payload=payload,
+            )
+        )
+        self._send(
+            message.reply(kinds.STATE_REPLY, SERVER_ID, status="pushed")
+        )
+
+    def _on_remote_copy(self, message: Message) -> None:
+        """RemoteCopy: a third instance copies A's object into B (§3.1)."""
+        payload = message.payload
+        self._require_registered(message.sender)
+        source = gid_from_wire(payload["source"])
+        target = gid_from_wire(payload["target"])
+        user = self._user_of(message.sender)
+        if not self.access.check(user, source, READ):
+            self._send(
+                message.error_reply(
+                    SERVER_ID, f"user {user!r} may not read {source[0]}:{source[1]}"
+                )
+            )
+            return
+        if not self.access.check(user, target, WRITE):
+            self._send(
+                message.error_reply(
+                    SERVER_ID, f"user {user!r} may not write {target[0]}:{target[1]}"
+                )
+            )
+            return
+        for endpoint in (source, target):
+            if endpoint[0] not in self.registry:
+                self._send(
+                    message.error_reply(
+                        SERVER_ID, f"instance {endpoint[0]!r} is not registered"
+                    )
+                )
+                return
+        self._forward_fetch(
+            message,
+            source,
+            _PendingRoute(
+                requester=message.sender,
+                requester_msg_id=message.msg_id,
+                purpose="remote_copy",
+                target=target,
+                mode=str(payload.get("mode", "strict")),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # History (undo/redo of overwritten UI states)
+    # ------------------------------------------------------------------
+
+    def _on_history_push(self, message: Message) -> None:
+        payload = message.payload
+        obj = gid_from_wire(payload["object"])
+        self.history.push(
+            HistoricalState(
+                obj=obj,
+                state=dict(payload.get("state", {})),
+                timestamp=self.clock.now(),
+                reason=str(payload.get("reason", "")),
+                by_user=str(payload.get("user", "")),
+            )
+        )
+
+    def _on_undo_request(self, message: Message) -> None:
+        payload = message.payload
+        obj = gid_from_wire(payload["object"])
+        current = payload.get("current_state")
+        redo = bool(payload.get("redo", False))
+        if redo:
+            entry = self.history.redo(obj, current)
+        else:
+            entry = self.history.undo(obj, current)
+        self._send(
+            message.reply(
+                kinds.UNDO_REPLY,
+                SERVER_ID,
+                object=gid_to_wire(obj),
+                state=dict(entry.state),
+                reason=entry.reason,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # CoSendCommand (§3.4)
+    # ------------------------------------------------------------------
+
+    def _on_command(self, message: Message) -> None:
+        payload = dict(message.payload)
+        self._require_registered(message.sender)
+        targets = payload.pop("targets", [])
+        if not isinstance(targets, (list, tuple)):
+            raise ValueError(f"targets must be a list, got {targets!r}")
+        if not targets:
+            targets = [
+                iid
+                for iid in self.registry.instance_ids()
+                if iid != message.sender
+            ]
+        payload["origin"] = message.sender
+        payload["origin_msg_id"] = message.msg_id
+        for target in targets:
+            if target not in self.registry:
+                self._send(
+                    message.error_reply(
+                        SERVER_ID, f"instance {target!r} is not registered"
+                    )
+                )
+                continue
+            self._send(
+                Message(
+                    kind=kinds.COMMAND,
+                    sender=SERVER_ID,
+                    to=target,
+                    payload=payload,
+                )
+            )
+
+    def _on_command_reply(self, message: Message) -> None:
+        payload = dict(message.payload)
+        origin = str(payload.pop("origin", ""))
+        origin_msg_id = payload.pop("origin_msg_id", None)
+        if origin and origin in self.registry:
+            payload["responder"] = message.sender
+            self._send(
+                Message(
+                    kind=kinds.COMMAND_REPLY,
+                    sender=SERVER_ID,
+                    to=origin,
+                    payload=payload,
+                    reply_to=int(origin_msg_id) if origin_msg_id else None,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Permissions
+    # ------------------------------------------------------------------
+
+    def _on_permission_set(self, message: Message) -> None:
+        payload = message.payload
+        user = self._user_of(message.sender)
+        rule = PermissionRule.from_wire(dict(payload["rule"]))
+        # An instance may manage rules about its own objects; admins may
+        # manage anything.
+        if user not in self.admin_users and rule.instance_id != message.sender:
+            self._send(
+                message.error_reply(
+                    SERVER_ID,
+                    f"user {user!r} may only set permissions on own objects",
+                )
+            )
+            return
+        if payload.get("action", "add") == "remove":
+            self.access.remove(rule)
+        else:
+            self.access.add(rule)
+        self._send(
+            message.reply(kinds.PERMISSION_REPLY, SERVER_ID, ok=True)
+        )
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+
+    def _on_client_error(self, message: Message) -> None:
+        """A client failed a forwarded request: route the error onward.
+
+        E.g. a FETCH_STATE forwarded for a CopyFrom whose object has been
+        destroyed — the owner's ERROR reply must reach the requester, or it
+        would block until timeout.
+        """
+        route = self._pending.pop(message.reply_to or -1, None)
+        if route is None:
+            return
+        self._send(
+            Message(
+                kind=kinds.ERROR,
+                sender=SERVER_ID,
+                to=route.requester,
+                payload=dict(message.payload),
+                reply_to=route.requester_msg_id,
+            )
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational counters for experiments and monitoring."""
+        return {
+            "registered": len(self.registry),
+            "couple_links": len(self.couples),
+            "couple_groups": len(self.couples.groups()),
+            "locks_held": len(self.locks),
+            "lock_stats": {
+                "acquisitions": self.locks.stats.acquisitions,
+                "denials": self.locks.stats.denials,
+                "releases": self.locks.stats.releases,
+            },
+            "history_entries": len(self.history),
+            "processed": dict(self.processed),
+        }

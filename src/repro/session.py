@@ -1,0 +1,164 @@
+"""Session harnesses: one-call wiring of server, network and instances.
+
+Tests, benchmarks and examples all need the same setup — a central server,
+a network, and N application instances — so this module packages it:
+
+* :class:`LocalSession` — simulated network (deterministic, latency model);
+* :class:`TcpSession` — real TCP sockets on localhost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.compat import CorrespondenceRegistry
+from repro.core.instance import ApplicationInstance
+from repro.net.clock import SimClock
+from repro.net.memory import MemoryNetwork
+from repro.net.tcp import TcpHostTransport
+from repro.server.permissions import AccessControl
+from repro.server.server import SERVER_ID, CosoftServer
+
+
+class LocalSession:
+    """A complete COSOFT deployment on a simulated network.
+
+    Example::
+
+        session = LocalSession()
+        teacher = session.create_instance("teacher", user="ms-lin")
+        student = session.create_instance("student-1", user="kim")
+        ...
+        session.pump()   # drain in-flight messages
+    """
+
+    def __init__(
+        self,
+        *,
+        base_latency: float = 0.001,
+        per_byte_latency: float = 0.0,
+        jitter: float = 0.0,
+        loss_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        seed: int = 0,
+        default_allow: bool = True,
+        admin_users: Tuple[str, ...] = (),
+        correspondences: Optional[CorrespondenceRegistry] = None,
+        ack_release: bool = True,
+    ):
+        self.clock = SimClock()
+        self.network = MemoryNetwork(
+            self.clock,
+            base_latency=base_latency,
+            per_byte_latency=per_byte_latency,
+            jitter=jitter,
+            loss_rate=loss_rate,
+            duplicate_rate=duplicate_rate,
+            seed=seed,
+        )
+        self.server = CosoftServer(
+            clock=self.clock,
+            access=AccessControl(default_allow=default_allow),
+            admin_users=admin_users,
+            ack_release=ack_release,
+        )
+        self.server.bind(self.network.attach(SERVER_ID, self.server.handle_message))
+        self.correspondences = correspondences
+        self.instances: Dict[str, ApplicationInstance] = {}
+
+    def create_instance(
+        self,
+        instance_id: str,
+        user: str,
+        *,
+        app_type: str = "",
+        register: bool = True,
+        lock_timeout: float = 5.0,
+        replica_fast_path: bool = True,
+    ) -> ApplicationInstance:
+        """Create, connect and (by default) register an instance."""
+        instance = ApplicationInstance(
+            instance_id,
+            user,
+            app_type=app_type,
+            correspondences=self.correspondences,
+            lock_timeout=lock_timeout,
+            replica_fast_path=replica_fast_path,
+        ).connect(self.network)
+        self.instances[instance_id] = instance
+        if register:
+            instance.register()
+        return instance
+
+    def drop_instance(self, instance_id: str) -> None:
+        """Close and forget one instance."""
+        instance = self.instances.pop(instance_id, None)
+        if instance is not None:
+            instance.close()
+            self.pump()
+
+    def pump(self) -> int:
+        """Deliver all in-flight messages; returns the delivery count."""
+        return self.network.pump()
+
+    @property
+    def now(self) -> float:
+        return self.clock.now()
+
+    def traffic(self) -> Dict[str, object]:
+        """Network traffic counters (messages, bytes, per kind/link)."""
+        return self.network.stats.snapshot()
+
+    def close(self) -> None:
+        for instance in list(self.instances.values()):
+            instance.close()
+        self.instances.clear()
+        self.pump()
+
+
+class TcpSession:
+    """A COSOFT deployment over real localhost TCP sockets."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.server = CosoftServer()
+        self._host_transport = TcpHostTransport(
+            self.server.handle_message, host=host, port=port
+        )
+        self.server.bind(self._host_transport)
+        self.host, self.port = self._host_transport.address
+        self.instances: List[ApplicationInstance] = []
+
+    def create_instance(
+        self,
+        instance_id: str,
+        user: str,
+        *,
+        app_type: str = "",
+        register: bool = True,
+        request_timeout: float = 5.0,
+    ) -> ApplicationInstance:
+        instance = ApplicationInstance(
+            instance_id,
+            user,
+            app_type=app_type,
+            request_timeout=request_timeout,
+        ).connect_tcp(self.host, self.port)
+        self.instances.append(instance)
+        if register:
+            instance.register()
+        return instance
+
+    def close(self) -> None:
+        for instance in self.instances:
+            try:
+                instance.close()
+            except Exception:
+                pass
+        self.instances.clear()
+        self._host_transport.close()
+
+    def __enter__(self) -> "TcpSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

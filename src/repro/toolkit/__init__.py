@@ -1,0 +1,116 @@
+"""CENTER-like UI toolkit: the substrate the coupling mechanism extends.
+
+The paper implements its communication mechanism "as a set of primitives
+that extend an OSF/Motif-based UI toolbox library" called CENTER.  This
+package is the reproduction's stand-in: a headless widget toolkit with the
+same architecture — typed widgets with attribute sets, hierarchical
+pathnames, and an event/callback mechanism — which is all the coupling
+layer needs.
+"""
+
+from repro.toolkit.attributes import Attribute, AttributeSet, diff_states
+from repro.toolkit.builder import build, clone, to_spec, validate_spec
+from repro.toolkit.events import (
+    ACTIVATE,
+    ATTRIBUTE_CHANGED,
+    DESTROYED,
+    DRAW,
+    FINE_GRAINED_EVENTS,
+    KEY_PRESS,
+    POINTER_MOTION,
+    SELECTION_CHANGED,
+    VALUE_CHANGED,
+    Callback,
+    CallbackRegistry,
+    Event,
+    EventTrace,
+)
+from repro.toolkit.tree import (
+    apply_subtree_state,
+    format_tree,
+    join_path,
+    relative_path,
+    split_path,
+    structure_signature,
+    subtree_state,
+    subtree_widgets,
+    tree_depth,
+    tree_size,
+)
+from repro.toolkit.widget import UIObject, UndoRecord
+from repro.toolkit.widgets import (
+    Canvas,
+    Form,
+    Frame,
+    Label,
+    ListBox,
+    Menu,
+    MenuEntry,
+    OptionMenu,
+    PanedWindow,
+    PushButton,
+    RowColumn,
+    Scale,
+    Shell,
+    TextArea,
+    TextField,
+    ToggleButton,
+    known_types,
+    widget_class,
+)
+from repro.toolkit.render import FrameBuffer, render
+
+__all__ = [
+    "ACTIVATE",
+    "ATTRIBUTE_CHANGED",
+    "Attribute",
+    "AttributeSet",
+    "Callback",
+    "CallbackRegistry",
+    "Canvas",
+    "DESTROYED",
+    "DRAW",
+    "Event",
+    "EventTrace",
+    "FINE_GRAINED_EVENTS",
+    "Form",
+    "Frame",
+    "FrameBuffer",
+    "KEY_PRESS",
+    "Label",
+    "ListBox",
+    "Menu",
+    "MenuEntry",
+    "OptionMenu",
+    "POINTER_MOTION",
+    "PanedWindow",
+    "PushButton",
+    "RowColumn",
+    "SELECTION_CHANGED",
+    "Scale",
+    "Shell",
+    "TextArea",
+    "TextField",
+    "ToggleButton",
+    "UIObject",
+    "UndoRecord",
+    "VALUE_CHANGED",
+    "apply_subtree_state",
+    "build",
+    "clone",
+    "diff_states",
+    "format_tree",
+    "join_path",
+    "known_types",
+    "relative_path",
+    "render",
+    "split_path",
+    "structure_signature",
+    "subtree_state",
+    "subtree_widgets",
+    "to_spec",
+    "tree_depth",
+    "tree_size",
+    "validate_spec",
+    "widget_class",
+]

@@ -1,0 +1,121 @@
+"""Declarative UI builder.
+
+The CENTER toolbox "provides an interactive builder for users who are not
+experienced programmers" (§1).  We reproduce the builder's *output side*: a
+declarative specification format from which whole widget trees are
+instantiated, plus the inverse operation (a tree describes itself back into
+a spec).  RemoteCopy and destructive merging (§3.3) use the same format to
+materialize complex UI objects in a receiving application instance.
+
+A spec is a plain dict::
+
+    {
+        "type": "form",
+        "name": "query",
+        "state": {"title": "Query"},          # optional attribute overrides
+        "children": [ {...}, ... ],            # optional
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.errors import BuilderError
+from repro.toolkit.widget import UIObject
+from repro.toolkit.widgets.registry import widget_class
+
+_ALLOWED_KEYS = {"type", "name", "state", "children"}
+
+
+def validate_spec(spec: Mapping[str, Any], *, _path: str = "") -> None:
+    """Raise :class:`BuilderError` if *spec* is malformed.
+
+    Checks key names, types, widget-type existence and sibling-name
+    uniqueness for the whole nested spec.
+    """
+    where = _path or "<root>"
+    if not isinstance(spec, Mapping):
+        raise BuilderError(f"{where}: spec must be a mapping, got {type(spec).__name__}")
+    unknown = set(spec) - _ALLOWED_KEYS
+    if unknown:
+        raise BuilderError(f"{where}: unknown spec keys {sorted(unknown)}")
+    for key in ("type", "name"):
+        if key not in spec:
+            raise BuilderError(f"{where}: spec is missing required key {key!r}")
+        if not isinstance(spec[key], str) or not spec[key]:
+            raise BuilderError(f"{where}: {key!r} must be a non-empty string")
+    widget_class(spec["type"])  # raises BuilderError on unknown type
+    state = spec.get("state", {})
+    if not isinstance(state, Mapping):
+        raise BuilderError(f"{where}: 'state' must be a mapping")
+    children = spec.get("children", [])
+    if not isinstance(children, (list, tuple)):
+        raise BuilderError(f"{where}: 'children' must be a list")
+    seen: set = set()
+    for child in children:
+        if not isinstance(child, Mapping) or "name" not in child:
+            raise BuilderError(f"{where}: malformed child spec")
+        if child["name"] in seen:
+            raise BuilderError(
+                f"{where}: duplicate child name {child['name']!r}"
+            )
+        seen.add(child["name"])
+        validate_spec(child, _path=f"{where}/{child['name']}")
+
+
+def build(spec: Mapping[str, Any], parent: Optional[UIObject] = None) -> UIObject:
+    """Instantiate the widget tree described by *spec*.
+
+    The spec is validated first; the returned widget is attached to
+    *parent* when given.
+    """
+    validate_spec(spec)
+    return _build_unchecked(spec, parent)
+
+
+def _build_unchecked(spec: Mapping[str, Any], parent: Optional[UIObject]) -> UIObject:
+    cls = widget_class(spec["type"])
+    widget = cls(spec["name"], parent=parent)
+    state = spec.get("state", {})
+    if state:
+        widget.set_state(state)
+    for child_spec in spec.get("children", []):
+        _build_unchecked(child_spec, widget)
+    return widget
+
+
+def to_spec(widget: UIObject, *, full_state: bool = False) -> Dict[str, Any]:
+    """Describe *widget*'s subtree as a builder spec (inverse of :func:`build`).
+
+    With the default *full_state=False* only attributes differing from the
+    type defaults are included, producing compact round-trippable specs.
+    """
+    cls = type(widget)
+    if full_state:
+        state = widget.state()
+    else:
+        defaults = cls.ATTRIBUTES.defaults()
+        state = {
+            name: value
+            for name, value in widget.state().items()
+            if defaults.get(name) != value
+        }
+    spec: Dict[str, Any] = {"type": cls.TYPE_NAME, "name": widget.name}
+    if state:
+        spec["state"] = state
+    children: List[Dict[str, Any]] = [
+        to_spec(child, full_state=full_state) for child in widget.children
+    ]
+    if children:
+        spec["children"] = children
+    return spec
+
+
+def clone(widget: UIObject, name: Optional[str] = None,
+          parent: Optional[UIObject] = None) -> UIObject:
+    """Deep-copy a widget subtree (full state), optionally renaming the root."""
+    spec = to_spec(widget, full_state=True)
+    if name is not None:
+        spec["name"] = name
+    return build(spec, parent)

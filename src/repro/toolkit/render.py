@@ -1,0 +1,141 @@
+"""Virtual renderer: paints a widget tree into a character framebuffer.
+
+The coupling layer never depends on rendering — the paper's mechanism works
+on attributes and events — but the examples want to *show* two coupled
+environments converging, and tests want an end-to-end observable display.
+This module provides a minimal headless "display server": each widget is
+painted into a 2-D character grid at its (x, y) geometry.
+
+The renderer intentionally resembles what a text-mode X server would show:
+buttons as ``[label]``, toggles as ``(x) label``, text fields as
+``|content_|`` and so on.  Invisible widgets and widgets with zero area are
+skipped.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.toolkit.widget import UIObject
+from repro.toolkit.widgets.buttons import PushButton, ToggleButton
+from repro.toolkit.widgets.canvas import Canvas
+from repro.toolkit.widgets.lists import ListBox
+from repro.toolkit.widgets.menus import MenuEntry, OptionMenu
+from repro.toolkit.widgets.scale import Scale
+from repro.toolkit.widgets.text import Label, TextArea, TextField
+
+
+class FrameBuffer:
+    """A fixed-size character grid with clipped drawing primitives."""
+
+    def __init__(self, width: int, height: int, fill: str = " "):
+        if width <= 0 or height <= 0:
+            raise ValueError("framebuffer dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._rows: List[List[str]] = [
+            [fill] * width for _ in range(height)
+        ]
+
+    def put(self, x: int, y: int, char: str) -> None:
+        """Write one character, silently clipping out-of-bounds writes."""
+        if 0 <= x < self.width and 0 <= y < self.height and char:
+            self._rows[y][x] = char[0]
+
+    def text(self, x: int, y: int, text: str, max_width: int = 0) -> None:
+        """Write a string left-to-right from (x, y), clipped."""
+        if max_width:
+            text = text[:max_width]
+        for offset, char in enumerate(text):
+            self.put(x + offset, y, char)
+
+    def hline(self, x: int, y: int, length: int, char: str = "-") -> None:
+        for offset in range(max(0, length)):
+            self.put(x + offset, y, char)
+
+    def vline(self, x: int, y: int, length: int, char: str = "|") -> None:
+        for offset in range(max(0, length)):
+            self.put(x, y + offset, char)
+
+    def box(self, x: int, y: int, width: int, height: int) -> None:
+        """Draw a rectangle outline with + corners."""
+        if width < 2 or height < 2:
+            return
+        self.hline(x + 1, y, width - 2)
+        self.hline(x + 1, y + height - 1, width - 2)
+        self.vline(x, y + 1, height - 2)
+        self.vline(x + width - 1, y + 1, height - 2)
+        for corner_x, corner_y in (
+            (x, y),
+            (x + width - 1, y),
+            (x, y + height - 1),
+            (x + width - 1, y + height - 1),
+        ):
+            self.put(corner_x, corner_y, "+")
+
+    def to_string(self) -> str:
+        return "\n".join("".join(row).rstrip() for row in self._rows)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.to_string()
+
+
+def render(root: UIObject, width: int = 80, height: int = 24) -> str:
+    """Render *root*'s widget tree into a string framebuffer."""
+    fb = FrameBuffer(width, height)
+    _paint(root, fb, 0, 0)
+    return fb.to_string()
+
+
+def _paint(widget: UIObject, fb: FrameBuffer, origin_x: int, origin_y: int) -> None:
+    if widget.destroyed or not widget.get("visible"):
+        return
+    x = origin_x + int(widget.get("x"))
+    y = origin_y + int(widget.get("y"))
+    _paint_one(widget, fb, x, y)
+    for child in widget.children:
+        _paint(child, fb, x, y)
+
+
+def _paint_one(widget: UIObject, fb: FrameBuffer, x: int, y: int) -> None:
+    width = int(widget.get("width"))
+    if isinstance(widget, Label):
+        fb.text(x, y, widget.text, max_width=width or 0)
+    elif isinstance(widget, PushButton):
+        fb.text(x, y, f"[{widget.get('label')}]")
+    elif isinstance(widget, ToggleButton):
+        mark = "x" if widget.value else " "
+        fb.text(x, y, f"({mark}) {widget.get('label')}")
+    elif isinstance(widget, TextField):
+        content = widget.value
+        usable = max(4, width) - 2
+        fb.text(x, y, "|" + content[:usable].ljust(usable, "_") + "|")
+    elif isinstance(widget, TextArea):
+        for row, line in enumerate(widget.get("lines")):
+            fb.text(x, y + row, line, max_width=width or 0)
+    elif isinstance(widget, OptionMenu):
+        fb.text(x, y, f"{widget.get('label')} <{widget.selection}>")
+    elif isinstance(widget, MenuEntry):
+        fb.text(x, y, f"- {widget.get('label')}")
+    elif isinstance(widget, ListBox):
+        selected = set(widget.get("selected"))
+        for row, item in enumerate(widget.items):
+            marker = ">" if row in selected else " "
+            fb.text(x, y + row, f"{marker}{item}", max_width=width or 0)
+    elif isinstance(widget, Scale):
+        span = max(1, int(widget.get("maximum")) - int(widget.get("minimum")))
+        usable = max(6, width) - 2
+        knob = int(
+            (float(widget.value) - widget.get("minimum")) / span * (usable - 1)
+        )
+        bar = "".join("#" if i == knob else "-" for i in range(usable))
+        fb.text(x, y, "[" + bar + "]")
+    elif isinstance(widget, Canvas):
+        height = int(widget.get("height")) or 8
+        fb.box(x, y, max(2, width), max(2, height))
+        for stroke in widget.strokes:
+            for px, py in stroke.get("points", []):
+                fb.put(x + 1 + int(px), y + 1 + int(py), "*")
+    else:
+        # Generic container: draw nothing; children paint themselves.
+        pass

@@ -1,0 +1,52 @@
+"""Concrete widget types of the CENTER-like toolkit.
+
+Importing this package registers every built-in widget type with the
+type registry, so :func:`~repro.toolkit.widgets.registry.widget_class`
+resolves them by name.
+"""
+
+from repro.toolkit.widgets.registry import (
+    iter_types,
+    known_types,
+    register_widget,
+    widget_class,
+)
+from repro.toolkit.widgets.containers import (
+    Form,
+    Frame,
+    PanedWindow,
+    RowColumn,
+    Shell,
+)
+from repro.toolkit.widgets.buttons import PushButton, ToggleButton
+from repro.toolkit.widgets.text import Label, TextArea, TextField
+from repro.toolkit.widgets.menus import Menu, MenuEntry, OptionMenu
+from repro.toolkit.widgets.lists import ListBox
+from repro.toolkit.widgets.radio import RadioButton, RadioGroup
+from repro.toolkit.widgets.scale import Scale
+from repro.toolkit.widgets.canvas import Canvas
+
+__all__ = [
+    "Canvas",
+    "Form",
+    "Frame",
+    "Label",
+    "ListBox",
+    "Menu",
+    "MenuEntry",
+    "OptionMenu",
+    "PanedWindow",
+    "PushButton",
+    "RadioButton",
+    "RadioGroup",
+    "RowColumn",
+    "Scale",
+    "Shell",
+    "TextArea",
+    "TextField",
+    "ToggleButton",
+    "iter_types",
+    "known_types",
+    "register_widget",
+    "widget_class",
+]

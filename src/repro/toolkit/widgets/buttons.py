@@ -1,0 +1,97 @@
+"""Button widgets: push buttons and toggles.
+
+The paper names "pressing of push button object" as a canonical action of
+the application-independent protocol (§3.4); the toggle demonstrates
+built-in feedback that must be undoable on lock failure (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.toolkit.attributes import Attribute, of_type
+from repro.toolkit.events import ACTIVATE, VALUE_CHANGED, Event
+from repro.toolkit.widget import BASE_ATTRIBUTES, UIObject
+from repro.toolkit.widgets.registry import register_widget
+
+
+@register_widget
+class PushButton(UIObject):
+    """A momentary push button (XmPushButton).
+
+    ``activate`` has no persistent built-in feedback; all its semantics live
+    in application callbacks, which is what multiple execution re-runs
+    remotely.
+    """
+
+    TYPE_NAME = "pushbutton"
+    ATTRIBUTES = BASE_ATTRIBUTES.extended(
+        [
+            Attribute(
+                "label",
+                "",
+                relevant=True,
+                validator=of_type(str),
+                doc="button text, shared when coupled",
+            ),
+            Attribute(
+                "armed",
+                False,
+                validator=of_type(bool),
+                doc="transient pressed-look; cosmetic",
+            ),
+        ]
+    )
+    EMITS = (ACTIVATE,)
+
+    def press(self, user: str = "") -> Event:
+        """Simulate a user pressing the button."""
+        return self.fire(ACTIVATE, user=user)
+
+
+@register_widget
+class ToggleButton(UIObject):
+    """A two-state toggle (XmToggleButton).
+
+    The built-in feedback of ``activate`` flips the ``set`` attribute; it is
+    exactly the kind of "syntactic built-in feedback" the multiple-execution
+    algorithm must undo when the couple-group lock cannot be acquired.
+    """
+
+    TYPE_NAME = "togglebutton"
+    ATTRIBUTES = BASE_ATTRIBUTES.extended(
+        [
+            Attribute("label", "", relevant=True, validator=of_type(str)),
+            Attribute(
+                "set",
+                False,
+                relevant=True,
+                validator=of_type(bool),
+                doc="toggle state, shared when coupled",
+            ),
+        ]
+    )
+    EMITS = (ACTIVATE, VALUE_CHANGED)
+
+    def _feedback_attributes(self, event: Event) -> Tuple[str, ...]:
+        if event.type in (ACTIVATE, VALUE_CHANGED):
+            return ("set",)
+        return ()
+
+    def _builtin_feedback(self, event: Event) -> None:
+        if event.type == ACTIVATE:
+            self._state["set"] = not self._state["set"]
+        elif event.type == VALUE_CHANGED and "value" in event.params:
+            self._state["set"] = bool(event.params["value"])
+
+    def toggle(self, user: str = "") -> Event:
+        """Simulate the user clicking the toggle."""
+        return self.fire(ACTIVATE, user=user)
+
+    def set_value(self, value: bool, user: str = "") -> Event:
+        """Set the toggle to an explicit state through the event path."""
+        return self.fire(VALUE_CHANGED, user=user, value=bool(value))
+
+    @property
+    def value(self) -> bool:
+        return bool(self._state["set"])

@@ -1,0 +1,111 @@
+"""Container widgets: forms, row-columns, frames, paned windows.
+
+Containers are the toolkit's *complex UI objects* (§3): hierarchically
+structured collections of primitive objects.  They have few attributes of
+their own; their identity for coupling purposes lies in their structure,
+which is what structural compatibility (§3.3) compares.
+"""
+
+from __future__ import annotations
+
+from repro.toolkit.attributes import Attribute, of_type, one_of, positive
+from repro.toolkit.widget import BASE_ATTRIBUTES, UIObject
+from repro.toolkit.widgets.registry import register_widget
+
+
+@register_widget
+class Form(UIObject):
+    """A free-layout container (Motif XmForm).
+
+    The canonical complex UI object: the paper's TORI application couples
+    whole *query forms* and *result forms*.
+    """
+
+    TYPE_NAME = "form"
+    ATTRIBUTES = BASE_ATTRIBUTES.extended(
+        [
+            Attribute(
+                "title",
+                "",
+                relevant=True,
+                validator=of_type(str),
+                doc="form caption, shared when forms are coupled",
+            ),
+            Attribute(
+                "border", "etched", validator=one_of("none", "etched", "raised")
+            ),
+        ]
+    )
+
+
+@register_widget
+class RowColumn(UIObject):
+    """A container laying children out in rows or columns (XmRowColumn)."""
+
+    TYPE_NAME = "rowcolumn"
+    ATTRIBUTES = BASE_ATTRIBUTES.extended(
+        [
+            Attribute(
+                "orientation",
+                "vertical",
+                validator=one_of("vertical", "horizontal"),
+                doc="packing direction; cosmetic, hence not relevant",
+            ),
+            Attribute("spacing", 1, validator=of_type(int)),
+        ]
+    )
+
+
+@register_widget
+class Frame(UIObject):
+    """A decorated single-child container (XmFrame)."""
+
+    TYPE_NAME = "frame"
+    ATTRIBUTES = BASE_ATTRIBUTES.extended(
+        [
+            Attribute(
+                "label",
+                "",
+                relevant=True,
+                validator=of_type(str),
+                doc="frame caption, shared when coupled",
+            ),
+        ]
+    )
+
+
+@register_widget
+class PanedWindow(UIObject):
+    """A container with user-adjustable sashes (XmPanedWindow)."""
+
+    TYPE_NAME = "panedwindow"
+    ATTRIBUTES = BASE_ATTRIBUTES.extended(
+        [
+            Attribute(
+                "sash_positions",
+                [],
+                validator=of_type(list),
+                doc="per-user pane sizing; never shared",
+            ),
+            Attribute("min_pane_size", 1, validator=positive),
+        ]
+    )
+
+
+@register_widget
+class Shell(UIObject):
+    """A top-level window (the root of an application's widget tree)."""
+
+    TYPE_NAME = "shell"
+    ATTRIBUTES = BASE_ATTRIBUTES.extended(
+        [
+            Attribute(
+                "title",
+                "",
+                relevant=True,
+                validator=of_type(str),
+                doc="window title",
+            ),
+            Attribute("iconified", False, validator=of_type(bool)),
+        ]
+    )

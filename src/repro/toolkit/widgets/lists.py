@@ -1,0 +1,94 @@
+"""List widget: a scrollable list with single or multiple selection."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.toolkit.attributes import Attribute, of_type, one_of, string_list
+from repro.toolkit.events import SELECTION_CHANGED, VALUE_CHANGED, Event
+from repro.toolkit.widget import BASE_ATTRIBUTES, UIObject
+from repro.toolkit.widgets.registry import register_widget
+
+
+def _int_list(value: object):
+    if not isinstance(value, (list, tuple)):
+        return f"expected a list of ints, got {type(value).__name__}"
+    for item in value:
+        if not isinstance(item, int) or isinstance(item, bool):
+            return f"expected a list of ints, found {type(item).__name__}"
+    return None
+
+
+@register_widget
+class ListBox(UIObject):
+    """A scrollable list of string items (XmList).
+
+    Both ``items`` and ``selected`` (indices) are relevant: coupling two
+    list boxes shares the visible data and the selection, which is how the
+    paper's TORI result forms share retrieved rows.
+    """
+
+    TYPE_NAME = "listbox"
+    ATTRIBUTES = BASE_ATTRIBUTES.extended(
+        [
+            Attribute(
+                "items",
+                [],
+                relevant=True,
+                validator=string_list,
+                doc="displayed rows, shared when coupled",
+            ),
+            Attribute(
+                "selected",
+                [],
+                relevant=True,
+                validator=_int_list,
+                doc="selected row indices, shared when coupled",
+            ),
+            Attribute(
+                "selection_policy",
+                "single",
+                validator=one_of("single", "multiple"),
+            ),
+            Attribute("top_item", 0, validator=of_type(int), doc="scroll position"),
+        ]
+    )
+    EMITS = (SELECTION_CHANGED, VALUE_CHANGED)
+
+    def _feedback_attributes(self, event: Event) -> Tuple[str, ...]:
+        if event.type == SELECTION_CHANGED:
+            return ("selected",)
+        if event.type == VALUE_CHANGED:
+            return ("items", "selected")
+        return ()
+
+    def _builtin_feedback(self, event: Event) -> None:
+        if event.type == SELECTION_CHANGED and "indices" in event.params:
+            indices = [int(i) for i in event.params["indices"]]
+            upper = len(self._state["items"])
+            indices = [i for i in indices if 0 <= i < upper]
+            if self._state["selection_policy"] == "single":
+                indices = indices[:1]
+            self._state["selected"] = indices
+        elif event.type == VALUE_CHANGED and "items" in event.params:
+            self._state["items"] = [str(i) for i in event.params["items"]]
+            self._state["selected"] = []
+
+    # Convenience interaction API ---------------------------------------
+
+    def select_indices(self, indices: List[int], user: str = "") -> Event:
+        """Simulate the user selecting rows by index."""
+        return self.fire(SELECTION_CHANGED, user=user, indices=list(indices))
+
+    def replace_items(self, items: List[str], user: str = "") -> Event:
+        """Replace the whole item list through the event path."""
+        return self.fire(VALUE_CHANGED, user=user, items=list(items))
+
+    @property
+    def items(self) -> List[str]:
+        return list(self._state["items"])
+
+    @property
+    def selected_items(self) -> List[str]:
+        items = self._state["items"]
+        return [items[i] for i in self._state["selected"] if 0 <= i < len(items)]

@@ -1,0 +1,108 @@
+"""Menu widgets: pulldown menus and option menus.
+
+TORI's cooperative version synchronizes "menus for selecting comparison
+operators" and "menus for selecting a certain view" (§4); the
+:class:`OptionMenu` models exactly that: a list of entries with one current
+selection, where the selection is the coupling-relevant attribute.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.toolkit.attributes import Attribute, of_type, string_list
+from repro.toolkit.events import ACTIVATE, SELECTION_CHANGED, Event
+from repro.toolkit.widget import BASE_ATTRIBUTES, UIObject
+from repro.toolkit.widgets.registry import register_widget
+
+
+@register_widget
+class Menu(UIObject):
+    """A pulldown menu: a container of :class:`MenuEntry` children."""
+
+    TYPE_NAME = "menu"
+    ATTRIBUTES = BASE_ATTRIBUTES.extended(
+        [
+            Attribute("label", "", relevant=True, validator=of_type(str)),
+            Attribute("popped_up", False, validator=of_type(bool)),
+        ]
+    )
+
+    def entry(self, name: str) -> "MenuEntry":
+        child = self.child(name)
+        if not isinstance(child, MenuEntry):
+            raise TypeError(f"{child.pathname!r} is not a MenuEntry")
+        return child
+
+
+@register_widget
+class MenuEntry(UIObject):
+    """One selectable entry inside a :class:`Menu`."""
+
+    TYPE_NAME = "menuentry"
+    ATTRIBUTES = BASE_ATTRIBUTES.extended(
+        [
+            Attribute("label", "", relevant=True, validator=of_type(str)),
+            Attribute(
+                "accelerator", "", validator=of_type(str), doc="keyboard shortcut"
+            ),
+        ]
+    )
+    EMITS = (ACTIVATE,)
+
+    def choose(self, user: str = "") -> Event:
+        """Simulate the user selecting this entry."""
+        return self.fire(ACTIVATE, user=user)
+
+
+@register_widget
+class OptionMenu(UIObject):
+    """A menu with one current choice (XmOptionMenu / combo box).
+
+    ``selection`` is relevant (shared when coupled); the entry list itself
+    is relevant too, so heterogeneous instances can be checked for having
+    comparable choices.
+    """
+
+    TYPE_NAME = "optionmenu"
+    ATTRIBUTES = BASE_ATTRIBUTES.extended(
+        [
+            Attribute("label", "", relevant=True, validator=of_type(str)),
+            Attribute(
+                "entries",
+                [],
+                relevant=True,
+                validator=string_list,
+                doc="available choices",
+            ),
+            Attribute(
+                "selection",
+                "",
+                relevant=True,
+                validator=of_type(str),
+                doc="current choice, shared when coupled",
+            ),
+        ]
+    )
+    EMITS = (SELECTION_CHANGED,)
+
+    def _feedback_attributes(self, event: Event) -> Tuple[str, ...]:
+        if event.type == SELECTION_CHANGED:
+            return ("selection",)
+        return ()
+
+    def _builtin_feedback(self, event: Event) -> None:
+        if event.type == SELECTION_CHANGED and "selection" in event.params:
+            self._state["selection"] = str(event.params["selection"])
+
+    def select(self, choice: str, user: str = "") -> Event:
+        """Simulate the user picking *choice* from the menu."""
+        return self.fire(SELECTION_CHANGED, user=user, selection=choice)
+
+    @property
+    def selection(self) -> str:
+        return str(self._state["selection"])
+
+    @property
+    def entries(self) -> List[str]:
+        return list(self._state["entries"])

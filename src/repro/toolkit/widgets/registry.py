@@ -1,0 +1,46 @@
+"""Registry of widget types by symbolic type name.
+
+Destructive merging (§3.3) and :func:`RemoteCopy` must *create* widgets of a
+given type in a receiving application instance, and the declarative builder
+instantiates widgets from type names; both resolve classes here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple, Type
+
+from repro.errors import BuilderError
+from repro.toolkit.widget import UIObject
+
+_REGISTRY: Dict[str, Type[UIObject]] = {}
+
+
+def register_widget(cls: Type[UIObject]) -> Type[UIObject]:
+    """Class decorator adding *cls* to the type registry under its
+    :attr:`~repro.toolkit.widget.UIObject.TYPE_NAME`."""
+    type_name = cls.TYPE_NAME
+    existing = _REGISTRY.get(type_name)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"widget type name {type_name!r} already registered by "
+            f"{existing.__name__}"
+        )
+    _REGISTRY[type_name] = cls
+    return cls
+
+
+def widget_class(type_name: str) -> Type[UIObject]:
+    """Return the widget class registered under *type_name*."""
+    try:
+        return _REGISTRY[type_name]
+    except KeyError:
+        raise BuilderError(f"unknown widget type {type_name!r}") from None
+
+
+def known_types() -> Tuple[str, ...]:
+    """All registered type names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def iter_types() -> Iterator[Tuple[str, Type[UIObject]]]:
+    return iter(sorted(_REGISTRY.items()))

@@ -1,0 +1,69 @@
+"""Scale (slider) widget.
+
+A scale demonstrates a numeric coupled value and is used by the classroom
+application as a *parameter field*: experiment E9 couples small scales
+instead of the expensive simulation display they drive ("indirect
+coupling", §4).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.toolkit.attributes import Attribute, of_type
+from repro.toolkit.events import POINTER_MOTION, VALUE_CHANGED, Event
+from repro.toolkit.widget import BASE_ATTRIBUTES, UIObject
+from repro.toolkit.widgets.registry import register_widget
+
+
+@register_widget
+class Scale(UIObject):
+    """A bounded numeric slider (XmScale).
+
+    ``value_changed`` is the high-level commit (drag released);
+    ``pointer_motion`` is the fine-grained drag event used by the lock
+    granularity experiment.
+    """
+
+    TYPE_NAME = "scale"
+    ATTRIBUTES = BASE_ATTRIBUTES.extended(
+        [
+            Attribute("label", "", relevant=True, validator=of_type(str)),
+            Attribute(
+                "value",
+                0,
+                relevant=True,
+                validator=of_type(int, float),
+                doc="current position, shared when coupled",
+            ),
+            Attribute("minimum", 0, validator=of_type(int, float)),
+            Attribute("maximum", 100, validator=of_type(int, float)),
+        ]
+    )
+    EMITS = (VALUE_CHANGED, POINTER_MOTION)
+
+    def _feedback_attributes(self, event: Event) -> Tuple[str, ...]:
+        if event.type in (VALUE_CHANGED, POINTER_MOTION):
+            return ("value",)
+        return ()
+
+    def _builtin_feedback(self, event: Event) -> None:
+        if "value" in event.params:
+            value = event.params["value"]
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self._state["value"] = self._clamp(value)
+
+    def _clamp(self, value: float) -> float:
+        return max(self._state["minimum"], min(self._state["maximum"], value))
+
+    def drag_to(self, value: float, user: str = "") -> Event:
+        """Fine-grained drag motion to *value* (not yet committed)."""
+        return self.fire(POINTER_MOTION, user=user, value=value)
+
+    def set_value(self, value: float, user: str = "") -> Event:
+        """Commit *value* (the high-level event)."""
+        return self.fire(VALUE_CHANGED, user=user, value=value)
+
+    @property
+    def value(self) -> float:
+        return self._state["value"]

@@ -1,0 +1,199 @@
+"""Text widgets: labels, single-line fields and multi-line areas.
+
+Text fields are the paper's running example for relevant attributes: "two
+text input fields may have different size and fonts, but just share the same
+content" (§3.1).  They also expose *fine-grained* per-keystroke events
+(:data:`~repro.toolkit.events.KEY_PRESS`) next to the high-level
+``value_changed`` commit event, which experiment E5 contrasts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.toolkit.attributes import Attribute, of_type, non_negative
+from repro.toolkit.events import (
+    FOCUS_IN,
+    FOCUS_OUT,
+    KEY_PRESS,
+    VALUE_CHANGED,
+    Event,
+)
+from repro.toolkit.widget import BASE_ATTRIBUTES, UIObject
+from repro.toolkit.widgets.registry import register_widget
+
+
+@register_widget
+class Label(UIObject):
+    """A static text label (XmLabel)."""
+
+    TYPE_NAME = "label"
+    ATTRIBUTES = BASE_ATTRIBUTES.extended(
+        [
+            Attribute(
+                "text",
+                "",
+                relevant=True,
+                validator=of_type(str),
+                doc="displayed text, shared when coupled",
+            ),
+            Attribute("alignment", "left", validator=of_type(str)),
+        ]
+    )
+
+    @property
+    def text(self) -> str:
+        return str(self._state["text"])
+
+
+@register_widget
+class TextField(UIObject):
+    """A single-line text input (XmTextField).
+
+    High-level event: ``value_changed`` when the user commits (Return or
+    focus-out).  Fine-grained event: ``key_press`` per keystroke, whose
+    built-in feedback edits the buffer; coupling per-keystroke is possible
+    but costly (§3.2), which experiment E5 measures.
+    """
+
+    TYPE_NAME = "textfield"
+    ATTRIBUTES = BASE_ATTRIBUTES.extended(
+        [
+            Attribute(
+                "value",
+                "",
+                relevant=True,
+                validator=of_type(str),
+                doc="the field's content, shared when coupled",
+            ),
+            Attribute("cursor", 0, validator=non_negative, doc="caret column"),
+            Attribute("max_length", 0, validator=non_negative, doc="0 = unlimited"),
+            Attribute("editable", True, validator=of_type(bool)),
+        ]
+    )
+    EMITS = (VALUE_CHANGED, KEY_PRESS, FOCUS_IN, FOCUS_OUT)
+
+    def _feedback_attributes(self, event: Event) -> Tuple[str, ...]:
+        if event.type in (VALUE_CHANGED, KEY_PRESS):
+            return ("value", "cursor")
+        return ()
+
+    def _builtin_feedback(self, event: Event) -> None:
+        if event.type == VALUE_CHANGED:
+            if "value" in event.params:
+                self._state["value"] = str(event.params["value"])
+                self._state["cursor"] = len(self._state["value"])
+        elif event.type == KEY_PRESS:
+            self._apply_keystroke(event.params.get("key", ""))
+
+    def _apply_keystroke(self, key: str) -> None:
+        value: str = self._state["value"]
+        cursor: int = min(self._state["cursor"], len(value))
+        if key == "BackSpace":
+            if cursor > 0:
+                self._state["value"] = value[: cursor - 1] + value[cursor:]
+                self._state["cursor"] = cursor - 1
+        elif key == "Delete":
+            self._state["value"] = value[:cursor] + value[cursor + 1 :]
+        elif key == "Home":
+            self._state["cursor"] = 0
+        elif key == "End":
+            self._state["cursor"] = len(value)
+        elif key == "Left":
+            self._state["cursor"] = max(0, cursor - 1)
+        elif key == "Right":
+            self._state["cursor"] = min(len(value), cursor + 1)
+        elif len(key) == 1:
+            limit = self._state["max_length"]
+            if limit and len(value) >= limit:
+                return
+            self._state["value"] = value[:cursor] + key + value[cursor:]
+            self._state["cursor"] = cursor + 1
+
+    # Convenience interaction API ---------------------------------------
+
+    @property
+    def value(self) -> str:
+        return str(self._state["value"])
+
+    def commit(self, value: str, user: str = "") -> Event:
+        """Commit a whole new value (the high-level event)."""
+        return self.fire(VALUE_CHANGED, user=user, value=value)
+
+    def type_key(self, key: str, user: str = "") -> Event:
+        """Press one key (the fine-grained event)."""
+        return self.fire(KEY_PRESS, user=user, key=key)
+
+    def type_text(self, text: str, user: str = "") -> List[Event]:
+        """Type *text* one keystroke at a time (fine-grained)."""
+        return [self.type_key(char, user=user) for char in text]
+
+
+@register_widget
+class TextArea(UIObject):
+    """A multi-line text editor (XmText in multi-line mode).
+
+    The value is a list of lines; ``value_changed`` commits the whole
+    buffer, ``key_press`` performs line-local editing.
+    """
+
+    TYPE_NAME = "textarea"
+    ATTRIBUTES = BASE_ATTRIBUTES.extended(
+        [
+            Attribute(
+                "lines",
+                [""],
+                relevant=True,
+                validator=of_type(list),
+                doc="buffer content as a list of lines, shared when coupled",
+            ),
+            Attribute("row", 0, validator=non_negative),
+            Attribute("column", 0, validator=non_negative),
+            Attribute("editable", True, validator=of_type(bool)),
+        ]
+    )
+    EMITS = (VALUE_CHANGED, KEY_PRESS)
+
+    def _feedback_attributes(self, event: Event) -> Tuple[str, ...]:
+        if event.type in (VALUE_CHANGED, KEY_PRESS):
+            return ("lines", "row", "column")
+        return ()
+
+    def _builtin_feedback(self, event: Event) -> None:
+        if event.type == VALUE_CHANGED and "lines" in event.params:
+            lines = [str(line) for line in event.params["lines"]]
+            self._state["lines"] = lines or [""]
+            self._state["row"] = len(self._state["lines"]) - 1
+            self._state["column"] = len(self._state["lines"][-1])
+        elif event.type == KEY_PRESS:
+            self._apply_keystroke(event.params.get("key", ""))
+
+    def _apply_keystroke(self, key: str) -> None:
+        lines: List[str] = list(self._state["lines"])
+        row = min(self._state["row"], len(lines) - 1)
+        col = min(self._state["column"], len(lines[row]))
+        if key == "Return":
+            lines[row : row + 1] = [lines[row][:col], lines[row][col:]]
+            row, col = row + 1, 0
+        elif key == "BackSpace":
+            if col > 0:
+                lines[row] = lines[row][: col - 1] + lines[row][col:]
+                col -= 1
+            elif row > 0:
+                col = len(lines[row - 1])
+                lines[row - 1 : row + 1] = [lines[row - 1] + lines[row]]
+                row -= 1
+        elif len(key) == 1:
+            lines[row] = lines[row][:col] + key + lines[row][col:]
+            col += 1
+        self._state["lines"] = lines
+        self._state["row"] = row
+        self._state["column"] = col
+
+    @property
+    def text(self) -> str:
+        return "\n".join(self._state["lines"])
+
+    def commit(self, text: str, user: str = "") -> Event:
+        """Commit a whole new buffer (the high-level event)."""
+        return self.fire(VALUE_CHANGED, user=user, lines=text.split("\n"))

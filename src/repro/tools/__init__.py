@@ -1,0 +1,13 @@
+"""Operational tooling: server monitoring and session record/replay."""
+
+from repro.tools.monitor import format_dashboard, snapshot
+from repro.tools.replay import SessionRecorder, loads, replay, replay_locally
+
+__all__ = [
+    "SessionRecorder",
+    "format_dashboard",
+    "loads",
+    "replay",
+    "replay_locally",
+    "snapshot",
+]

@@ -1,0 +1,113 @@
+"""Server monitoring: human-readable snapshots of the central database.
+
+Operating a COSOFT deployment needs visibility into the four data
+categories of §2.2 — who is registered, which couple groups exist, which
+floors are held, how deep the histories are.  :func:`snapshot` collects a
+structured view; :func:`format_dashboard` renders it as a fixed-width text
+dashboard (the kind an admin would watch next to the server).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.server.server import CosoftServer
+
+
+def snapshot(server: CosoftServer) -> Dict[str, Any]:
+    """A structured, JSON-safe view of the server's current state."""
+    groups = [
+        sorted(f"{iid}:{path}" for iid, path in group)
+        for group in server.couples.groups()
+    ]
+    groups.sort()
+    locks: List[Dict[str, Any]] = [
+        {
+            "object": f"{obj[0]}:{obj[1]}",
+            "holder": holder.instance_id,
+            "token": holder.token,
+        }
+        for obj, holder in sorted(
+            ((obj, server.locks.holder(obj))
+             for obj in server.locks.locked_objects()),
+            key=lambda item: item[0],
+        )
+        if holder is not None
+    ]
+    histories = {
+        f"{obj[0]}:{obj[1]}": server.history.depth(obj)
+        for obj in server.history.objects()
+    }
+    return {
+        "time": server.clock.now(),
+        "registered": [
+            {
+                "instance_id": record.instance_id,
+                "user": record.user,
+                "app_type": record.app_type,
+                "host": record.host,
+            }
+            for record in server.registry.records()
+        ],
+        "couple_links": len(server.couples),
+        "couple_groups": groups,
+        "locks": locks,
+        "lock_stats": {
+            "acquisitions": server.locks.stats.acquisitions,
+            "denials": server.locks.stats.denials,
+            "denial_rate": round(server.locks.stats.denial_rate, 4),
+        },
+        "histories": histories,
+        "permission_rules": len(server.access.rules()),
+        "processed": dict(server.processed),
+    }
+
+
+def format_dashboard(server: CosoftServer, *, width: int = 72) -> str:
+    """Render the snapshot as a text dashboard."""
+    snap = snapshot(server)
+    bar = "=" * width
+    thin = "-" * width
+    lines: List[str] = [
+        bar,
+        f" COSOFT server @ t={snap['time']:.3f}s   "
+        f"msgs processed: {sum(snap['processed'].values())}",
+        bar,
+        f" Registered instances ({len(snap['registered'])}):",
+    ]
+    for record in snap["registered"]:
+        lines.append(
+            f"   {record['instance_id']:<18} user={record['user']:<12} "
+            f"type={record['app_type'] or '-'}"
+        )
+    lines.append(thin)
+    lines.append(
+        f" Couple groups ({len(snap['couple_groups'])}), "
+        f"{snap['couple_links']} links:"
+    )
+    for group in snap["couple_groups"]:
+        lines.append("   { " + ", ".join(group) + " }")
+    lines.append(thin)
+    if snap["locks"]:
+        lines.append(f" Floors held ({len(snap['locks'])}):")
+        for lock in snap["locks"]:
+            lines.append(
+                f"   {lock['object']:<34} held by {lock['holder']} "
+                f"(token {lock['token']})"
+            )
+    else:
+        lines.append(" Floors held: none")
+    stats = snap["lock_stats"]
+    lines.append(
+        f"   lifetime: {stats['acquisitions']} granted, "
+        f"{stats['denials']} denied (rate {stats['denial_rate']})"
+    )
+    lines.append(thin)
+    if snap["histories"]:
+        lines.append(" Historical UI states:")
+        for obj, (undo, redo) in sorted(snap["histories"].items()):
+            lines.append(f"   {obj:<34} undo={undo} redo={redo}")
+    else:
+        lines.append(" Historical UI states: none")
+    lines.append(bar)
+    return "\n".join(lines)

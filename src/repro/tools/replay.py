@@ -1,0 +1,106 @@
+"""Session recording and replay.
+
+Deterministic reproduction of an interactive run: record every executed
+event from an instance's trace into a JSON-safe log, then replay the log
+against a fresh instance (or a whole fresh session).  Used for
+
+* debugging ("what sequence led to this state?"),
+* the E6 experiment's action-replay arm,
+* regression fixtures (a recorded session is a compact integration test).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping
+
+from repro.core.instance import ApplicationInstance
+from repro.toolkit.events import Event
+from repro.toolkit.widget import UIObject
+
+
+class SessionRecorder:
+    """Tap an instance's local events into a serializable log.
+
+    Only *locally initiated* events are recorded (remote re-executions are
+    a consequence, not an input); replaying the log through the coupling
+    layer regenerates the remote effects.
+    """
+
+    def __init__(self, instance: ApplicationInstance):
+        self.instance = instance
+        self._mark = len(instance.trace)
+
+    def cut(self) -> List[Dict[str, Any]]:
+        """Return the log of events since construction (or the last cut)."""
+        events = self.instance.trace.events()[self._mark:]
+        self._mark = len(self.instance.trace)
+        return [
+            event.to_wire()
+            for event in events
+            if event.instance_id == self.instance.instance_id
+        ]
+
+    def dumps(self) -> str:
+        return json.dumps(self.cut(), separators=(",", ":"))
+
+
+def loads(log: str) -> List[Dict[str, Any]]:
+    data = json.loads(log)
+    if not isinstance(data, list):
+        raise ValueError("a session log is a JSON array of events")
+    return data
+
+
+def replay(
+    log: Iterable[Mapping[str, Any]],
+    instance: ApplicationInstance,
+    *,
+    strict: bool = True,
+) -> int:
+    """Re-fire every logged event on *instance*'s widgets.
+
+    Events go through ``widget.fire`` — i.e. through the full coupling
+    pipeline, locks and broadcasts included — so a replay against a live
+    session reproduces the original collaboration.  Returns the number of
+    events fired.  With ``strict=False``, events whose widget no longer
+    exists are skipped instead of raising.
+    """
+    fired = 0
+    for entry in log:
+        event = Event.from_wire(dict(entry))
+        widget = instance.find_widget(event.source_path)
+        if widget is None or widget.destroyed:
+            if strict:
+                raise LookupError(
+                    f"no widget at {event.source_path!r} to replay onto"
+                )
+            continue
+        widget.fire(event.type, user=event.user, **dict(event.params))
+        fired += 1
+    return fired
+
+
+def replay_locally(
+    log: Iterable[Mapping[str, Any]],
+    root: UIObject,
+    *,
+    strict: bool = True,
+) -> int:
+    """Apply a log to a bare widget tree (no instance, no network).
+
+    The offline variant: feedback and callbacks run, nothing is sent.
+    This is the E6 'action replay' reconciliation path.
+    """
+    applied = 0
+    for entry in log:
+        event = Event.from_wire(dict(entry))
+        try:
+            widget = root.find(event.source_path)
+        except Exception:
+            if strict:
+                raise
+            continue
+        widget.deliver(event.retargeted(widget.pathname, ""))
+        applied += 1
+    return applied

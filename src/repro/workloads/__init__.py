@@ -1,0 +1,44 @@
+"""Synthetic workloads: seeded user-session generators and composite
+collaboration scenarios."""
+
+from repro.workloads.scenarios import (
+    ScenarioReport,
+    classroom_lesson,
+    design_meeting,
+    joint_retrieval,
+)
+from repro.workloads.generator import (
+    BUTTON_PATH,
+    CANVAS_PATH,
+    MENU_PATH,
+    SCALE_PATH,
+    TEXT_PATH,
+    UserAction,
+    WorkloadConfig,
+    assign_ids,
+    contention_burst,
+    drawing_session,
+    editing_session,
+    standard_form_spec,
+    typing_burst,
+)
+
+__all__ = [
+    "BUTTON_PATH",
+    "CANVAS_PATH",
+    "MENU_PATH",
+    "SCALE_PATH",
+    "ScenarioReport",
+    "TEXT_PATH",
+    "UserAction",
+    "WorkloadConfig",
+    "classroom_lesson",
+    "design_meeting",
+    "joint_retrieval",
+    "assign_ids",
+    "contention_burst",
+    "drawing_session",
+    "editing_session",
+    "standard_form_spec",
+    "typing_burst",
+]

@@ -1,0 +1,281 @@
+"""Synthetic user workloads.
+
+The paper's evaluation is experiential; to measure its claims we need
+reproducible load.  A workload is a time-ordered list of
+:class:`UserAction` records — "user u fires event e with params p on widget
+w at time t" — produced by seeded generators that model think time, typing
+and tool switching.  The same workload can be replayed against any of the
+three architecture harnesses (Table 1) or against the COSOFT runtime
+directly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.toolkit import events as toolkit_events
+
+
+@dataclass(frozen=True)
+class UserAction:
+    """One scripted user interaction."""
+
+    at: float                 # simulated issue time (seconds)
+    user: int                 # user index (0-based)
+    path: str                 # widget pathname the event occurs on
+    event_type: str           # toolkit event type
+    params: Dict[str, Any] = field(default_factory=dict)
+    action_id: int = 0        # unique id; harnesses track it through the net
+
+    def with_id(self, action_id: int) -> "UserAction":
+        return UserAction(
+            at=self.at,
+            user=self.user,
+            path=self.path,
+            event_type=self.event_type,
+            params=dict(self.params),
+            action_id=action_id,
+        )
+
+
+def assign_ids(actions: Sequence[UserAction]) -> List[UserAction]:
+    """Stamp consecutive action ids in time order."""
+    ordered = sorted(actions, key=lambda a: (a.at, a.user))
+    return [action.with_id(i) for i, action in enumerate(ordered)]
+
+
+@dataclass
+class WorkloadConfig:
+    """Parameters of the synthetic editing session."""
+
+    n_users: int = 4
+    actions_per_user: int = 25
+    mean_think_time: float = 2.0       # seconds between a user's actions
+    text_commit_ratio: float = 0.6     # fraction of text commits
+    menu_ratio: float = 0.2            # fraction of menu selections
+    # remainder: button activations
+    words: Tuple[str, ...] = (
+        "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"
+    )
+    menu_choices: Tuple[str, ...] = ("eq", "like", "substring", "one-of")
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.n_users <= 0 or self.actions_per_user <= 0:
+            raise ValueError("n_users and actions_per_user must be positive")
+        if not 0 <= self.text_commit_ratio + self.menu_ratio <= 1:
+            raise ValueError("event-ratio mix must fit into [0, 1]")
+
+
+#: Widget paths of the standard benchmark form (see ``standard_form_spec``).
+TEXT_PATH = "/app/form/text"
+MENU_PATH = "/app/form/menu"
+BUTTON_PATH = "/app/form/button"
+SCALE_PATH = "/app/form/scale"
+CANVAS_PATH = "/app/board/canvas"
+
+
+def standard_form_spec() -> Dict[str, Any]:
+    """The widget tree every workload user interacts with.
+
+    A small but heterogeneous form: text input, option menu, push button,
+    scale and a drawing canvas — one widget per event family the paper
+    discusses.
+    """
+    return {
+        "type": "shell",
+        "name": "app",
+        "state": {"title": "workload"},
+        "children": [
+            {
+                "type": "form",
+                "name": "form",
+                "children": [
+                    {"type": "textfield", "name": "text", "state": {"width": 24}},
+                    {
+                        "type": "optionmenu",
+                        "name": "menu",
+                        "state": {"entries": ["eq", "like", "substring", "one-of"]},
+                    },
+                    {"type": "pushbutton", "name": "button", "state": {"label": "Go"}},
+                    {"type": "scale", "name": "scale", "state": {"maximum": 100}},
+                ],
+            },
+            {
+                "type": "form",
+                "name": "board",
+                "children": [
+                    {"type": "canvas", "name": "canvas", "state": {"width": 40, "height": 12}},
+                ],
+            },
+        ],
+    }
+
+
+def editing_session(config: WorkloadConfig) -> List[UserAction]:
+    """A mixed editing session over the standard form.
+
+    Each user performs ``actions_per_user`` actions with exponential think
+    times; the mix of event types follows the configured ratios.
+    """
+    rng = random.Random(config.seed)
+    actions: List[UserAction] = []
+    for user in range(config.n_users):
+        now = rng.expovariate(1.0 / config.mean_think_time)
+        for _ in range(config.actions_per_user):
+            roll = rng.random()
+            if roll < config.text_commit_ratio:
+                value = " ".join(
+                    rng.choice(config.words)
+                    for _ in range(rng.randint(1, 4))
+                )
+                actions.append(
+                    UserAction(
+                        at=now,
+                        user=user,
+                        path=TEXT_PATH,
+                        event_type=toolkit_events.VALUE_CHANGED,
+                        params={"value": value},
+                    )
+                )
+            elif roll < config.text_commit_ratio + config.menu_ratio:
+                actions.append(
+                    UserAction(
+                        at=now,
+                        user=user,
+                        path=MENU_PATH,
+                        event_type=toolkit_events.SELECTION_CHANGED,
+                        params={"selection": rng.choice(config.menu_choices)},
+                    )
+                )
+            else:
+                actions.append(
+                    UserAction(
+                        at=now,
+                        user=user,
+                        path=BUTTON_PATH,
+                        event_type=toolkit_events.ACTIVATE,
+                        params={},
+                    )
+                )
+            now += rng.expovariate(1.0 / config.mean_think_time)
+    return assign_ids(actions)
+
+
+def typing_burst(
+    *,
+    user: int = 0,
+    text: str = "the quick brown fox",
+    start: float = 0.0,
+    keystroke_interval: float = 0.08,
+    path: str = TEXT_PATH,
+    fine_grained: bool = True,
+) -> List[UserAction]:
+    """One user typing *text*.
+
+    With *fine_grained* each keystroke is its own event (the costly case of
+    §3.2); otherwise a single high-level commit carries the whole text —
+    the two sides of experiment E5.
+    """
+    if not fine_grained:
+        return assign_ids(
+            [
+                UserAction(
+                    at=start,
+                    user=user,
+                    path=path,
+                    event_type=toolkit_events.VALUE_CHANGED,
+                    params={"value": text},
+                )
+            ]
+        )
+    actions = [
+        UserAction(
+            at=start + i * keystroke_interval,
+            user=user,
+            path=path,
+            event_type=toolkit_events.KEY_PRESS,
+            params={"key": char},
+        )
+        for i, char in enumerate(text)
+    ]
+    return assign_ids(actions)
+
+
+def drawing_session(
+    *,
+    n_users: int = 2,
+    strokes_per_user: int = 20,
+    mean_think_time: float = 1.5,
+    points_per_stroke: int = 8,
+    canvas_size: Tuple[int, int] = (38, 10),
+    seed: int = 7,
+) -> List[UserAction]:
+    """A shared-whiteboard session: each user commits freehand strokes."""
+    rng = random.Random(seed)
+    actions: List[UserAction] = []
+    colors = ("black", "red", "blue", "green")
+    for user in range(n_users):
+        now = rng.expovariate(1.0 / mean_think_time)
+        for _ in range(strokes_per_user):
+            x0 = rng.uniform(0, canvas_size[0] - 1)
+            y0 = rng.uniform(0, canvas_size[1] - 1)
+            points = [[x0, y0]]
+            for _ in range(points_per_stroke - 1):
+                x0 = min(max(x0 + rng.uniform(-2, 2), 0), canvas_size[0] - 1)
+                y0 = min(max(y0 + rng.uniform(-1, 1), 0), canvas_size[1] - 1)
+                points.append([round(x0, 1), round(y0, 1)])
+            actions.append(
+                UserAction(
+                    at=now,
+                    user=user,
+                    path=CANVAS_PATH,
+                    event_type=toolkit_events.DRAW,
+                    params={
+                        "stroke": {
+                            "points": points,
+                            "color": colors[user % len(colors)],
+                            "width": 1,
+                        }
+                    },
+                )
+            )
+            now += rng.expovariate(1.0 / mean_think_time)
+    return assign_ids(actions)
+
+
+def contention_burst(
+    *,
+    n_users: int = 4,
+    rounds: int = 10,
+    spacing: float = 0.0005,
+    round_gap: float = 0.5,
+    path: str = SCALE_PATH,
+    seed: int = 3,
+) -> List[UserAction]:
+    """Users racing on the *same* coupled object (experiment E10).
+
+    Each round, every user tries to set the shared scale almost
+    simultaneously (within *spacing* of each other); the floor-control
+    protocol must let exactly one win per overlap window.
+    """
+    rng = random.Random(seed)
+    actions: List[UserAction] = []
+    now = round_gap
+    for _ in range(rounds):
+        order = list(range(n_users))
+        rng.shuffle(order)
+        for slot, user in enumerate(order):
+            actions.append(
+                UserAction(
+                    at=now + slot * spacing,
+                    user=user,
+                    path=path,
+                    event_type=toolkit_events.VALUE_CHANGED,
+                    params={"value": rng.randint(0, 100)},
+                )
+            )
+        now += round_gap
+    return assign_ids(actions)

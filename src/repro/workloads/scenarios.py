@@ -1,0 +1,241 @@
+"""Composite workload scenarios: scripted multi-phase sessions.
+
+Where :mod:`repro.workloads.generator` produces homogeneous event streams,
+this module scripts the *shapes of collaboration* the paper describes —
+lesson flow in a classroom, a joint retrieval session, a design meeting on
+a whiteboard — as reusable scenario objects that drive real application
+instances and return structured observations.  Tests assert on the
+observations; benchmarks time them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.apps.classroom import StudentEnvironment, TeacherEnvironment
+from repro.apps.drawing import Whiteboard
+from repro.apps.minidb import sample_publications
+from repro.apps.tori import ToriApplication
+from repro.session import LocalSession
+
+
+@dataclass
+class ScenarioReport:
+    """What a scenario run observed."""
+
+    name: str
+    phases: List[str] = field(default_factory=list)
+    observations: Dict[str, Any] = field(default_factory=dict)
+    messages: int = 0
+    bytes: int = 0
+    duration: float = 0.0
+
+    def note(self, key: str, value: Any) -> None:
+        self.observations[key] = value
+
+
+def classroom_lesson(
+    *,
+    n_students: int = 3,
+    exercises: int = 2,
+    seed: int = 5,
+) -> ScenarioReport:
+    """A full lesson: individual work, help requests, joint sessions.
+
+    Phases:
+      1. every student works alone (uncoupled — zero network traffic for
+         their parameter fiddling);
+      2. some students request help (buffered commands);
+      3. the teacher serves each request: inspects the answer, opens a
+         joint session, demonstrates, decouples;
+      4. final broadcast: the teacher pushes a reference answer to all
+         students (CopyTo fan-out).
+    """
+    rng = random.Random(seed)
+    report = ScenarioReport(name="classroom_lesson")
+    session = LocalSession(seed=seed)
+    teacher = TeacherEnvironment(
+        session.create_instance("liveboard", user="teacher",
+                                app_type="cosoft-teacher")
+    )
+    students = [
+        StudentEnvironment(
+            session.create_instance(f"ws-{i}", user=f"student-{i}",
+                                    app_type="cosoft-student")
+        )
+        for i in range(n_students)
+    ]
+    session.pump()
+
+    for exercise in range(exercises):
+        # Phase 1: individual work, fully local.
+        report.phases.append(f"exercise-{exercise}:individual")
+        before = session.traffic()["messages"]
+        for student in students:
+            student.set_parameters(rng.randint(1, 10), rng.randint(1, 8))
+            student.write_answer(f"attempt {exercise} by {student.instance.user}")
+        solo_messages = session.traffic()["messages"] - before
+        report.note(f"exercise{exercise}_solo_messages", solo_messages)
+
+        # Phase 2: a random subset asks for help.
+        report.phases.append(f"exercise-{exercise}:help")
+        helpers = rng.sample(range(n_students), k=max(1, n_students // 2))
+        for index in helpers:
+            students[index].request_help(
+                f"stuck on exercise {exercise}", "liveboard"
+            )
+        report.note(f"exercise{exercise}_help_queue",
+                    len(teacher.pending_help()))
+
+        # Phase 3: the teacher serves each buffered request.
+        report.phases.append(f"exercise-{exercise}:joint-sessions")
+        for request in teacher.pending_help():
+            student_id = request["student"]
+            teacher.inspect_student_work(
+                student_id, "/student/exercise/answer", "/teacher/notes"
+            )
+            teacher.join_session(student_id)
+            session.pump()
+            teacher.set_parameters(rng.randint(1, 10), rng.randint(1, 8))
+            session.pump()
+            teacher.leave_session(student_id)
+            session.pump()
+        teacher.help_requests.clear()
+
+    # Phase 4: push the reference answer everywhere.
+    report.phases.append("broadcast-reference")
+    teacher.write_note("Reference: A=5, f=3 — watch the crossing points")
+    session.pump()
+    for student in students:
+        teacher.instance.copy_to(
+            teacher.ui.find("/teacher/notes"),
+            (student.instance.instance_id, "/student/exercise/answer"),
+        )
+    session.pump()
+    report.note(
+        "reference_reached_all",
+        all(
+            "Reference:" in s.answer_text
+            for s in students
+        ),
+    )
+    traffic = session.traffic()
+    report.messages = traffic["messages"]
+    report.bytes = traffic["bytes"]
+    report.duration = session.now
+    session.close()
+    return report
+
+
+def joint_retrieval(
+    *,
+    n_participants: int = 3,
+    queries: int = 4,
+    db_rows: int = 400,
+    seed: int = 11,
+) -> ScenarioReport:
+    """A TORI working session: coupled query forms, alternating drivers."""
+    rng = random.Random(seed)
+    report = ScenarioReport(name="joint_retrieval")
+    session = LocalSession(seed=seed)
+    apps = [
+        ToriApplication(
+            session.create_instance(f"tori-{i}", user=f"analyst-{i}",
+                                    app_type="tori"),
+            sample_publications(db_rows, seed=seed + i),
+        )
+        for i in range(n_participants)
+    ]
+    for i in range(1, n_participants):
+        apps[0].make_cooperative(f"tori-{i}")
+    session.pump()
+    report.phases.append("coupled")
+
+    authors = ("Zhao", "Hoppe", "Ellis", "Stefik", "Greenberg")
+    for round_no in range(queries):
+        driver = apps[round_no % n_participants]
+        driver.set_condition("author", "eq", rng.choice(authors))
+        session.pump()
+        driver.run_query()
+        session.pump()
+        report.phases.append(f"query-{round_no}:driver-{driver.instance.user}")
+    report.note("queries_per_app", [app.queries_run for app in apps])
+    report.note(
+        "total_rows_scanned",
+        sum(app.database.total_rows_scanned for app in apps),
+    )
+    report.note(
+        "forms_converged",
+        len({app.field_value("author").value for app in apps}) == 1,
+    )
+    traffic = session.traffic()
+    report.messages = traffic["messages"]
+    report.bytes = traffic["bytes"]
+    report.duration = session.now
+    session.close()
+    return report
+
+
+def design_meeting(
+    *,
+    n_participants: int = 4,
+    strokes_per_phase: int = 6,
+    seed: int = 23,
+) -> ScenarioReport:
+    """A whiteboard meeting with churn: join, sketch, leave, re-join."""
+    rng = random.Random(seed)
+    report = ScenarioReport(name="design_meeting")
+    session = LocalSession(seed=seed)
+    boards = [
+        Whiteboard(session.create_instance(f"wb-{i}", user=f"designer-{i}"))
+        for i in range(n_participants)
+    ]
+    session.pump()
+
+    def sketch(board: Whiteboard) -> None:
+        x = rng.uniform(0, 40)
+        y = rng.uniform(0, 10)
+        board.draw([(x, y), (x + rng.uniform(1, 5), y + rng.uniform(0, 2))])
+        session.pump()
+
+    # Phase 1: the first two participants start.
+    boards[1].join("wb-0")
+    session.pump()
+    report.phases.append("kickoff(2)")
+    for _ in range(strokes_per_phase):
+        sketch(rng.choice(boards[:2]))
+
+    # Phase 2: everyone else joins late (state pull, then live).
+    for board in boards[2:]:
+        board.join("wb-0")
+        session.pump()
+    report.phases.append(f"full-attendance({n_participants})")
+    for _ in range(strokes_per_phase):
+        sketch(rng.choice(boards))
+
+    # Phase 3: one participant leaves mid-meeting and keeps a snapshot.
+    leaver = boards[1]
+    leaver.leave()
+    session.pump()
+    snapshot = leaver.stroke_count
+    report.phases.append("one-leaves")
+    for _ in range(strokes_per_phase):
+        sketch(rng.choice([b for b in boards if b is not leaver]))
+
+    # Phase 4: they re-join and catch up by state.
+    leaver.join("wb-0")
+    session.pump()
+    report.phases.append("re-join")
+
+    counts = {b.instance.instance_id: b.stroke_count for b in boards}
+    report.note("stroke_counts", counts)
+    report.note("converged", len(set(counts.values())) == 1)
+    report.note("snapshot_while_away", snapshot)
+    traffic = session.traffic()
+    report.messages = traffic["messages"]
+    report.bytes = traffic["bytes"]
+    report.duration = session.now
+    session.close()
+    return report

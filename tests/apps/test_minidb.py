@@ -1,0 +1,160 @@
+"""Unit tests for the mini relational engine."""
+
+import pytest
+
+from repro.apps.minidb import (
+    Condition,
+    Database,
+    OPERATORS,
+    QueryError,
+    sample_publications,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database("test")
+    table = database.create_table("people", ("name", "age", "city"))
+    table.insert(name="ada", age=36, city="london")
+    table.insert(name="grace", age=85, city="new york")
+    table.insert(name="alan", age=41, city="london")
+    return database
+
+
+class TestSchema:
+    def test_create_and_lookup(self, db):
+        assert db.tables() == ("people",)
+        assert len(db.table("people")) == 3
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.create_table("people", ("x",))
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(QueryError):
+            Database().create_table("t", ())
+
+    def test_unknown_table(self, db):
+        with pytest.raises(QueryError):
+            db.table("ghost")
+
+    def test_insert_unknown_column_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.table("people").insert(name="x", shoe_size=42)
+
+    def test_missing_columns_become_none(self, db):
+        db.table("people").insert(name="partial")
+        result = db.select("people", [Condition("name", "eq", "partial")])
+        assert result.as_dicts()[0]["age"] is None
+
+
+class TestConditions:
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QueryError):
+            Condition("x", "resembles", 1)
+
+    def test_unknown_column_raises_at_match(self, db):
+        with pytest.raises(QueryError):
+            db.select("people", [Condition("ghost", "eq", 1)])
+
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            ("eq", "ada", {"ada"}),
+            ("ne", "ada", {"grace", "alan"}),
+            ("substring", "a", {"ada", "grace", "alan"}),
+            ("prefix", "a", {"ada", "alan"}),
+            ("like-one-of", "ada, grace", {"ada", "grace"}),
+        ],
+    )
+    def test_string_operators(self, db, op, value, expected):
+        result = db.select("people", [Condition("name", op, value)], ["name"])
+        assert {row[0] for row in result.rows} == expected
+
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            ("lt", 41, {"ada"}),
+            ("le", 41, {"ada", "alan"}),
+            ("gt", 41, {"grace"}),
+            ("ge", 41, {"grace", "alan"}),
+        ],
+    )
+    def test_numeric_operators(self, db, op, value, expected):
+        result = db.select("people", [Condition("age", op, value)], ["name"])
+        assert {row[0] for row in result.rows} == expected
+
+    def test_comparison_with_none_cell_is_false(self, db):
+        db.table("people").insert(name="unknown-age")
+        result = db.select("people", [Condition("age", "lt", 100)], ["name"])
+        assert "unknown-age" not in {row[0] for row in result.rows}
+
+    def test_conjunction(self, db):
+        result = db.select(
+            "people",
+            [Condition("city", "eq", "london"), Condition("age", "gt", 40)],
+            ["name"],
+        )
+        assert {row[0] for row in result.rows} == {"alan"}
+
+    def test_wire_roundtrip(self):
+        cond = Condition("age", "ge", 10)
+        assert Condition.from_wire(cond.to_wire()) == cond
+
+
+class TestSelect:
+    def test_projection(self, db):
+        result = db.select("people", columns=["name", "city"])
+        assert result.columns == ("name", "city")
+        assert all(len(row) == 2 for row in result.rows)
+
+    def test_unknown_projection_column(self, db):
+        with pytest.raises(QueryError):
+            db.select("people", columns=["ghost"])
+
+    def test_order_by(self, db):
+        result = db.select("people", order_by="age", columns=["name"])
+        assert [row[0] for row in result.rows] == ["ada", "alan", "grace"]
+
+    def test_order_by_unknown_column(self, db):
+        with pytest.raises(QueryError):
+            db.select("people", order_by="ghost")
+
+    def test_order_by_none_last(self, db):
+        db.table("people").insert(name="x")
+        result = db.select("people", order_by="age", columns=["name"])
+        assert result.rows[-1][0] == "x"
+
+    def test_limit(self, db):
+        result = db.select("people", limit=2)
+        assert len(result) == 2
+
+    def test_cost_accounting(self, db):
+        result = db.select("people")
+        assert result.rows_scanned == 3
+        db.select("people")
+        assert db.total_rows_scanned == 6
+        assert db.queries_executed == 2
+
+    def test_formatted_rows(self, db):
+        result = db.select(
+            "people", [Condition("name", "eq", "ada")], ["name", "age"]
+        )
+        assert result.formatted() == ["ada | 36"]
+
+
+class TestSampleDataset:
+    def test_deterministic_per_seed(self):
+        a = sample_publications(50, seed=1)
+        b = sample_publications(50, seed=1)
+        assert a.select("publications").rows == b.select("publications").rows
+
+    def test_row_count(self):
+        db = sample_publications(120)
+        assert len(db.table("publications")) == 120
+
+    def test_years_in_paper_era(self):
+        db = sample_publications(100)
+        result = db.select("publications", columns=["year"])
+        years = [row[0] for row in result.rows]
+        assert all(1986 <= y <= 1994 for y in years)

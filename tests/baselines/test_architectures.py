@@ -1,0 +1,130 @@
+"""Tests for the three architecture harnesses and their comparative claims."""
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    ALL_ARCHITECTURES,
+    FullyReplicatedHarness,
+    MultiplexHarness,
+    UIReplicatedHarness,
+)
+from repro.workloads import (
+    TEXT_PATH,
+    WorkloadConfig,
+    editing_session,
+)
+
+
+def small_workload(n_users=3, actions=8, seed=11):
+    return editing_session(
+        WorkloadConfig(n_users=n_users, actions_per_user=actions, seed=seed)
+    )
+
+
+@pytest.mark.parametrize("harness_cls", ALL_ARCHITECTURES)
+class TestCommonBehaviour:
+    def test_convergence(self, harness_cls):
+        harness = harness_cls(3)
+        harness.run(small_workload())
+        states = [harness.user_state(u, TEXT_PATH) for u in range(3)]
+        assert states[0]["value"] == states[1]["value"] == states[2]["value"]
+        harness.close()
+
+    def test_all_actions_timed(self, harness_cls):
+        harness = harness_cls(3)
+        records = harness.run(small_workload())
+        executed = [r for r in records if r.executed]
+        assert executed, "some actions must execute"
+        for record in executed:
+            assert record.t_all is not None
+            assert record.t_all >= record.t_issue
+        harness.close()
+
+    def test_metrics_shape(self, harness_cls):
+        harness = harness_cls(2)
+        harness.run(small_workload(n_users=2, actions=4))
+        metrics = harness.metrics()
+        for key in (
+            "architecture",
+            "echo_latency_mean",
+            "sync_latency_mean",
+            "messages_per_action",
+            "central_inbound_messages",
+        ):
+            assert key in metrics
+        assert metrics["users"] == 2
+        assert not math.isnan(metrics["sync_latency_mean"])
+        harness.close()
+
+    def test_rejects_zero_users(self, harness_cls):
+        with pytest.raises(ValueError):
+            harness_cls(0)
+
+
+class TestArchitectureSpecifics:
+    def test_multiplex_echo_needs_roundtrip(self):
+        harness = MultiplexHarness(2, base_latency=0.01)
+        records = harness.run(small_workload(n_users=2, actions=5))
+        for record in records:
+            # Echo cannot be faster than 2 network hops.
+            assert record.echo_latency >= 0.02 - 1e-9
+
+    def test_ui_replicated_echo_immediate(self):
+        harness = UIReplicatedHarness(2, base_latency=0.01)
+        records = harness.run(small_workload(n_users=2, actions=5))
+        for record in records:
+            assert record.echo_latency == pytest.approx(0.0)
+
+    def test_fully_replicated_echo_immediate(self):
+        harness = FullyReplicatedHarness(2, base_latency=0.01)
+        records = harness.run(small_workload(n_users=2, actions=5))
+        for record in records:
+            if record.executed:
+                assert record.echo_latency == pytest.approx(0.0)
+        harness.close()
+
+    def test_semantic_blocking_hurts_ui_replicated(self):
+        """The paper's §2.1 claim: a time-consuming semantic action blocks
+        everyone in UI-replicated mode but not in the fully replicated
+        architecture."""
+        cost = 0.2
+        workload = small_workload(n_users=4, actions=6)
+        ui_rep = UIReplicatedHarness(4, semantic_cost=cost)
+        ui_rep.run(workload)
+        ui_sync = ui_rep.metrics()["sync_latency_p95"]
+        full = FullyReplicatedHarness(4, semantic_cost=cost)
+        full.run(workload)
+        full_sync = full.metrics()["sync_latency_p95"]
+        full.close()
+        assert full_sync < ui_sync
+
+    def test_multiplex_central_load_dominates(self):
+        workload = small_workload(n_users=4, actions=6)
+        harness = MultiplexHarness(4)
+        harness.run(workload)
+        metrics = harness.metrics()
+        # Every action passes through the central endpoint.
+        assert metrics["central_inbound_messages"] == metrics["actions"]
+
+    def test_features_match_paper_table(self):
+        assert MultiplexHarness.features["partial_coupling"] is False
+        assert MultiplexHarness.features["local_echo"] is False
+        assert UIReplicatedHarness.features["heterogeneous_instances"] is False
+        assert FullyReplicatedHarness.features["partial_coupling"] is True
+        assert FullyReplicatedHarness.features["heterogeneous_instances"] is True
+        assert FullyReplicatedHarness.features["dynamic_grouping"] is True
+
+    def test_fully_replicated_denied_actions_possible_under_race(self):
+        """Near-simultaneous actions on one group may lose the floor; the
+        denied count is reported, never silently dropped."""
+        from repro.workloads import contention_burst
+
+        harness = FullyReplicatedHarness(3, base_latency=0.01)
+        records = harness.run(
+            contention_burst(n_users=3, rounds=4, spacing=0.001)
+        )
+        metrics = harness.metrics()
+        assert metrics["denied"] == sum(1 for r in records if not r.executed)
+        harness.close()

@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.session import LocalSession
+from repro.toolkit import (
+    Canvas,
+    Form,
+    Label,
+    ListBox,
+    OptionMenu,
+    PushButton,
+    Scale,
+    Shell,
+    TextField,
+    ToggleButton,
+)
+
+
+@pytest.fixture
+def session():
+    """A fresh simulated deployment (server + network)."""
+    sess = LocalSession()
+    yield sess
+    sess.close()
+
+
+@pytest.fixture
+def pair(session):
+    """Two registered instances named 'a' and 'b'."""
+    a = session.create_instance("a", user="alice")
+    b = session.create_instance("b", user="bob")
+    return session, a, b
+
+
+def make_demo_tree(root_name: str = "app") -> Shell:
+    """A small mixed widget tree used across tests.
+
+    Layout::
+
+        /<root>
+          /form
+            /name   (textfield)
+            /mode   (optionmenu: eq/like)
+            /ok     (pushbutton)
+            /flag   (togglebutton)
+          /board
+            /canvas (canvas)
+            /zoom   (scale)
+    """
+    shell = Shell(root_name, title="demo")
+    form = Form("form", parent=shell)
+    TextField("name", parent=form, width=20)
+    OptionMenu("mode", parent=form, entries=["eq", "like"], selection="eq")
+    PushButton("ok", parent=form, label="OK")
+    ToggleButton("flag", parent=form, label="Flag")
+    board = Form("board", parent=shell)
+    Canvas("canvas", parent=board, width=30, height=8)
+    Scale("zoom", parent=board, maximum=10)
+    return shell
+
+
+@pytest.fixture
+def demo_tree():
+    return make_demo_tree()
+
+
+@pytest.fixture
+def coupled_pair(pair):
+    """Two instances with identical demo trees, text fields coupled."""
+    session, a, b = pair
+    tree_a = make_demo_tree()
+    tree_b = make_demo_tree()
+    a.add_root(tree_a)
+    b.add_root(tree_b)
+    a.couple(tree_a.find("/app/form/name"), ("b", "/app/form/name"))
+    session.pump()
+    return session, a, b, tree_a, tree_b

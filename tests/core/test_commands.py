@@ -1,0 +1,61 @@
+"""Unit tests for the CoSendCommand dispatch registry (§3.4)."""
+
+import pytest
+
+from repro.core.commands import CommandRegistry
+from repro.errors import UnknownCommandError
+
+
+class TestCommandRegistry:
+    def test_register_and_dispatch(self):
+        reg = CommandRegistry()
+        reg.register("ping", lambda data, sender: {"pong": data})
+        assert reg.dispatch("ping", 7, "a") == {"pong": 7}
+        assert reg.dispatched == 1
+
+    def test_handler_receives_sender(self):
+        reg = CommandRegistry()
+        seen = []
+        reg.register("who", lambda data, sender: seen.append(sender))
+        reg.dispatch("who", None, "instance-9")
+        assert seen == ["instance-9"]
+
+    def test_unknown_command_raises_and_counts(self):
+        reg = CommandRegistry()
+        with pytest.raises(UnknownCommandError):
+            reg.dispatch("ghost", None, "a")
+        assert reg.unknown == 1
+
+    def test_replace_handler(self):
+        reg = CommandRegistry()
+        reg.register("c", lambda d, s: 1)
+        reg.register("c", lambda d, s: 2)
+        assert reg.dispatch("c", None, "a") == 2
+
+    def test_unregister(self):
+        reg = CommandRegistry()
+        reg.register("c", lambda d, s: 1)
+        assert reg.unregister("c")
+        assert not reg.unregister("c")
+        assert not reg.knows("c")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            CommandRegistry().register("", lambda d, s: None)
+
+    def test_commands_sorted(self):
+        reg = CommandRegistry()
+        reg.register("zeta", lambda d, s: None)
+        reg.register("alpha", lambda d, s: None)
+        assert reg.commands() == ["alpha", "zeta"]
+
+    def test_non_serializable_reply_rejected(self):
+        reg = CommandRegistry()
+        reg.register("bad", lambda d, s: object())
+        with pytest.raises(ValueError):
+            reg.dispatch("bad", None, "a")
+
+    def test_none_reply_allowed(self):
+        reg = CommandRegistry()
+        reg.register("fire-and-forget", lambda d, s: None)
+        assert reg.dispatch("fire-and-forget", 1, "a") is None

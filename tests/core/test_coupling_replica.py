@@ -1,0 +1,89 @@
+"""Unit tests for the client-side coupling replica helpers."""
+
+import pytest
+
+from repro.core.coupling import (
+    apply_couple_update,
+    bootstrap_replica,
+    subtree_is_coupled,
+)
+from repro.server.couples import CoupleLink, CoupleTable, global_id
+
+A = global_id("a", "/ui/x")
+B = global_id("b", "/ui/x")
+
+
+def update(action, link):
+    return {"action": action, "link": link.to_wire()}
+
+
+class TestApplyCoupleUpdate:
+    def test_add_and_remove(self):
+        table = CoupleTable()
+        link = CoupleLink(source=A, target=B)
+        assert apply_couple_update(table, update("add", link)) == link
+        assert table.has_link(A, B)
+        apply_couple_update(table, update("remove", link))
+        assert len(table) == 0
+
+    def test_add_is_idempotent(self):
+        table = CoupleTable()
+        link = CoupleLink(source=A, target=B)
+        apply_couple_update(table, update("add", link))
+        apply_couple_update(table, update("add", link))
+        assert len(table) == 1
+
+    def test_remove_missing_is_tolerated(self):
+        table = CoupleTable()
+        link = CoupleLink(source=A, target=B)
+        apply_couple_update(table, update("remove", link))  # no raise
+        assert len(table) == 0
+
+    def test_noop_update(self):
+        table = CoupleTable()
+        assert apply_couple_update(table, {"action": "noop", "link": None}) is None
+
+    def test_unknown_action_rejected(self):
+        table = CoupleTable()
+        link = CoupleLink(source=A, target=B)
+        with pytest.raises(ValueError):
+            apply_couple_update(table, update("teleport", link))
+
+
+class TestBootstrap:
+    def test_bootstrap_from_wire_dump(self):
+        source = CoupleTable()
+        source.add_link(CoupleLink(source=A, target=B))
+        source.add_link(
+            CoupleLink(source=global_id("a", "/ui/y"), target=B)
+        )
+        replica = CoupleTable()
+        assert bootstrap_replica(replica, source.to_wire()) == 2
+        assert replica.group_of(A) == source.group_of(A)
+
+    def test_bootstrap_empty(self):
+        assert bootstrap_replica(CoupleTable(), None) == 0
+        assert bootstrap_replica(CoupleTable(), []) == 0
+
+
+class TestSubtreeIsCoupled:
+    def test_exact_and_descendant(self):
+        table = CoupleTable()
+        deep = global_id("a", "/ui/panel/field")
+        table.add_link(CoupleLink(source=deep, target=B))
+        assert subtree_is_coupled(table, "a", "/ui/panel/field")
+        assert subtree_is_coupled(table, "a", "/ui/panel")
+        assert subtree_is_coupled(table, "a", "/ui")
+        assert not subtree_is_coupled(table, "a", "/ui/other")
+
+    def test_no_prefix_confusion(self):
+        table = CoupleTable()
+        table.add_link(
+            CoupleLink(source=global_id("a", "/ui/panel2"), target=B)
+        )
+        assert not subtree_is_coupled(table, "a", "/ui/panel")
+
+    def test_other_instance_ignored(self):
+        table = CoupleTable()
+        table.add_link(CoupleLink(source=A, target=B))
+        assert not subtree_is_coupled(table, "c", "/ui/x")

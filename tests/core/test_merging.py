@@ -1,0 +1,139 @@
+"""Unit tests for destructive merging and flexible matching (§3.3)."""
+
+import pytest
+
+from repro.core.merging import destructive_merge, flexible_match
+from repro.errors import BuilderError
+from repro.toolkit.builder import build, to_spec
+from repro.toolkit.tree import subtree_state
+from repro.toolkit.widgets import Canvas, Form, Label, Shell, TextField
+
+
+def source_tree():
+    """The dominating complex object."""
+    root = Shell("src", title="Source")
+    form = Form("form", parent=root)
+    TextField("name", parent=form)
+    Label("hint", parent=form, text="from source")
+    root.find("/src/form/name").set("value", "dominating")
+    return root
+
+
+def source_payload():
+    root = source_tree()
+    return to_spec(root), subtree_state(root)
+
+
+class TestDestructiveMerge:
+    def test_identical_structure_only_updates(self):
+        spec, state = source_payload()
+        target = build(to_spec(source_tree()))
+        report = destructive_merge(target, spec, state)
+        assert report.created == [] and report.destroyed == []
+        assert target.find("form/name").get("value") == "dominating"
+        assert "form/name" in report.updated
+
+    def test_missing_objects_created(self):
+        spec, state = source_payload()
+        target = Shell("dst")
+        Form("form", parent=target)  # lacks the two fields
+        report = destructive_merge(target, spec, state)
+        assert set(report.created) == {"form/name", "form/hint"}
+        assert target.find("form/name").get("value") == "dominating"
+        assert target.find("form/hint").get("text") == "from source"
+
+    def test_conflicting_type_destroyed_and_rebuilt(self):
+        spec, state = source_payload()
+        target = Shell("dst")
+        form = Form("form", parent=target)
+        Canvas("name", parent=form)  # conflicts: same name, wrong type
+        report = destructive_merge(target, spec, state)
+        assert "form/name" in report.destroyed
+        assert "form/name" in report.created
+        assert target.find("form/name").TYPE_NAME == "textfield"
+        assert target.find("form/name").get("value") == "dominating"
+
+    def test_extra_target_children_conserved(self):
+        spec, state = source_payload()
+        target = build(to_spec(source_tree()))
+        extra = TextField("private", parent=target.find("form"))
+        extra.set("value", "mine")
+        report = destructive_merge(target, spec, state)
+        assert "form/private" in report.conserved
+        assert target.find("form/private").get("value") == "mine"
+
+    def test_whole_subtree_created(self):
+        spec, state = source_payload()
+        target = Shell("dst")  # completely empty
+        report = destructive_merge(target, spec, state)
+        assert "form" in report.created
+        # Children of a created node are not re-listed individually but
+        # their state is applied.
+        assert target.find("form/name").get("value") == "dominating"
+
+    def test_invalid_spec_rejected(self):
+        target = Shell("dst")
+        with pytest.raises(BuilderError):
+            destructive_merge(target, {"type": "ghost", "name": "x"})
+
+    def test_report_summary_counts(self):
+        spec, state = source_payload()
+        target = Shell("dst")
+        report = destructive_merge(target, spec, state)
+        summary = report.summary()
+        assert summary["created"] == len(report.created)
+        assert report.changed
+
+
+class TestFlexibleMatch:
+    def test_identical_substructures_synchronized(self):
+        spec, state = source_payload()
+        target = build(to_spec(source_tree()))
+        report = flexible_match(target, spec, state)
+        assert target.find("form/name").get("value") == "dominating"
+        assert report.destroyed == []
+
+    def test_differing_substructures_conserved(self):
+        spec, state = source_payload()
+        target = Shell("dst")
+        form = Form("form", parent=target)
+        # Same name but different type: conserved, NOT destroyed.
+        conflicting = Canvas("name", parent=form)
+        conflicting.draw_stroke([(0, 0)])
+        report = flexible_match(target, spec, state)
+        assert "form/name" in report.conserved
+        assert target.find("form/name").TYPE_NAME == "canvas"
+        assert target.find("form/name").stroke_count == 1
+        # The source's hint had no conflict and was merged in.
+        assert "form/hint" in report.created
+
+    def test_target_extras_survive(self):
+        spec, state = source_payload()
+        target = build(to_spec(source_tree()))
+        TextField("private", parent=target.find("form"))
+        report = flexible_match(target, spec, state)
+        assert "form/private" in report.conserved
+        assert not target.find("form/private").destroyed
+
+    def test_never_destroys(self):
+        spec, state = source_payload()
+        target = Shell("dst")
+        form = Form("form", parent=target)
+        Canvas("name", parent=form)
+        before = sum(1 for _ in target.walk())
+        report = flexible_match(target, spec, state)
+        assert report.destroyed == []
+        assert sum(1 for _ in target.walk()) >= before
+
+    def test_root_type_mismatch_conserves_root_state(self):
+        spec, state = source_payload()
+        target = Form("dst", title="keep me")  # shell vs form at the root
+        report = flexible_match(target, spec, state)
+        assert "" in report.conserved
+        assert target.get("title") == "keep me"
+
+    def test_merged_in_subtree_carries_state(self):
+        spec, state = source_payload()
+        target = Shell("dst")
+        report = flexible_match(target, spec, state)
+        assert target.find("form/name").get("value") == "dominating"

@@ -1,0 +1,120 @@
+"""Unit tests for the semantic store/load hook registry (§3.1)."""
+
+import pytest
+
+from repro.core.semantic import SemanticHookRegistry, attach_attribute_semantics
+from repro.errors import SemanticHookError
+from repro.toolkit.widgets import Form, Shell, TextField
+
+
+def tree():
+    root = Shell("app")
+    form = Form("form", parent=root)
+    TextField("name", parent=form)
+    return root
+
+
+class TestRegistration:
+    def test_register_and_has_hook(self):
+        reg = SemanticHookRegistry()
+        reg.register("/app/form", lambda: 1, lambda d: None)
+        assert reg.has_hook("/app/form")
+        assert reg.paths() == ["/app/form"]
+
+    def test_register_widget(self):
+        reg = SemanticHookRegistry()
+        root = tree()
+        reg.register_widget(root.find("/app/form/name"), lambda: 1, lambda d: None)
+        assert reg.has_hook("/app/form/name")
+
+    def test_relative_path_rejected(self):
+        reg = SemanticHookRegistry()
+        with pytest.raises(ValueError):
+            reg.register("form/name", lambda: 1, lambda d: None)
+
+    def test_unregister(self):
+        reg = SemanticHookRegistry()
+        reg.register("/a", lambda: 1, lambda d: None)
+        assert reg.unregister("/a")
+        assert not reg.unregister("/a")
+
+
+class TestStoreSubtree:
+    def test_collects_hooks_inside_root(self):
+        reg = SemanticHookRegistry()
+        root = tree()
+        reg.register("/app/form", lambda: {"form": 1}, lambda d: None)
+        reg.register("/app/form/name", lambda: "cell", lambda d: None)
+        reg.register("/app", lambda: "outer", lambda d: None)
+        data = reg.store_subtree(root.find("/app/form"))
+        assert data == {"": {"form": 1}, "name": "cell"}
+
+    def test_store_error_wrapped(self):
+        reg = SemanticHookRegistry()
+        root = tree()
+
+        def boom():
+            raise RuntimeError("db closed")
+
+        reg.register("/app/form", boom, lambda d: None)
+        with pytest.raises(SemanticHookError):
+            reg.store_subtree(root.find("/app/form"))
+
+    def test_non_serializable_store_rejected(self):
+        reg = SemanticHookRegistry()
+        root = tree()
+        reg.register("/app/form", lambda: object(), lambda d: None)
+        with pytest.raises(SemanticHookError):
+            reg.store_subtree(root.find("/app/form"))
+
+    def test_no_hooks_returns_empty(self):
+        assert SemanticHookRegistry().store_subtree(tree()) == {}
+
+
+class TestLoadSubtree:
+    def test_loads_matching_hooks(self):
+        reg = SemanticHookRegistry()
+        root = tree()
+        loaded = {}
+        reg.register("/app/form/name", lambda: None, lambda d: loaded.update(d))
+        result = reg.load_subtree(root.find("/app/form"), {"name": {"x": 1}})
+        assert result == ["name"]
+        assert loaded == {"x": 1}
+
+    def test_entries_without_local_hook_skipped(self):
+        reg = SemanticHookRegistry()
+        root = tree()
+        result = reg.load_subtree(root.find("/app/form"), {"name": 123})
+        assert result == []
+
+    def test_root_entry_uses_empty_relpath(self):
+        reg = SemanticHookRegistry()
+        root = tree()
+        seen = []
+        reg.register("/app/form", lambda: None, seen.append)
+        reg.load_subtree(root.find("/app/form"), {"": "payload"})
+        assert seen == ["payload"]
+
+    def test_load_error_wrapped(self):
+        reg = SemanticHookRegistry()
+        root = tree()
+
+        def explode(_data):
+            raise ValueError("bad payload")
+
+        reg.register("/app/form", lambda: None, explode)
+        with pytest.raises(SemanticHookError):
+            reg.load_subtree(root.find("/app/form"), {"": 1})
+
+
+class TestAttributeSemantics:
+    def test_dict_slot_roundtrip(self):
+        reg = SemanticHookRegistry()
+        root = tree()
+        storage = {"rows": [1, 2, 3]}
+        attach_attribute_semantics(reg, root.find("/app/form"), storage, "rows")
+        shipped = reg.store_subtree(root.find("/app/form"))
+        assert shipped == {"": [1, 2, 3]}
+        storage["rows"] = None
+        reg.load_subtree(root.find("/app/form"), {"": [9]})
+        assert storage["rows"] == [9]

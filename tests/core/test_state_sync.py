@@ -1,0 +1,188 @@
+"""Unit tests for state-payload building and application (§3.1)."""
+
+import pytest
+
+from repro.core import compat, state_sync
+from repro.core.semantic import SemanticHookRegistry
+from repro.errors import IncompatibleObjectsError
+from repro.toolkit.builder import build, to_spec
+from repro.toolkit.widgets import Canvas, Form, Label, Shell, TextField
+
+
+def source():
+    root = Shell("src", title="Source")
+    form = Form("form", parent=root)
+    field = TextField("name", parent=form)
+    field.set("value", "shipped")
+    return root
+
+
+def matching_target():
+    root = Shell("dst", title="Target")
+    form = Form("form", parent=root)
+    TextField("name", parent=form)
+    return root
+
+
+class TestBuildPayload:
+    def test_contains_state_and_structure(self):
+        payload = state_sync.build_state_payload(source())
+        assert payload["structure"]["type"] == "shell"
+        assert payload["state"]["form/name"] == {"value": "shipped"}
+
+    def test_structure_optional(self):
+        payload = state_sync.build_state_payload(
+            source(), include_structure=False
+        )
+        assert "structure" not in payload
+
+    def test_semantics_included_when_present(self):
+        reg = SemanticHookRegistry()
+        root = source()
+        reg.register("/src/form", lambda: {"n": 1}, lambda d: None)
+        payload = state_sync.build_state_payload(root, reg)
+        assert payload["semantic"] == {"form": {"n": 1}}
+
+    def test_no_semantic_key_when_empty(self):
+        payload = state_sync.build_state_payload(source(), SemanticHookRegistry())
+        assert "semantic" not in payload
+
+
+class TestStrictMode:
+    def test_apply_homogeneous(self):
+        payload = state_sync.build_state_payload(source())
+        target = matching_target()
+        report = state_sync.apply_state_payload(target, payload)
+        assert target.find("form/name").get("value") == "shipped"
+        assert report.mode == state_sync.STRICT
+        assert report.mapping_size == 3  # shell, form, field
+
+    def test_old_state_captured_for_history(self):
+        payload = state_sync.build_state_payload(source())
+        target = matching_target()
+        target.find("form/name").set("value", "previous")
+        report = state_sync.apply_state_payload(target, payload)
+        assert report.old_state["form/name"] == {"value": "previous"}
+
+    def test_structureless_fast_path(self):
+        payload = state_sync.build_state_payload(
+            source(), include_structure=False
+        )
+        target = matching_target()
+        state_sync.apply_state_payload(target, payload)
+        assert target.find("form/name").get("value") == "shipped"
+
+    def test_incompatible_raises(self):
+        payload = state_sync.build_state_payload(source())
+        target = Shell("dst")
+        Canvas("other", parent=target)
+        with pytest.raises(IncompatibleObjectsError):
+            state_sync.apply_state_payload(target, payload)
+
+    def test_differently_named_components_translated(self):
+        payload = state_sync.build_state_payload(source())
+        target = Shell("dst")
+        form = Form("panel", parent=target)
+        TextField("input", parent=form)
+        report = state_sync.apply_state_payload(target, payload)
+        assert target.find("panel/input").get("value") == "shipped"
+        assert "panel/input" in report.applied_paths
+
+    def test_heterogeneous_via_correspondence(self):
+        corr = compat.CorrespondenceRegistry()
+        corr.declare("textfield", "label", {"value": "text"})
+        payload = state_sync.build_state_payload(source())
+        target = Shell("dst")
+        form = Form("form", parent=target)
+        Label("name", parent=form)
+        state_sync.apply_state_payload(target, payload, correspondences=corr)
+        assert target.find("form/name").get("text") == "shipped"
+
+    def test_predefined_mapping_used(self):
+        payload = state_sync.build_state_payload(source())
+        target = matching_target()
+        mapping = {"": "", "form": "form", "form/name": "form/name"}
+        report = state_sync.apply_state_payload(
+            target, payload, predefined=mapping
+        )
+        assert report.mapping_size == 3
+
+    def test_strategy_auto_falls_back_to_exhaustive(self):
+        # A case the greedy matcher cannot solve (cross-typed same names).
+        src = Shell("src")
+        fa = Form("x", parent=src)
+        TextField("t", parent=fa)
+        fb = Form("y", parent=src)
+        Canvas("c", parent=fb)
+        payload = state_sync.build_state_payload(src)
+        dst = Shell("dst")
+        ga = Form("x", parent=dst)
+        Canvas("c", parent=ga)
+        gb = Form("y", parent=dst)
+        TextField("t", parent=gb)
+        report = state_sync.apply_state_payload(dst, payload)
+        assert report.mapping_size == 5
+
+
+class TestMergeMode:
+    def test_destructive_merge_invoked(self):
+        payload = state_sync.build_state_payload(source())
+        target = Shell("dst")  # empty: everything must be created
+        report = state_sync.apply_state_payload(
+            target, payload, mode=state_sync.MERGE
+        )
+        assert report.merge is not None
+        assert target.find("form/name").get("value") == "shipped"
+
+    def test_merge_requires_structure(self):
+        payload = state_sync.build_state_payload(
+            source(), include_structure=False
+        )
+        with pytest.raises(IncompatibleObjectsError):
+            state_sync.apply_state_payload(
+                Shell("dst"), payload, mode=state_sync.MERGE
+            )
+
+
+class TestFlexibleMode:
+    def test_flexible_conserves_extras(self):
+        payload = state_sync.build_state_payload(source())
+        target = matching_target()
+        TextField("extra", parent=target.find("form"))
+        report = state_sync.apply_state_payload(
+            target, payload, mode=state_sync.FLEXIBLE
+        )
+        assert not target.find("form/extra").destroyed
+        assert target.find("form/name").get("value") == "shipped"
+        assert "form/extra" in report.merge.conserved
+
+    def test_flexible_requires_structure(self):
+        payload = state_sync.build_state_payload(
+            source(), include_structure=False
+        )
+        with pytest.raises(IncompatibleObjectsError):
+            state_sync.apply_state_payload(
+                Shell("dst"), payload, mode=state_sync.FLEXIBLE
+            )
+
+
+class TestSemanticsOnApply:
+    def test_load_hooks_invoked(self):
+        src_reg = SemanticHookRegistry()
+        root = source()
+        src_reg.register("/src/form", lambda: {"rows": [1]}, lambda d: None)
+        payload = state_sync.build_state_payload(root, src_reg)
+
+        dst_reg = SemanticHookRegistry()
+        target = matching_target()
+        landed = {}
+        dst_reg.register("/dst/form", lambda: None, landed.update)
+        report = state_sync.apply_state_payload(
+            target, payload, semantics=dst_reg
+        )
+        assert landed == {"rows": [1]}
+        assert report.semantic_loaded == ["form"]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            state_sync.apply_state_payload(Shell("x"), {}, mode="telepathy")

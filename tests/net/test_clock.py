@@ -1,0 +1,45 @@
+"""Unit tests for the clock abstractions."""
+
+import pytest
+
+from repro.net.clock import SimClock, WallClock
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(10.0).now() == 10.0
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.now() == 1.5
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(3.0)
+        assert clock.now() == 3.0
+
+    def test_advance_to_rejects_backwards(self):
+        clock = SimClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.0)
+
+    def test_advance_to_same_time_ok(self):
+        clock = SimClock(5.0)
+        clock.advance_to(5.0)
+        assert clock.now() == 5.0
+
+
+class TestWallClock:
+    def test_monotonic(self):
+        clock = WallClock()
+        t1 = clock.now()
+        t2 = clock.now()
+        assert t2 >= t1

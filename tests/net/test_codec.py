@@ -1,0 +1,104 @@
+"""Unit tests for the length-prefixed JSON codec."""
+
+import pytest
+
+from repro.errors import CodecError
+from repro.net import kinds
+from repro.net.codec import (
+    HEADER_SIZE,
+    StreamDecoder,
+    decode,
+    encode,
+    encode_many,
+    wire_size,
+)
+from repro.net.message import Message
+
+
+def sample(payload=None):
+    return Message(kind=kinds.EVENT, sender="a", to="b", payload=payload or {})
+
+
+class TestFrame:
+    def test_roundtrip(self):
+        message = sample({"k": [1, 2, {"x": "y"}]})
+        assert decode(encode(message)) == message
+
+    def test_wire_size_matches_encode(self):
+        message = sample({"data": "x" * 100})
+        assert wire_size(message) == len(encode(message))
+
+    def test_header_is_big_endian_length(self):
+        frame = encode(sample())
+        length = int.from_bytes(frame[:HEADER_SIZE], "big")
+        assert length == len(frame) - HEADER_SIZE
+
+    def test_decode_short_frame(self):
+        with pytest.raises(CodecError):
+            decode(b"\x00")
+
+    def test_decode_length_mismatch(self):
+        frame = encode(sample())
+        with pytest.raises(CodecError):
+            decode(frame + b"extra")
+
+    def test_decode_garbage_body(self):
+        body = b"not json"
+        frame = len(body).to_bytes(4, "big") + body
+        with pytest.raises(CodecError):
+            decode(frame)
+
+    def test_decode_non_object_body(self):
+        body = b"[1,2]"
+        frame = len(body).to_bytes(4, "big") + body
+        with pytest.raises(CodecError):
+            decode(frame)
+
+    def test_unicode_payload(self):
+        message = sample({"text": "héllo wörld ünïcode"})
+        assert decode(encode(message)) == message
+
+
+class TestStreamDecoder:
+    def test_single_feed(self):
+        decoder = StreamDecoder()
+        message = sample()
+        out = decoder.feed(encode(message))
+        assert out == [message]
+        assert decoder.pending_bytes == 0
+
+    def test_byte_at_a_time(self):
+        decoder = StreamDecoder()
+        message = sample({"x": 1})
+        frame = encode(message)
+        results = []
+        for i in range(len(frame)):
+            results.extend(decoder.feed(frame[i : i + 1]))
+        assert results == [message]
+
+    def test_multiple_frames_in_one_feed(self):
+        decoder = StreamDecoder()
+        messages = [sample({"i": i}) for i in range(3)]
+        out = decoder.feed(encode_many(iter(messages)))
+        assert out == messages
+
+    def test_split_across_feeds(self):
+        decoder = StreamDecoder()
+        m1, m2 = sample({"i": 1}), sample({"i": 2})
+        blob = encode(m1) + encode(m2)
+        cut = len(encode(m1)) + 3
+        out = decoder.feed(blob[:cut])
+        out += decoder.feed(blob[cut:])
+        assert out == [m1, m2]
+
+    def test_pending_bytes_reported(self):
+        decoder = StreamDecoder()
+        frame = encode(sample())
+        decoder.feed(frame[:5])
+        assert decoder.pending_bytes == 5
+
+    def test_oversized_header_rejected(self):
+        decoder = StreamDecoder()
+        huge = (2**31).to_bytes(4, "big")
+        with pytest.raises(CodecError):
+            decoder.feed(huge + b"x" * 10)

@@ -1,0 +1,73 @@
+"""Unit tests for protocol messages."""
+
+import pytest
+
+from repro.errors import CodecError
+from repro.net import kinds
+from repro.net.message import ALL_KINDS, Message
+
+
+class TestConstruction:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CodecError):
+            Message(kind="bogus", sender="a")
+
+    def test_payload_must_be_json_safe(self):
+        with pytest.raises(CodecError):
+            Message(kind=kinds.EVENT, sender="a", payload={"x": object()})
+
+    def test_msg_ids_unique(self):
+        m1 = Message(kind=kinds.EVENT, sender="a")
+        m2 = Message(kind=kinds.EVENT, sender="a")
+        assert m1.msg_id != m2.msg_id
+
+    def test_all_kinds_is_complete(self):
+        # Every module-level kind constant is a member of ALL_KINDS.
+        constants = {
+            value
+            for name, value in vars(kinds).items()
+            if name.isupper() and isinstance(value, str) and name != "SERVER_ID"
+        }
+        assert constants <= ALL_KINDS | {"server"}
+
+
+class TestReplies:
+    def test_reply_correlates(self):
+        request = Message(kind=kinds.LOCK_REQUEST, sender="a", payload={})
+        reply = request.reply(kinds.LOCK_REPLY, "server", granted=True)
+        assert reply.reply_to == request.msg_id
+        assert reply.to == "a"
+        assert reply.payload["granted"] is True
+
+    def test_error_reply_carries_reason_and_kind(self):
+        request = Message(kind=kinds.COUPLE, sender="a")
+        error = request.error_reply("server", "nope", detail=1)
+        assert error.kind == kinds.ERROR
+        assert error.payload["reason"] == "nope"
+        assert error.payload["failed_kind"] == kinds.COUPLE
+        assert error.payload["detail"] == 1
+
+
+class TestWire:
+    def test_roundtrip(self):
+        message = Message(
+            kind=kinds.EVENT,
+            sender="a",
+            to="b",
+            payload={"event": {"type": "activate"}},
+            reply_to=7,
+        )
+        back = Message.from_wire(message.to_wire())
+        assert back == message
+
+    def test_from_wire_missing_fields(self):
+        with pytest.raises(CodecError):
+            Message.from_wire({"kind": kinds.EVENT})
+
+    def test_from_wire_defaults(self):
+        back = Message.from_wire(
+            {"kind": kinds.EVENT, "sender": "a", "msg_id": 3}
+        )
+        assert back.to == ""
+        assert back.payload == {}
+        assert back.reply_to is None

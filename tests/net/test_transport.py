@@ -1,0 +1,65 @@
+"""Unit tests for the transport abstractions and traffic accounting."""
+
+import pytest
+
+from repro.net import kinds
+from repro.net.memory import MemoryNetwork
+from repro.net.message import Message
+from repro.net.transport import TrafficStats, resolve_destination
+
+
+def msg(sender="a", to="b", **payload):
+    return Message(kind=kinds.COMMAND, sender=sender, to=to, payload=payload)
+
+
+class TestResolveDestination:
+    def test_explicit_addressee(self):
+        assert resolve_destination(msg(to="b")) == "b"
+
+    def test_empty_means_server(self):
+        assert resolve_destination(msg(to="")) == "server"
+
+
+class TestTrafficStats:
+    def test_record_accumulates(self):
+        stats = TrafficStats()
+        stats.record(msg(), 100, "b")
+        stats.record(msg(), 50, "b")
+        assert stats.messages == 2
+        assert stats.bytes == 150
+        assert stats.by_kind[kinds.COMMAND] == 2
+        assert stats.by_link[("a", "b")] == 2
+
+    def test_drop_counter(self):
+        stats = TrafficStats()
+        stats.record_drop()
+        stats.record_drop()
+        assert stats.dropped == 2
+
+    def test_snapshot_keys(self):
+        stats = TrafficStats()
+        stats.record(msg(), 10, "b")
+        snap = stats.snapshot()
+        assert snap["by_link"] == {"a->b": 1}
+        assert snap["bytes_by_kind"][kinds.COMMAND] == 10
+
+    def test_reset(self):
+        stats = TrafficStats()
+        stats.record(msg(), 10, "b")
+        stats.record_drop()
+        stats.reset()
+        assert stats.snapshot() == TrafficStats().snapshot()
+
+    def test_repr(self):
+        assert "messages=0" in repr(TrafficStats())
+
+
+class TestGuardDefault:
+    def test_memory_transport_guard_is_noop_context(self):
+        net = MemoryNetwork()
+        transport = net.attach("a", lambda m: None)
+        with transport.guard():
+            pass  # must be enterable and reentrant-safe
+        with transport.guard():
+            with transport.guard():
+                pass

@@ -1,0 +1,72 @@
+"""Property-based tests for the wire codec and message envelope."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net import kinds
+from repro.net.codec import StreamDecoder, decode, encode
+from repro.net.message import ALL_KINDS, Message
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=40),
+)
+
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+payloads = st.dictionaries(
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=10),
+    json_values,
+    max_size=5,
+)
+
+messages = st.builds(
+    Message,
+    kind=st.sampled_from(sorted(ALL_KINDS)),
+    sender=st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8),
+    to=st.text(alphabet=string.ascii_lowercase, max_size=8),
+    payload=payloads,
+    reply_to=st.one_of(st.none(), st.integers(min_value=1, max_value=10**6)),
+)
+
+
+class TestCodecProperties:
+    @given(message=messages)
+    def test_encode_decode_roundtrip(self, message):
+        assert decode(encode(message)) == message
+
+    @given(message=messages)
+    def test_wire_roundtrip(self, message):
+        assert Message.from_wire(message.to_wire()) == message
+
+    @given(batch=st.lists(messages, min_size=1, max_size=10))
+    def test_stream_decoder_reassembles_any_batch(self, batch):
+        blob = b"".join(encode(m) for m in batch)
+        decoder = StreamDecoder()
+        out = []
+        # Feed in fixed-size chunks that do not align with frames.
+        for i in range(0, len(blob), 7):
+            out.extend(decoder.feed(blob[i : i + 7]))
+        assert out == batch
+        assert decoder.pending_bytes == 0
+
+    @given(batch=st.lists(messages, min_size=2, max_size=6), cut=st.data())
+    @settings(max_examples=50)
+    def test_stream_decoder_arbitrary_split(self, batch, cut):
+        blob = b"".join(encode(m) for m in batch)
+        point = cut.draw(st.integers(min_value=0, max_value=len(blob)))
+        decoder = StreamDecoder()
+        out = decoder.feed(blob[:point])
+        out += decoder.feed(blob[point:])
+        assert out == batch

@@ -1,0 +1,101 @@
+"""Property-based tests for destructive merging and flexible matching."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.merging import destructive_merge, flexible_match
+from repro.toolkit.builder import build, to_spec
+from repro.toolkit.tree import subtree_state
+
+LEAF_TYPES = ["textfield", "pushbutton", "label", "scale", "canvas"]
+
+
+@st.composite
+def tree_specs(draw, depth=3, max_children=3):
+    counter = [0]
+
+    def node(level):
+        counter[0] += 1
+        name = f"w{counter[0]}"
+        if level == 0 or draw(st.booleans()):
+            return {"type": draw(st.sampled_from(LEAF_TYPES)), "name": name}
+        children = [
+            node(level - 1)
+            for _ in range(draw(st.integers(min_value=0, max_value=max_children)))
+        ]
+        spec = {"type": "form", "name": name}
+        if children:
+            spec["children"] = children
+        return spec
+
+    return node(depth)
+
+
+def paths_of(spec, prefix=""):
+    yield prefix, spec["type"]
+    for child in spec.get("children", []):
+        child_prefix = f"{prefix}/{child['name']}" if prefix else child["name"]
+        yield from paths_of(child, child_prefix)
+
+
+class TestDestructiveMergeProperties:
+    @given(source=tree_specs(), target=tree_specs())
+    @settings(max_examples=80, deadline=None)
+    def test_source_structure_always_imposed(self, source, target):
+        """After a destructive merge, every source path exists in the
+        target with the source's widget type."""
+        target_widget = build(target)
+        # Roots must agree in name for path comparison; rename the target.
+        source = dict(source, name=target_widget.name)
+        destructive_merge(target_widget, source)
+        target_spec = to_spec(target_widget)
+        target_index = dict(paths_of(target_spec))
+        for rel, type_name in paths_of(source):
+            if rel == "":
+                continue  # the root widget itself is never replaced
+            assert target_index.get(rel) == type_name
+
+    @given(source=tree_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_idempotent(self, source):
+        target = build({"type": "form", "name": source["name"]})
+        first = destructive_merge(target, source)
+        structure_after_first = to_spec(target)
+        second = destructive_merge(target, source)
+        assert to_spec(target) == structure_after_first
+        assert second.created == []
+        assert second.destroyed == []
+
+    @given(source=tree_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_carries_state(self, source):
+        source_widget = build(source)
+        state = subtree_state(source_widget)
+        target = build({"type": "form", "name": source["name"]})
+        destructive_merge(target, to_spec(source_widget), state)
+        for rel, values in state.items():
+            if rel == "":
+                continue
+            assert target.find(rel).relevant_state() == values
+
+
+class TestFlexibleMatchProperties:
+    @given(source=tree_specs(), target=tree_specs())
+    @settings(max_examples=80, deadline=None)
+    def test_never_destroys_target_widgets(self, source, target):
+        target_widget = build(target)
+        before = [w.pathname for w in target_widget.walk()]
+        source = dict(source, name=target_widget.name)
+        report = flexible_match(target_widget, source)
+        assert report.destroyed == []
+        after = {w.pathname for w in target_widget.walk()}
+        for pathname in before:
+            assert pathname in after
+
+    @given(source=tree_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_identical_trees_fully_synchronized(self, source):
+        source_widget = build(source)
+        state = subtree_state(source_widget)
+        target = build(source)
+        report = flexible_match(target, to_spec(source_widget), state)
+        assert subtree_state(target) == state

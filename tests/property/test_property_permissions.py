@@ -1,0 +1,98 @@
+"""Property tests for the access-control decision logic."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.server.couples import global_id
+from repro.server.permissions import RIGHTS, AccessControl, PermissionRule
+
+users = st.sampled_from(["alice", "bob", "kim", "*"])
+instances = st.sampled_from(["teacher", "student-1", "student-2", "*"])
+prefixes = st.sampled_from(["", "/app", "/app/form", "/app/form/name"])
+rights = st.sampled_from(list(RIGHTS) + ["*"])
+
+rules = st.builds(
+    PermissionRule,
+    user=users,
+    instance_id=instances,
+    path_prefix=prefixes,
+    right=rights,
+    allow=st.booleans(),
+)
+
+objects = st.builds(
+    global_id,
+    st.sampled_from(["teacher", "student-1", "student-2"]),
+    st.sampled_from(["/app", "/app/form", "/app/form/name", "/other"]),
+)
+
+concrete_users = st.sampled_from(["alice", "bob", "kim"])
+concrete_rights = st.sampled_from(list(RIGHTS))
+
+
+class TestDecisionProperties:
+    @given(
+        rule_set=st.lists(rules, max_size=8),
+        user=concrete_users,
+        obj=objects,
+        right=concrete_rights,
+        default=st.booleans(),
+    )
+    @settings(max_examples=200)
+    def test_decision_is_deterministic_and_boolean(
+        self, rule_set, user, obj, right, default
+    ):
+        acl = AccessControl(default_allow=default)
+        for rule in rule_set:
+            acl.add(rule)
+        first = acl.check(user, obj, right)
+        assert isinstance(first, bool)
+        assert acl.check(user, obj, right) == first
+
+    @given(user=concrete_users, obj=objects, right=concrete_rights)
+    @settings(max_examples=100)
+    def test_no_matching_rule_falls_to_default(self, user, obj, right):
+        # Rules scoped to a different user never affect the decision.
+        acl = AccessControl(default_allow=False)
+        other = {"alice": "bob", "bob": "kim", "kim": "alice"}[user]
+        acl.grant(other)
+        assert not acl.check(user, obj, right)
+
+    @given(
+        rule_set=st.lists(rules, max_size=6),
+        user=concrete_users,
+        obj=objects,
+        right=concrete_rights,
+    )
+    @settings(max_examples=150)
+    def test_exact_deny_always_wins(self, rule_set, user, obj, right):
+        """A maximally specific deny can never be overridden."""
+        acl = AccessControl(default_allow=True)
+        for rule in rule_set:
+            acl.add(rule)
+        acl.add(PermissionRule(user, obj[0], obj[1], right, allow=False))
+        assert not acl.check(user, obj, right)
+
+    @given(
+        rule_set=st.lists(rules, max_size=6),
+        user=concrete_users,
+        obj=objects,
+        right=concrete_rights,
+    )
+    @settings(max_examples=150)
+    def test_rule_order_is_irrelevant(self, rule_set, user, obj, right):
+        forward = AccessControl()
+        backward = AccessControl()
+        for rule in rule_set:
+            forward.add(rule)
+        for rule in reversed(rule_set):
+            backward.add(rule)
+        assert forward.check(user, obj, right) == backward.check(
+            user, obj, right
+        )
+
+    @given(obj=objects, right=concrete_rights)
+    @settings(max_examples=50)
+    def test_wildcard_grant_covers_everything(self, obj, right):
+        acl = AccessControl(default_allow=False)
+        acl.grant("*")
+        assert acl.check("anyone", obj, right)

@@ -1,0 +1,75 @@
+"""Property tests: the renderer and builder never crash on random trees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.toolkit.builder import build, to_spec, validate_spec
+from repro.toolkit.render import render
+
+WIDGET_TYPES = [
+    "form", "rowcolumn", "frame", "shell", "pushbutton", "togglebutton",
+    "label", "textfield", "textarea", "optionmenu", "listbox", "scale",
+    "canvas", "menu", "menuentry",
+]
+
+
+@st.composite
+def random_specs(draw, depth=3):
+    counter = [0]
+
+    def node(level):
+        counter[0] += 1
+        name = f"w{counter[0]}"
+        type_name = draw(st.sampled_from(WIDGET_TYPES))
+        spec = {"type": type_name, "name": name}
+        state = {}
+        if draw(st.booleans()):
+            state["x"] = draw(st.integers(min_value=-5, max_value=90))
+            state["y"] = draw(st.integers(min_value=-5, max_value=30))
+        if draw(st.booleans()):
+            state["width"] = draw(st.integers(min_value=0, max_value=100))
+        if draw(st.booleans()):
+            state["visible"] = draw(st.booleans())
+        if state:
+            spec["state"] = state
+        if level > 0 and draw(st.booleans()):
+            n = draw(st.integers(min_value=0, max_value=3))
+            if n:
+                spec["children"] = [node(level - 1) for _ in range(n)]
+        return spec
+
+    return node(depth)
+
+
+class TestRobustness:
+    @given(spec=random_specs())
+    @settings(max_examples=120, deadline=None)
+    def test_build_render_never_crashes(self, spec):
+        root = build(spec)
+        output = render(root, 60, 20)
+        assert isinstance(output, str)
+        assert len(output.splitlines()) <= 20
+
+    @given(spec=random_specs())
+    @settings(max_examples=80, deadline=None)
+    def test_spec_roundtrip_is_stable(self, spec):
+        root = build(spec)
+        once = to_spec(root)
+        twice = to_spec(build(once))
+        assert once == twice
+
+    @given(spec=random_specs())
+    @settings(max_examples=80, deadline=None)
+    def test_roundtripped_specs_validate(self, spec):
+        validate_spec(to_spec(build(spec)))
+
+    @given(
+        spec=random_specs(),
+        width=st.integers(min_value=1, max_value=120),
+        height=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_render_respects_viewport(self, spec, width, height):
+        output = render(build(spec), width, height)
+        lines = output.splitlines()
+        assert len(lines) <= height
+        assert all(len(line) <= width for line in lines)

@@ -1,0 +1,153 @@
+"""Stateful (rule-based) property tests for the lock table and history.
+
+Hypothesis drives random operation sequences against the components and
+checks the global invariants after every step.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.errors import HistoryError
+from repro.server.couples import global_id
+from repro.server.history import HistoricalState, HistoryStore
+from repro.server.locks import LockOwner, LockTable
+
+OBJECTS = [global_id(i, p) for i in ("a", "b") for p in ("/x", "/y", "/z")]
+OWNERS = [LockOwner(i, t) for i in ("inst-1", "inst-2") for t in (1, 2)]
+
+
+class LockTableMachine(RuleBasedStateMachine):
+    """The lock table against a trivial reference model."""
+
+    def __init__(self):
+        super().__init__()
+        self.table = LockTable()
+        self.model = {}  # obj -> owner
+
+    @rule(obj=st.sampled_from(OBJECTS), owner=st.sampled_from(OWNERS))
+    def acquire(self, obj, owner):
+        ok = self.table.acquire(obj, owner)
+        current = self.model.get(obj)
+        if current is None or current.instance_id == owner.instance_id:
+            assert ok
+            self.model[obj] = owner
+        else:
+            assert not ok
+
+    @rule(obj=st.sampled_from(OBJECTS), owner=st.sampled_from(OWNERS))
+    def release(self, obj, owner):
+        ok = self.table.release(obj, owner)
+        if self.model.get(obj) == owner:
+            assert ok
+            del self.model[obj]
+        else:
+            assert not ok
+
+    @rule(
+        objs=st.lists(st.sampled_from(OBJECTS), min_size=1, max_size=4,
+                      unique=True),
+        owner=st.sampled_from(OWNERS),
+    )
+    def acquire_all(self, objs, owner):
+        blocked = any(
+            self.model.get(o) is not None
+            and self.model[o].instance_id != owner.instance_id
+            for o in objs
+        )
+        granted, conflicts = self.table.acquire_all(objs, owner)
+        assert granted == (not blocked)
+        if granted:
+            for o in objs:
+                self.model[o] = owner
+        else:
+            assert conflicts
+
+    @rule(instance=st.sampled_from(["inst-1", "inst-2"]))
+    def release_instance(self, instance):
+        self.table.release_instance(instance)
+        self.model = {
+            o: owner
+            for o, owner in self.model.items()
+            if owner.instance_id != instance
+        }
+
+    @invariant()
+    def table_matches_model(self):
+        assert len(self.table) == len(self.model)
+        for obj, owner in self.model.items():
+            assert self.table.holder(obj) == owner
+
+
+class HistoryMachine(RuleBasedStateMachine):
+    """The history store against reference undo/redo stacks."""
+
+    OBJ = global_id("a", "/doc")
+
+    def __init__(self):
+        super().__init__()
+        self.store = HistoryStore(max_depth=8)
+        self.undo_model = []
+        self.redo_model = []
+        self.counter = 0
+
+    @rule()
+    def push(self):
+        self.counter += 1
+        state = {"v": self.counter}
+        self.store.push(HistoricalState(obj=self.OBJ, state=state))
+        self.undo_model.append(state)
+        if len(self.undo_model) > 8:
+            self.undo_model.pop(0)
+        self.redo_model.clear()
+
+    @rule()
+    def undo(self):
+        self.counter += 1
+        current = {"v": self.counter}
+        if self.undo_model:
+            entry = self.store.undo(self.OBJ, current_state=current)
+            assert dict(entry.state) == self.undo_model.pop()
+            self.redo_model.append(current)
+            if len(self.redo_model) > 8:
+                self.redo_model.pop(0)
+        else:
+            try:
+                self.store.undo(self.OBJ, current_state=current)
+                raise AssertionError("undo should have failed")
+            except HistoryError:
+                pass
+
+    @rule()
+    def redo(self):
+        self.counter += 1
+        current = {"v": self.counter}
+        if self.redo_model:
+            entry = self.store.redo(self.OBJ, current_state=current)
+            assert dict(entry.state) == self.redo_model.pop()
+            self.undo_model.append(current)
+            if len(self.undo_model) > 8:
+                self.undo_model.pop(0)
+        else:
+            try:
+                self.store.redo(self.OBJ, current_state=current)
+                raise AssertionError("redo should have failed")
+            except HistoryError:
+                pass
+
+    @invariant()
+    def depths_match(self):
+        assert self.store.depth(self.OBJ) == (
+            len(self.undo_model),
+            len(self.redo_model),
+        )
+
+
+TestLockTableStateful = LockTableMachine.TestCase
+TestLockTableStateful.settings = settings(max_examples=60)
+TestHistoryStateful = HistoryMachine.TestCase
+TestHistoryStateful.settings = settings(max_examples=60)

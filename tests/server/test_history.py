@@ -1,0 +1,117 @@
+"""Unit tests for the historical-UI-state store (undo/redo)."""
+
+import pytest
+
+from repro.errors import HistoryError
+from repro.server.couples import global_id
+from repro.server.history import HistoricalState, HistoryStore
+
+OBJ = global_id("a", "/app/form")
+OTHER = global_id("b", "/app/form")
+
+
+def entry(state, reason="copy"):
+    return HistoricalState(obj=OBJ, state=state, timestamp=1.0, reason=reason)
+
+
+class TestUndo:
+    def test_push_and_undo_lifo(self):
+        store = HistoryStore()
+        store.push(entry({"v": 1}))
+        store.push(entry({"v": 2}))
+        assert store.undo(OBJ).state == {"v": 2}
+        assert store.undo(OBJ).state == {"v": 1}
+
+    def test_undo_empty_raises(self):
+        with pytest.raises(HistoryError):
+            HistoryStore().undo(OBJ)
+
+    def test_depth_reporting(self):
+        store = HistoryStore()
+        store.push(entry({"v": 1}))
+        assert store.depth(OBJ) == (1, 0)
+        store.undo(OBJ, current_state={"v": 9})
+        assert store.depth(OBJ) == (0, 1)
+
+    def test_peek_does_not_pop(self):
+        store = HistoryStore()
+        store.push(entry({"v": 1}))
+        assert store.peek(OBJ).state == {"v": 1}
+        assert store.depth(OBJ) == (1, 0)
+
+    def test_peek_empty_is_none(self):
+        assert HistoryStore().peek(OBJ) is None
+
+    def test_bounded_depth_drops_oldest(self):
+        store = HistoryStore(max_depth=2)
+        for i in range(4):
+            store.push(entry({"v": i}))
+        assert store.undo(OBJ).state == {"v": 3}
+        assert store.undo(OBJ).state == {"v": 2}
+        with pytest.raises(HistoryError):
+            store.undo(OBJ)
+
+    def test_max_depth_validated(self):
+        with pytest.raises(ValueError):
+            HistoryStore(max_depth=0)
+
+
+class TestRedo:
+    def test_undo_then_redo(self):
+        store = HistoryStore()
+        store.push(entry({"v": 1}))
+        undone = store.undo(OBJ, current_state={"v": 2})
+        assert undone.state == {"v": 1}
+        redone = store.redo(OBJ, current_state={"v": 1})
+        assert redone.state == {"v": 2}
+        # And the redo pushed the pre-redo state back onto undo.
+        assert store.undo(OBJ).state == {"v": 1}
+
+    def test_redo_empty_raises(self):
+        with pytest.raises(HistoryError):
+            HistoryStore().redo(OBJ)
+
+    def test_new_push_clears_redo(self):
+        store = HistoryStore()
+        store.push(entry({"v": 1}))
+        store.undo(OBJ, current_state={"v": 2})
+        store.push(entry({"v": 3}))
+        with pytest.raises(HistoryError):
+            store.redo(OBJ)
+
+    def test_undo_without_current_state_skips_redo(self):
+        store = HistoryStore()
+        store.push(entry({"v": 1}))
+        store.undo(OBJ)
+        with pytest.raises(HistoryError):
+            store.redo(OBJ)
+
+
+class TestIsolationAndCleanup:
+    def test_objects_are_independent(self):
+        store = HistoryStore()
+        store.push(entry({"v": 1}))
+        store.push(
+            HistoricalState(obj=OTHER, state={"w": 9}, timestamp=0.0)
+        )
+        assert store.undo(OTHER).state == {"w": 9}
+        assert store.depth(OBJ) == (1, 0)
+
+    def test_forget_instance(self):
+        store = HistoryStore()
+        store.push(entry({"v": 1}))
+        store.push(HistoricalState(obj=OTHER, state={"w": 1}))
+        dropped = store.forget_instance("a")
+        assert dropped == 1
+        assert store.objects() == [OTHER]
+
+    def test_len_counts_undo_entries(self):
+        store = HistoryStore()
+        store.push(entry({"v": 1}))
+        store.push(entry({"v": 2}))
+        assert len(store) == 2
+
+    def test_wire_form(self):
+        wire = entry({"v": 1}, reason="copy_from").to_wire()
+        assert wire["obj"] == ["a", "/app/form"]
+        assert wire["reason"] == "copy_from"

@@ -1,0 +1,128 @@
+"""Unit tests for the floor-control lock table (§3.2)."""
+
+from repro.server.couples import global_id
+from repro.server.locks import LockOwner, LockTable
+
+X = global_id("a", "/x")
+Y = global_id("b", "/y")
+Z = global_id("c", "/z")
+
+ALICE = LockOwner("inst-a", 1)
+ALICE2 = LockOwner("inst-a", 2)
+BOB = LockOwner("inst-b", 1)
+
+
+class TestSingleLocks:
+    def test_acquire_and_holder(self):
+        table = LockTable()
+        assert table.acquire(X, ALICE)
+        assert table.holder(X) == ALICE
+        assert table.is_locked(X)
+
+    def test_reacquire_same_owner_ok(self):
+        table = LockTable()
+        table.acquire(X, ALICE)
+        assert table.acquire(X, ALICE)
+
+    def test_conflicting_owner_denied(self):
+        table = LockTable()
+        table.acquire(X, ALICE)
+        assert not table.acquire(X, BOB)
+
+    def test_same_instance_token_transfer(self):
+        # A newer token of the same instance takes the lock over (its own
+        # events are FIFO-ordered end to end), and the old owner can no
+        # longer release it.
+        table = LockTable()
+        table.acquire(X, ALICE)
+        assert table.acquire(X, ALICE2)
+        assert table.holder(X) == ALICE2
+        assert not table.release(X, ALICE)
+        assert table.release(X, ALICE2)
+
+    def test_group_transfer_rollback_restores_previous_owner(self):
+        table = LockTable()
+        table.acquire(X, ALICE)   # older token of the same instance
+        table.acquire(Z, BOB)     # blocks the group attempt
+        granted, conflicts = table.acquire_all([X, Y, Z], ALICE2)
+        assert not granted and conflicts == [Z]
+        # X went back to the old token, Y was fully released.
+        assert table.holder(X) == ALICE
+        assert not table.is_locked(Y)
+
+    def test_release_only_by_holder(self):
+        table = LockTable()
+        table.acquire(X, ALICE)
+        assert not table.release(X, BOB)
+        assert table.is_locked(X)
+        assert table.release(X, ALICE)
+        assert not table.is_locked(X)
+
+    def test_release_unlocked_returns_false(self):
+        assert not LockTable().release(X, ALICE)
+
+
+class TestGroupAcquisition:
+    def test_all_or_nothing_success(self):
+        table = LockTable()
+        granted, conflicts = table.acquire_all([X, Y, Z], ALICE)
+        assert granted and conflicts == []
+        assert len(table) == 3
+
+    def test_partial_failure_rolls_back(self):
+        table = LockTable()
+        table.acquire(Y, BOB)
+        granted, conflicts = table.acquire_all([X, Y, Z], ALICE)
+        assert not granted
+        assert conflicts == [Y]
+        # The paper's "undo locking": X must have been released again.
+        assert not table.is_locked(X)
+        assert not table.is_locked(Z)
+        assert table.holder(Y) == BOB
+
+    def test_rollback_does_not_release_preheld_own_locks(self):
+        table = LockTable()
+        table.acquire(X, ALICE)  # Alice already holds X from before
+        table.acquire(Z, BOB)
+        granted, _ = table.acquire_all([X, Y, Z], ALICE)
+        assert not granted
+        # X stays with Alice (it was not newly taken by this attempt).
+        assert table.holder(X) == ALICE
+        assert not table.is_locked(Y)
+
+    def test_release_all(self):
+        table = LockTable()
+        table.acquire_all([X, Y], ALICE)
+        released = table.release_all([X, Y, Z], ALICE)
+        assert released == 2
+        assert len(table) == 0
+
+    def test_stats_counters(self):
+        table = LockTable()
+        table.acquire_all([X], ALICE)
+        table.acquire_all([X], BOB)  # denied
+        table.release_all([X], ALICE)
+        assert table.stats.acquisitions == 1
+        assert table.stats.denials == 1
+        assert table.stats.releases == 1
+        assert table.stats.denial_rate == 0.5
+
+
+class TestCleanup:
+    def test_release_owner(self):
+        table = LockTable()
+        table.acquire_all([X, Y], ALICE)
+        table.acquire(Z, BOB)
+        assert table.release_owner(ALICE) == 2
+        assert table.is_locked(Z)
+
+    def test_release_instance_spans_tokens(self):
+        table = LockTable()
+        table.acquire(X, ALICE)
+        table.acquire(Y, ALICE2)  # same instance, another token
+        table.acquire(Z, BOB)
+        assert table.release_instance("inst-a") == 2
+        assert table.locked_objects() == [Z]
+
+    def test_owner_wire_roundtrip(self):
+        assert LockOwner.from_wire(ALICE.to_wire()) == ALICE

@@ -1,0 +1,119 @@
+"""Unit tests for the access-permission table (§2.2)."""
+
+import pytest
+
+from repro.server.couples import global_id
+from repro.server.permissions import (
+    COUPLE,
+    READ,
+    WRITE,
+    AccessControl,
+    PermissionRule,
+)
+
+BOARD = global_id("teacher", "/teacher/board")
+NOTES = global_id("teacher", "/teacher/notes")
+EXERCISE = global_id("student-1", "/student/exercise/answer")
+
+
+class TestRuleMatching:
+    def test_exact_match(self):
+        rule = PermissionRule("kim", "teacher", "/teacher/board", READ)
+        assert rule.matches("kim", BOARD, READ)
+        assert not rule.matches("kim", BOARD, WRITE)
+        assert not rule.matches("lee", BOARD, READ)
+
+    def test_wildcards(self):
+        rule = PermissionRule("*", "*", "", "*")
+        assert rule.matches("anyone", EXERCISE, COUPLE)
+
+    def test_path_prefix(self):
+        rule = PermissionRule("*", "teacher", "/teacher", READ)
+        assert rule.matches("x", BOARD, READ)
+        assert rule.matches("x", NOTES, READ)
+        assert not rule.matches("x", EXERCISE, READ)
+
+    def test_prefix_does_not_match_lookalike(self):
+        rule = PermissionRule("*", "teacher", "/teacher/boar", READ)
+        assert not rule.matches("x", BOARD, READ)
+
+    def test_unknown_right_rejected(self):
+        with pytest.raises(ValueError):
+            PermissionRule("*", "*", "", "fly")
+
+    def test_specificity_ordering(self):
+        broad = PermissionRule("*", "*", "", "*")
+        narrow = PermissionRule("kim", "teacher", "/teacher/board", READ)
+        assert narrow.specificity > broad.specificity
+
+    def test_wire_roundtrip(self):
+        rule = PermissionRule("kim", "teacher", "/teacher", READ, allow=False)
+        assert PermissionRule.from_wire(rule.to_wire()) == rule
+
+
+class TestDecisions:
+    def test_default_allow(self):
+        acl = AccessControl(default_allow=True)
+        assert acl.check("anyone", BOARD, WRITE)
+
+    def test_default_deny(self):
+        acl = AccessControl(default_allow=False)
+        assert not acl.check("anyone", BOARD, WRITE)
+
+    def test_grant_overrides_default_deny(self):
+        acl = AccessControl(default_allow=False)
+        acl.grant("kim", "teacher", "/teacher", READ)
+        assert acl.check("kim", BOARD, READ)
+        assert not acl.check("kim", BOARD, WRITE)
+
+    def test_deny_overrides_default_allow(self):
+        acl = AccessControl(default_allow=True)
+        acl.deny("kim", "teacher", "/teacher/board")
+        assert not acl.check("kim", BOARD, WRITE)
+        assert acl.check("kim", NOTES, WRITE)
+
+    def test_specific_rule_wins(self):
+        acl = AccessControl(default_allow=False)
+        acl.grant("*", "teacher", "/teacher", right="*")     # broad allow
+        acl.deny("kim", "teacher", "/teacher/board", right=WRITE)  # narrow deny
+        assert not acl.check("kim", BOARD, WRITE)
+        assert acl.check("kim", BOARD, READ)
+        assert acl.check("lee", BOARD, WRITE)
+
+    def test_equal_specificity_ties_deny(self):
+        acl = AccessControl()
+        acl.grant("kim", "teacher", "/teacher/board", READ)
+        acl.deny("kim", "teacher", "/teacher/board", READ)
+        assert not acl.check("kim", BOARD, READ)
+
+    def test_duplicate_rules_deduplicated(self):
+        acl = AccessControl()
+        acl.grant("kim")
+        acl.grant("kim")
+        assert len(acl) == 1
+
+    def test_remove_rule(self):
+        acl = AccessControl(default_allow=False)
+        rule = acl.grant("kim")
+        assert acl.check("kim", BOARD, READ)
+        assert acl.remove(rule)
+        assert not acl.check("kim", BOARD, READ)
+        assert not acl.remove(rule)
+
+    def test_forget_instance(self):
+        acl = AccessControl()
+        acl.grant("kim", "teacher")
+        acl.grant("kim", "student-1")
+        assert acl.forget_instance("teacher") == 1
+        assert len(acl) == 1
+
+    def test_classroom_policy_scenario(self):
+        """Teacher may touch everything; students only the shared exercise."""
+        acl = AccessControl(default_allow=False)
+        acl.grant("hoppe")  # the teacher
+        acl.grant("*", "student-1", "/student/exercise", right="*")
+        acl.grant("*", "teacher", "/teacher/notes", right=READ)
+        assert acl.check("hoppe", BOARD, COUPLE)
+        assert acl.check("kim", EXERCISE, WRITE)
+        assert acl.check("kim", NOTES, READ)
+        assert not acl.check("kim", BOARD, COUPLE)

@@ -1,0 +1,668 @@
+"""Protocol-level tests of the sans-I/O central server.
+
+A fake transport collects everything the server sends, so each handler can
+be asserted message by message, without a network.
+"""
+
+import pytest
+
+from repro.net import kinds
+from repro.net.clock import SimClock
+from repro.net.message import Message
+from repro.server.couples import gid_to_wire, global_id
+from repro.server.permissions import AccessControl, PermissionRule
+from repro.server.server import SERVER_ID, CosoftServer
+
+
+class FakeTransport:
+    def __init__(self):
+        self.sent = []
+        self.closed = False
+
+    @property
+    def local_id(self):
+        return SERVER_ID
+
+    def send(self, message):
+        self.sent.append(message)
+
+    def drive(self, predicate, timeout=5.0):
+        return predicate()
+
+    def close(self):
+        self.closed = True
+
+    def take(self):
+        out, self.sent = self.sent, []
+        return out
+
+
+@pytest.fixture
+def server():
+    srv = CosoftServer(clock=SimClock())
+    transport = FakeTransport()
+    srv.bind(transport)
+    return srv, transport
+
+
+def register(srv, transport, instance_id, user=None, app_type=""):
+    srv.handle_message(
+        Message(
+            kind=kinds.REGISTER,
+            sender=instance_id,
+            payload={"user": user or instance_id, "app_type": app_type},
+        )
+    )
+    return transport.take()
+
+
+A_OBJ = global_id("a", "/app/x")
+B_OBJ = global_id("b", "/app/x")
+C_OBJ = global_id("c", "/app/x")
+
+
+def couple(srv, sender, source, target, kind=kinds.COUPLE):
+    msg = Message(
+        kind=kind,
+        sender=sender,
+        payload={"source": gid_to_wire(source), "target": gid_to_wire(target)},
+    )
+    srv.handle_message(msg)
+    return msg
+
+
+class TestRegistration:
+    def test_register_ack_contains_roster_and_couples(self, server):
+        srv, transport = server
+        out = register(srv, transport, "a", user="alice")
+        assert out[0].kind == kinds.REGISTER_ACK
+        assert out[0].to == "a"
+        assert out[0].payload["roster"][0]["user"] == "alice"
+        assert out[0].payload["couples"] == []
+
+    def test_second_register_broadcasts_roster(self, server):
+        srv, transport = server
+        register(srv, transport, "a")
+        out = register(srv, transport, "b")
+        kinds_to = [(m.kind, m.to) for m in out]
+        assert (kinds.REGISTER_ACK, "b") in kinds_to
+        assert (kinds.INSTANCE_LIST, "a") in kinds_to
+
+    def test_double_register_errors(self, server):
+        srv, transport = server
+        register(srv, transport, "a")
+        out = register(srv, transport, "a")
+        assert out[0].kind == kinds.ERROR
+
+    def test_unregister_cleans_everything(self, server):
+        srv, transport = server
+        register(srv, transport, "a")
+        register(srv, transport, "b")
+        couple(srv, "a", A_OBJ, B_OBJ)
+        transport.take()
+        srv.handle_message(Message(kind=kinds.UNREGISTER, sender="a"))
+        out = transport.take()
+        # b hears about the removed link and the new roster.
+        assert any(
+            m.kind == kinds.COUPLE_UPDATE and m.payload["action"] == "remove"
+            for m in out
+        )
+        assert any(m.kind == kinds.INSTANCE_LIST for m in out)
+        assert len(srv.registry) == 1
+        assert len(srv.couples) == 0
+
+    def test_unregister_unknown_errors(self, server):
+        srv, transport = server
+        srv.handle_message(Message(kind=kinds.UNREGISTER, sender="ghost"))
+        assert transport.take()[0].kind == kinds.ERROR
+
+
+class TestCoupling:
+    def test_couple_broadcasts_to_all(self, server):
+        srv, transport = server
+        for inst in ("a", "b", "c"):
+            register(srv, transport, inst)
+        couple(srv, "a", A_OBJ, B_OBJ)
+        out = transport.take()
+        updates = [m for m in out if m.kind == kinds.COUPLE_UPDATE]
+        assert {m.to for m in updates} == {"a", "b", "c"}
+        # The requester's copy is a correlated reply.
+        requester_copy = [m for m in updates if m.to == "a"][0]
+        assert requester_copy.reply_to is not None
+        group = requester_copy.payload["group"]
+        assert sorted(tuple(g) for g in group) == sorted(
+            [tuple(gid_to_wire(A_OBJ)), tuple(gid_to_wire(B_OBJ))]
+        )
+
+    def test_couple_to_unregistered_instance_errors(self, server):
+        srv, transport = server
+        register(srv, transport, "a")
+        couple(srv, "a", A_OBJ, global_id("ghost", "/x"))
+        assert transport.take()[0].kind == kinds.ERROR
+        assert len(srv.couples) == 0
+
+    def test_couple_permission_denied(self, server):
+        srv, transport = server
+        srv.access = AccessControl(default_allow=False)
+        register(srv, transport, "a", user="alice")
+        register(srv, transport, "b")
+        couple(srv, "a", A_OBJ, B_OBJ)
+        out = transport.take()
+        assert out[0].kind == kinds.ERROR
+        assert "alice" in out[0].payload["reason"]
+
+    def test_remote_couple_by_third_party(self, server):
+        srv, transport = server
+        for inst in ("a", "b", "c"):
+            register(srv, transport, inst)
+        couple(srv, "c", A_OBJ, B_OBJ, kind=kinds.REMOTE_COUPLE)
+        assert srv.couples.has_link(A_OBJ, B_OBJ)
+
+    def test_decouple_removes_and_broadcasts(self, server):
+        srv, transport = server
+        register(srv, transport, "a")
+        register(srv, transport, "b")
+        couple(srv, "a", A_OBJ, B_OBJ)
+        transport.take()
+        couple(srv, "a", A_OBJ, B_OBJ, kind=kinds.DECOUPLE)
+        out = transport.take()
+        removals = [
+            m
+            for m in out
+            if m.kind == kinds.COUPLE_UPDATE and m.payload["action"] == "remove"
+        ]
+        assert {m.to for m in removals} == {"a", "b"}
+        assert len(srv.couples) == 0
+
+    def test_decouple_missing_link_errors(self, server):
+        srv, transport = server
+        register(srv, transport, "a")
+        register(srv, transport, "b")
+        couple(srv, "a", A_OBJ, B_OBJ, kind=kinds.DECOUPLE)
+        assert transport.take()[0].kind == kinds.ERROR
+
+    def test_subtree_decouple_on_destroy(self, server):
+        srv, transport = server
+        register(srv, transport, "a")
+        register(srv, transport, "b")
+        inner = global_id("a", "/app/x/deep")
+        couple(srv, "a", inner, B_OBJ)
+        transport.take()
+        srv.handle_message(
+            Message(
+                kind=kinds.DECOUPLE,
+                sender="a",
+                payload={"object": gid_to_wire(global_id("a", "/app/x"))},
+            )
+        )
+        assert len(srv.couples) == 0
+
+    def test_subtree_decouple_noop_confirms(self, server):
+        srv, transport = server
+        register(srv, transport, "a")
+        srv.handle_message(
+            Message(
+                kind=kinds.DECOUPLE,
+                sender="a",
+                payload={"object": gid_to_wire(A_OBJ)},
+            )
+        )
+        out = transport.take()
+        assert out[0].kind == kinds.COUPLE_UPDATE
+        assert out[0].payload["action"] == "noop"
+
+
+class TestFloorControl:
+    def _lock(self, srv, sender, obj, token=1):
+        srv.handle_message(
+            Message(
+                kind=kinds.LOCK_REQUEST,
+                sender=sender,
+                payload={"source": gid_to_wire(obj), "token": token},
+            )
+        )
+
+    def test_lock_grants_whole_group(self, server):
+        srv, transport = server
+        for inst in ("a", "b", "c"):
+            register(srv, transport, inst)
+        couple(srv, "a", A_OBJ, B_OBJ)
+        couple(srv, "b", B_OBJ, C_OBJ)
+        transport.take()
+        self._lock(srv, "a", A_OBJ)
+        reply = transport.take()[0]
+        assert reply.kind == kinds.LOCK_REPLY
+        assert reply.payload["granted"]
+        assert len(reply.payload["group"]) == 3
+        assert len(srv.locks) == 3
+
+    def test_conflicting_lock_denied_with_conflicts(self, server):
+        srv, transport = server
+        register(srv, transport, "a")
+        register(srv, transport, "b")
+        couple(srv, "a", A_OBJ, B_OBJ)
+        transport.take()
+        self._lock(srv, "a", A_OBJ, token=1)
+        transport.take()
+        self._lock(srv, "b", B_OBJ, token=1)
+        reply = transport.take()[0]
+        assert not reply.payload["granted"]
+        assert reply.payload["conflicts"]
+
+    def test_unlock_releases_floor(self, server):
+        srv, transport = server
+        register(srv, transport, "a")
+        register(srv, transport, "b")
+        couple(srv, "a", A_OBJ, B_OBJ)
+        transport.take()
+        self._lock(srv, "a", A_OBJ, token=5)
+        transport.take()
+        srv.handle_message(
+            Message(kind=kinds.UNLOCK, sender="a", payload={"token": 5})
+        )
+        assert len(srv.locks) == 0
+        self._lock(srv, "b", B_OBJ)
+        assert transport.take()[0].payload["granted"]
+
+    def test_uncoupled_lock_is_singleton_group(self, server):
+        srv, transport = server
+        register(srv, transport, "a")
+        self._lock(srv, "a", A_OBJ)
+        reply = transport.take()[0]
+        assert reply.payload["granted"]
+        assert len(reply.payload["group"]) == 1
+
+
+class TestEventBroadcast:
+    def _setup_group(self, srv, transport):
+        for inst in ("a", "b", "c"):
+            register(srv, transport, inst)
+        couple(srv, "a", A_OBJ, B_OBJ)
+        couple(srv, "a", A_OBJ, C_OBJ)
+        transport.take()
+
+    def _send_event(self, srv, token=1, release=True):
+        event_wire = {
+            "type": "value_changed",
+            "source_path": "/app/x",
+            "params": {"value": "v"},
+            "user": "alice",
+            "instance_id": "a",
+            "seq": 1,
+        }
+        srv.handle_message(
+            Message(
+                kind=kinds.EVENT,
+                sender="a",
+                payload={"event": event_wire, "token": token, "release": release},
+            )
+        )
+
+    def test_event_broadcast_to_other_members_only(self, server):
+        srv, transport = server
+        self._setup_group(srv, transport)
+        srv.handle_message(
+            Message(
+                kind=kinds.LOCK_REQUEST,
+                sender="a",
+                payload={"source": gid_to_wire(A_OBJ), "token": 1},
+            )
+        )
+        transport.take()
+        self._send_event(srv, token=1)
+        out = transport.take()
+        broadcasts = [m for m in out if m.kind == kinds.EVENT_BROADCAST]
+        assert {m.to for m in broadcasts} == {"b", "c"}
+        assert broadcasts[0].payload["targets"] == ["/app/x"]
+        assert broadcasts[0].payload["owner"] == ["a", 1]
+        # The floor is held until every receiver acknowledges (§3.2:
+        # unlocked "when the processing of this event is completed").
+        assert len(srv.locks) == 3
+        srv.handle_message(
+            Message(kind=kinds.EVENT_ACK, sender="b", payload={"owner": ["a", 1]})
+        )
+        assert len(srv.locks) == 3
+        srv.handle_message(
+            Message(kind=kinds.EVENT_ACK, sender="c", payload={"owner": ["a", 1]})
+        )
+        assert len(srv.locks) == 0
+
+    def test_event_without_lock_uses_current_group(self, server):
+        srv, transport = server
+        self._setup_group(srv, transport)
+        self._send_event(srv, token=99)
+        broadcasts = [
+            m for m in transport.take() if m.kind == kinds.EVENT_BROADCAST
+        ]
+        assert {m.to for m in broadcasts} == {"b", "c"}
+
+    def test_event_with_release_false_keeps_locks(self, server):
+        srv, transport = server
+        self._setup_group(srv, transport)
+        srv.handle_message(
+            Message(
+                kind=kinds.LOCK_REQUEST,
+                sender="a",
+                payload={"source": gid_to_wire(A_OBJ), "token": 1},
+            )
+        )
+        transport.take()
+        self._send_event(srv, token=1, release=False)
+        assert len(srv.locks) == 3
+
+
+class TestStateMediation:
+    def test_fetch_state_forwarded_and_reply_routed(self, server):
+        srv, transport = server
+        register(srv, transport, "a")
+        register(srv, transport, "b")
+        fetch = Message(
+            kind=kinds.FETCH_STATE,
+            sender="a",
+            payload={"object": gid_to_wire(B_OBJ)},
+        )
+        srv.handle_message(fetch)
+        forwarded = transport.take()[0]
+        assert forwarded.kind == kinds.FETCH_STATE
+        assert forwarded.to == "b"
+        # Owner answers.
+        srv.handle_message(
+            Message(
+                kind=kinds.STATE_REPLY,
+                sender="b",
+                payload={"state": {"": {"v": 1}}},
+                reply_to=forwarded.msg_id,
+            )
+        )
+        routed = transport.take()[0]
+        assert routed.kind == kinds.STATE_REPLY
+        assert routed.to == "a"
+        assert routed.reply_to == fetch.msg_id
+
+    def test_fetch_state_owner_error_routed_back(self, server):
+        srv, transport = server
+        register(srv, transport, "a")
+        register(srv, transport, "b")
+        fetch = Message(
+            kind=kinds.FETCH_STATE,
+            sender="a",
+            payload={"object": gid_to_wire(B_OBJ)},
+        )
+        srv.handle_message(fetch)
+        forwarded = transport.take()[0]
+        srv.handle_message(
+            Message(
+                kind=kinds.ERROR,
+                sender="b",
+                payload={"reason": "no such object"},
+                reply_to=forwarded.msg_id,
+            )
+        )
+        routed = transport.take()[0]
+        assert routed.kind == kinds.ERROR
+        assert routed.to == "a"
+        assert routed.reply_to == fetch.msg_id
+
+    def test_pending_fetch_fails_fast_when_owner_leaves(self, server):
+        """A forwarded fetch whose owner unregisters is failed back to the
+        requester immediately (no leaked route, no requester timeout)."""
+        srv, transport = server
+        register(srv, transport, "a")
+        register(srv, transport, "b")
+        fetch = Message(
+            kind=kinds.FETCH_STATE,
+            sender="a",
+            payload={"object": gid_to_wire(B_OBJ)},
+        )
+        srv.handle_message(fetch)
+        transport.take()
+        srv.handle_message(Message(kind=kinds.UNREGISTER, sender="b"))
+        out = transport.take()
+        errors = [m for m in out if m.kind == kinds.ERROR]
+        assert errors and errors[0].to == "a"
+        assert errors[0].reply_to == fetch.msg_id
+        assert srv._pending == {}
+
+    def test_fetch_from_unregistered_owner_errors(self, server):
+        srv, transport = server
+        register(srv, transport, "a")
+        srv.handle_message(
+            Message(
+                kind=kinds.FETCH_STATE,
+                sender="a",
+                payload={"object": gid_to_wire(global_id("ghost", "/x"))},
+            )
+        )
+        assert transport.take()[0].kind == kinds.ERROR
+
+    def test_fetch_read_permission_enforced(self, server):
+        srv, transport = server
+        srv.access = AccessControl(default_allow=False)
+        register(srv, transport, "a", user="alice")
+        register(srv, transport, "b")
+        srv.handle_message(
+            Message(
+                kind=kinds.FETCH_STATE,
+                sender="a",
+                payload={"object": gid_to_wire(B_OBJ)},
+            )
+        )
+        assert transport.take()[0].kind == kinds.ERROR
+
+    def test_push_state_forwarded_with_ack(self, server):
+        srv, transport = server
+        register(srv, transport, "a")
+        register(srv, transport, "b")
+        push = Message(
+            kind=kinds.PUSH_STATE,
+            sender="a",
+            payload={
+                "target": gid_to_wire(B_OBJ),
+                "state": {"": {"v": 2}},
+                "mode": "strict",
+            },
+        )
+        srv.handle_message(push)
+        out = transport.take()
+        assert out[0].kind == kinds.PUSH_STATE and out[0].to == "b"
+        assert out[1].kind == kinds.STATE_REPLY and out[1].reply_to == push.msg_id
+
+    def test_remote_copy_two_hop_flow(self, server):
+        srv, transport = server
+        for inst in ("a", "b", "c"):
+            register(srv, transport, inst)
+        remote = Message(
+            kind=kinds.REMOTE_COPY,
+            sender="c",
+            payload={
+                "source": gid_to_wire(A_OBJ),
+                "target": gid_to_wire(B_OBJ),
+                "mode": "merge",
+            },
+        )
+        srv.handle_message(remote)
+        fetch = transport.take()[0]
+        assert fetch.kind == kinds.FETCH_STATE and fetch.to == "a"
+        srv.handle_message(
+            Message(
+                kind=kinds.STATE_REPLY,
+                sender="a",
+                payload={"state": {"": {"v": 1}}, "structure": None},
+                reply_to=fetch.msg_id,
+            )
+        )
+        out = transport.take()
+        push = [m for m in out if m.kind == kinds.PUSH_STATE][0]
+        assert push.to == "b"
+        assert push.payload["mode"] == "merge"
+        assert push.payload["target"] == gid_to_wire(B_OBJ)
+        ack = [m for m in out if m.kind == kinds.STATE_REPLY][0]
+        assert ack.to == "c" and ack.reply_to == remote.msg_id
+
+
+class TestHistoryAndUndo:
+    def test_history_push_and_undo(self, server):
+        srv, transport = server
+        register(srv, transport, "a")
+        srv.handle_message(
+            Message(
+                kind=kinds.HISTORY_PUSH,
+                sender="a",
+                payload={
+                    "object": gid_to_wire(A_OBJ),
+                    "state": {"": {"v": "old"}},
+                    "reason": "push_state",
+                },
+            )
+        )
+        undo = Message(
+            kind=kinds.UNDO_REQUEST,
+            sender="a",
+            payload={
+                "object": gid_to_wire(A_OBJ),
+                "current_state": {"": {"v": "new"}},
+            },
+        )
+        srv.handle_message(undo)
+        reply = transport.take()[0]
+        assert reply.kind == kinds.UNDO_REPLY
+        assert reply.payload["state"] == {"": {"v": "old"}}
+
+    def test_undo_empty_history_errors(self, server):
+        srv, transport = server
+        register(srv, transport, "a")
+        srv.handle_message(
+            Message(
+                kind=kinds.UNDO_REQUEST,
+                sender="a",
+                payload={"object": gid_to_wire(A_OBJ)},
+            )
+        )
+        assert transport.take()[0].kind == kinds.ERROR
+
+
+class TestCommands:
+    def test_command_fanout_excludes_sender(self, server):
+        srv, transport = server
+        for inst in ("a", "b", "c"):
+            register(srv, transport, inst)
+        srv.handle_message(
+            Message(
+                kind=kinds.COMMAND,
+                sender="a",
+                payload={"command": "ping", "data": 1, "targets": []},
+            )
+        )
+        out = transport.take()
+        assert {m.to for m in out} == {"b", "c"}
+        assert all(m.payload["origin"] == "a" for m in out)
+
+    def test_command_targeted(self, server):
+        srv, transport = server
+        for inst in ("a", "b", "c"):
+            register(srv, transport, inst)
+        srv.handle_message(
+            Message(
+                kind=kinds.COMMAND,
+                sender="a",
+                payload={"command": "ping", "data": 1, "targets": ["b"]},
+            )
+        )
+        out = transport.take()
+        assert [m.to for m in out] == ["b"]
+
+    def test_command_reply_routed_to_origin(self, server):
+        srv, transport = server
+        register(srv, transport, "a")
+        register(srv, transport, "b")
+        srv.handle_message(
+            Message(
+                kind=kinds.COMMAND_REPLY,
+                sender="b",
+                payload={"data": 42, "origin": "a", "origin_msg_id": 7},
+            )
+        )
+        out = transport.take()[0]
+        assert out.to == "a"
+        assert out.reply_to == 7
+        assert out.payload["responder"] == "b"
+
+    def test_command_to_unknown_target_errors(self, server):
+        srv, transport = server
+        register(srv, transport, "a")
+        srv.handle_message(
+            Message(
+                kind=kinds.COMMAND,
+                sender="a",
+                payload={"command": "ping", "targets": ["ghost"]},
+            )
+        )
+        assert transport.take()[0].kind == kinds.ERROR
+
+
+class TestPermissionManagement:
+    def test_own_instance_rules_allowed(self, server):
+        srv, transport = server
+        register(srv, transport, "a", user="alice")
+        rule = PermissionRule("*", "a", "/app", "read")
+        srv.handle_message(
+            Message(
+                kind=kinds.PERMISSION_SET,
+                sender="a",
+                payload={"rule": rule.to_wire()},
+            )
+        )
+        assert transport.take()[0].kind == kinds.PERMISSION_REPLY
+        assert rule in srv.access.rules()
+
+    def test_foreign_instance_rules_rejected(self, server):
+        srv, transport = server
+        register(srv, transport, "a", user="alice")
+        rule = PermissionRule("*", "b", "/app", "read")
+        srv.handle_message(
+            Message(
+                kind=kinds.PERMISSION_SET,
+                sender="a",
+                payload={"rule": rule.to_wire()},
+            )
+        )
+        assert transport.take()[0].kind == kinds.ERROR
+
+    def test_admin_may_set_anything(self, server):
+        srv, transport = server
+        srv.admin_users.add("root")
+        register(srv, transport, "a", user="root")
+        rule = PermissionRule("*", "b", "/app", "read")
+        srv.handle_message(
+            Message(
+                kind=kinds.PERMISSION_SET,
+                sender="a",
+                payload={"rule": rule.to_wire()},
+            )
+        )
+        assert transport.take()[0].kind == kinds.PERMISSION_REPLY
+
+    def test_remove_action(self, server):
+        srv, transport = server
+        register(srv, transport, "a", user="alice")
+        rule = PermissionRule("*", "a", "/app", "read")
+        srv.access.add(rule)
+        srv.handle_message(
+            Message(
+                kind=kinds.PERMISSION_SET,
+                sender="a",
+                payload={"rule": rule.to_wire(), "action": "remove"},
+            )
+        )
+        transport.take()
+        assert rule not in srv.access.rules()
+
+
+class TestStats:
+    def test_stats_shape(self, server):
+        srv, transport = server
+        register(srv, transport, "a")
+        stats = srv.stats()
+        assert stats["registered"] == 1
+        assert stats["processed"][kinds.REGISTER] == 1
+        assert "lock_stats" in stats

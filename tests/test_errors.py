@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_family_bases(self):
+        assert issubclass(errors.UnknownAttributeError, errors.ToolkitError)
+        assert issubclass(errors.CodecError, errors.NetworkError)
+        assert issubclass(errors.LockDeniedError, errors.ServerError)
+        assert issubclass(errors.IncompatibleObjectsError, errors.CouplingError)
+
+    def test_dual_inheritance_for_std_idioms(self):
+        # These double as the standard exceptions callers expect.
+        assert issubclass(errors.UnknownAttributeError, AttributeError)
+        assert issubclass(errors.AttributeValidationError, ValueError)
+        assert issubclass(errors.PathError, KeyError)
+        assert issubclass(errors.CodecError, ValueError)
+
+    def test_messages_carry_context(self):
+        exc = errors.UnknownAttributeError("pushbutton", "bogus")
+        assert "pushbutton" in str(exc) and "bogus" in str(exc)
+        exc2 = errors.PermissionDeniedError("kim", "teacher:/board", "write")
+        assert exc2.user == "kim" and exc2.right == "write"
+        exc3 = errors.IncompatibleObjectsError("a", "b", "shape mismatch")
+        assert exc3.reason == "shape mismatch"
+        exc4 = errors.UnknownCommandError("frobnicate")
+        assert exc4.command == "frobnicate"
+        exc5 = errors.NotRegisteredError("inst-1")
+        assert exc5.instance_id == "inst-1"
+
+    def test_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.AttributeValidationError("x", 1, "nope")

@@ -1,0 +1,55 @@
+"""Guard the runnable examples: each must execute cleanly end to end.
+
+Examples rot silently otherwise; running them as subprocesses also checks
+the package is importable the way a user would import it.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=lambda path: path.name
+)
+def test_example_runs_cleanly(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "classroom_session.py",
+        "cooperative_retrieval.py",
+        "shared_whiteboard.py",
+        "heterogeneous_coupling.py",
+        "control_room.py",
+        "record_replay.py",
+    } <= names
+
+
+def test_module_demo_runs():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "classroom_lesson" in result.stdout
+    assert "design_meeting" in result.stdout

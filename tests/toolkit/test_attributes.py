@@ -1,0 +1,170 @@
+"""Unit tests for the toolkit attribute model."""
+
+import pytest
+
+from repro.errors import AttributeValidationError, UnknownAttributeError
+from repro.toolkit.attributes import (
+    Attribute,
+    AttributeSet,
+    any_value,
+    diff_states,
+    json_safe,
+    non_negative,
+    of_type,
+    one_of,
+    positive,
+    string_list,
+)
+
+
+class TestJsonSafe:
+    def test_scalars(self):
+        for value in ("x", 1, 1.5, True, None):
+            assert json_safe(value)
+
+    def test_nested_containers(self):
+        assert json_safe({"a": [1, {"b": None}], "c": (1, 2)})
+
+    def test_rejects_objects(self):
+        assert not json_safe(object())
+        assert not json_safe({"a": object()})
+        assert not json_safe([1, set()])
+
+    def test_rejects_non_string_dict_keys(self):
+        assert not json_safe({1: "x"})
+
+
+class TestValidators:
+    def test_of_type_accepts(self):
+        assert of_type(int, float)(3) is None
+        assert of_type(str)("x") is None
+
+    def test_of_type_rejects_with_reason(self):
+        reason = of_type(int)("x")
+        assert "int" in reason and "str" in reason
+
+    def test_one_of(self):
+        check = one_of("a", "b")
+        assert check("a") is None
+        assert check("c") is not None
+
+    def test_non_negative(self):
+        assert non_negative(0) is None
+        assert non_negative(2.5) is None
+        assert non_negative(-1) is not None
+        assert non_negative(True) is not None  # bools are not numbers here
+        assert non_negative("3") is not None
+
+    def test_positive(self):
+        assert positive(1) is None
+        assert positive(0) is not None
+        assert positive(-2) is not None
+
+    def test_string_list(self):
+        assert string_list(["a", "b"]) is None
+        assert string_list([]) is None
+        assert string_list("ab") is not None
+        assert string_list(["a", 1]) is not None
+
+    def test_any_value(self):
+        assert any_value(object()) is None
+
+
+class TestAttribute:
+    def test_requires_identifier_name(self):
+        with pytest.raises(ValueError):
+            Attribute("bad name")
+        with pytest.raises(ValueError):
+            Attribute("bad/name")
+
+    def test_requires_json_safe_default(self):
+        with pytest.raises(ValueError):
+            Attribute("x", default=object())
+
+    def test_fresh_default_copies_mutables(self):
+        attr = Attribute("items", default=[])
+        first = attr.fresh_default()
+        first.append(1)
+        assert attr.fresh_default() == []
+
+    def test_fresh_default_shares_scalars(self):
+        attr = Attribute("n", default=7)
+        assert attr.fresh_default() == 7
+
+    def test_validate_rejects_non_json(self):
+        attr = Attribute("x")
+        with pytest.raises(AttributeValidationError):
+            attr.validate(object())
+
+    def test_validate_runs_validator(self):
+        attr = Attribute("n", default=0, validator=non_negative)
+        attr.validate(3)
+        with pytest.raises(AttributeValidationError) as exc:
+            attr.validate(-1)
+        assert exc.value.attribute == "n"
+
+    def test_repr_mentions_relevance(self):
+        assert "relevant" in repr(Attribute("x", relevant=True))
+        assert "irrelevant" in repr(Attribute("x"))
+
+
+class TestAttributeSet:
+    def build(self):
+        return AttributeSet(
+            [
+                Attribute("value", "", relevant=True),
+                Attribute("width", 10),
+                Attribute("items", [], relevant=True),
+            ]
+        )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeSet([Attribute("x"), Attribute("x")])
+
+    def test_names_preserve_order(self):
+        assert self.build().names() == ("value", "width", "items")
+
+    def test_relevant_names(self):
+        assert self.build().relevant_names() == ("value", "items")
+
+    def test_extended_overrides_and_adds(self):
+        base = self.build()
+        extended = base.extended(
+            [Attribute("width", 99), Attribute("extra", 1)]
+        )
+        assert extended.get("width").default == 99
+        assert "extra" in extended
+        # base is unchanged (immutability)
+        assert base.get("width").default == 10
+        assert "extra" not in base
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownAttributeError) as exc:
+            self.build().get("nope", "mywidget")
+        assert exc.value.widget_type == "mywidget"
+
+    def test_defaults_are_independent(self):
+        attrs = self.build()
+        d1, d2 = attrs.defaults(), attrs.defaults()
+        d1["items"].append(1)
+        assert d2["items"] == []
+
+    def test_len_and_iter(self):
+        attrs = self.build()
+        assert len(attrs) == 3
+        assert [a.name for a in attrs] == ["value", "width", "items"]
+
+
+class TestDiffStates:
+    def test_reports_changed_only(self):
+        old = {"a": 1, "b": 2}
+        new = {"a": 1, "b": 3}
+        assert diff_states(old, new) == {"b": 3}
+
+    def test_reports_added_keys(self):
+        assert diff_states({}, {"a": 1}) == {"a": 1}
+
+    def test_identical_is_empty(self):
+        state = {"a": [1, 2], "b": "x"}
+        assert diff_states(state, dict(state)) == {}

@@ -1,0 +1,136 @@
+"""Unit tests for the declarative UI builder."""
+
+import pytest
+
+from repro.errors import BuilderError
+from repro.toolkit.builder import build, clone, to_spec, validate_spec
+from repro.toolkit.tree import structure_signature, subtree_state
+from repro.toolkit.widgets import Form, Shell, TextField
+
+
+SPEC = {
+    "type": "shell",
+    "name": "app",
+    "state": {"title": "Demo"},
+    "children": [
+        {
+            "type": "form",
+            "name": "form",
+            "children": [
+                {"type": "textfield", "name": "name", "state": {"width": 12}},
+                {"type": "pushbutton", "name": "ok", "state": {"label": "OK"}},
+            ],
+        }
+    ],
+}
+
+
+class TestValidate:
+    def test_accepts_good_spec(self):
+        validate_spec(SPEC)
+
+    def test_requires_type_and_name(self):
+        with pytest.raises(BuilderError):
+            validate_spec({"type": "form"})
+        with pytest.raises(BuilderError):
+            validate_spec({"name": "x"})
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(BuilderError):
+            validate_spec({"type": "form", "name": "x", "bogus": 1})
+
+    def test_rejects_unknown_widget_type(self):
+        with pytest.raises(BuilderError):
+            validate_spec({"type": "hologram", "name": "x"})
+
+    def test_rejects_duplicate_children(self):
+        spec = {
+            "type": "form",
+            "name": "f",
+            "children": [
+                {"type": "label", "name": "x"},
+                {"type": "label", "name": "x"},
+            ],
+        }
+        with pytest.raises(BuilderError):
+            validate_spec(spec)
+
+    def test_rejects_nested_errors_with_path(self):
+        spec = {
+            "type": "form",
+            "name": "f",
+            "children": [{"type": "nope", "name": "inner"}],
+        }
+        with pytest.raises(BuilderError):
+            validate_spec(spec)
+
+    def test_rejects_non_mapping_state(self):
+        with pytest.raises(BuilderError):
+            validate_spec({"type": "form", "name": "f", "state": [1]})
+
+    def test_rejects_non_list_children(self):
+        with pytest.raises(BuilderError):
+            validate_spec({"type": "form", "name": "f", "children": {}})
+
+
+class TestBuild:
+    def test_builds_structure(self):
+        root = build(SPEC)
+        assert isinstance(root, Shell)
+        assert root.get("title") == "Demo"
+        field = root.find("/app/form/name")
+        assert isinstance(field, TextField)
+        assert field.get("width") == 12
+
+    def test_attach_to_parent(self):
+        parent = Form("container")
+        child = build({"type": "label", "name": "l"}, parent=parent)
+        assert child.parent is parent
+
+    def test_build_validates_first(self):
+        with pytest.raises(BuilderError):
+            build({"type": "form"})
+
+
+class TestToSpec:
+    def test_roundtrip_structure(self):
+        root = build(SPEC)
+        rebuilt = build(to_spec(root))
+        assert structure_signature(root) == structure_signature(rebuilt)
+
+    def test_roundtrip_state(self):
+        root = build(SPEC)
+        root.find("/app/form/name").set("value", "typed")
+        rebuilt = build(to_spec(root))
+        assert subtree_state(rebuilt) == subtree_state(root)
+
+    def test_compact_spec_omits_defaults(self):
+        root = build({"type": "textfield", "name": "t"})
+        spec = to_spec(root)
+        assert "state" not in spec
+
+    def test_full_state_includes_defaults(self):
+        root = build({"type": "textfield", "name": "t"})
+        spec = to_spec(root, full_state=True)
+        assert spec["state"]["width"] == 10
+
+
+class TestClone:
+    def test_clone_is_deep_and_detached(self):
+        root = build(SPEC)
+        root.find("/app/form/name").set("value", "original")
+        copy = clone(root)
+        copy.find("/app/form/name").set("value", "changed")
+        assert root.find("/app/form/name").get("value") == "original"
+
+    def test_clone_rename(self):
+        root = build(SPEC)
+        copy = clone(root, name="other")
+        assert copy.name == "other"
+        assert copy.find("/other/form/name") is not None
+
+    def test_clone_into_parent(self):
+        root = build(SPEC)
+        container = Form("holder")
+        copy = clone(root.find("/app/form"), name="f2", parent=container)
+        assert copy.pathname == "/holder/f2"

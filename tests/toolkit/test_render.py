@@ -1,0 +1,127 @@
+"""Unit tests for the virtual text renderer."""
+
+import pytest
+
+from repro.toolkit.render import FrameBuffer, render
+from repro.toolkit.widgets import (
+    Canvas,
+    Form,
+    Label,
+    ListBox,
+    OptionMenu,
+    PushButton,
+    Scale,
+    Shell,
+    TextArea,
+    TextField,
+    ToggleButton,
+)
+
+
+class TestFrameBuffer:
+    def test_dimensions_validated(self):
+        with pytest.raises(ValueError):
+            FrameBuffer(0, 5)
+
+    def test_put_and_clip(self):
+        fb = FrameBuffer(3, 2)
+        fb.put(0, 0, "A")
+        fb.put(99, 99, "B")  # silently clipped
+        fb.put(-1, 0, "C")
+        assert fb.to_string().splitlines()[0] == "A"
+
+    def test_text_clipped_to_max_width(self):
+        fb = FrameBuffer(10, 1)
+        fb.text(0, 0, "abcdef", max_width=3)
+        assert fb.to_string() == "abc"
+
+    def test_box(self):
+        fb = FrameBuffer(4, 3)
+        fb.box(0, 0, 4, 3)
+        lines = fb.to_string().splitlines()
+        assert lines[0] == "+--+"
+        assert lines[1] == "|  |"
+        assert lines[2] == "+--+"
+
+    def test_tiny_box_is_noop(self):
+        fb = FrameBuffer(4, 3)
+        fb.box(0, 0, 1, 1)
+        assert fb.to_string().strip() == ""
+
+
+class TestRenderWidgets:
+    def test_label(self):
+        shell = Shell("app")
+        Label("l", parent=shell, text="hello", x=0, y=0)
+        assert "hello" in render(shell, 20, 2)
+
+    def test_button(self):
+        shell = Shell("app")
+        PushButton("b", parent=shell, label="OK")
+        assert "[OK]" in render(shell, 20, 2)
+
+    def test_toggle_marks_state(self):
+        shell = Shell("app")
+        toggle = ToggleButton("t", parent=shell, label="flag")
+        assert "( ) flag" in render(shell, 20, 2)
+        toggle.toggle()
+        assert "(x) flag" in render(shell, 20, 2)
+
+    def test_textfield_shows_content(self):
+        shell = Shell("app")
+        field = TextField("f", parent=shell, width=10)
+        field.commit("hi")
+        out = render(shell, 20, 2)
+        assert "|hi" in out
+
+    def test_textarea_lines(self):
+        shell = Shell("app")
+        area = TextArea("a", parent=shell, width=20)
+        area.commit("one\ntwo")
+        out = render(shell, 20, 4)
+        assert "one" in out and "two" in out
+
+    def test_optionmenu_selection(self):
+        shell = Shell("app")
+        OptionMenu(
+            "m", parent=shell, label="op", entries=["eq"], selection="eq"
+        )
+        assert "op <eq>" in render(shell, 20, 2)
+
+    def test_listbox_selection_marker(self):
+        shell = Shell("app")
+        box = ListBox("l", parent=shell, items=["aa", "bb"], width=10)
+        box.select_indices([1])
+        out = render(shell, 20, 4)
+        assert " aa" in out
+        assert ">bb" in out
+
+    def test_scale_knob_moves(self):
+        shell = Shell("app")
+        scale = Scale("s", parent=shell, width=12, maximum=10)
+        before = render(shell, 20, 2)
+        scale.set_value(10)
+        after = render(shell, 20, 2)
+        assert before != after
+        assert "#" in after
+
+    def test_canvas_strokes(self):
+        shell = Shell("app")
+        canvas = Canvas("c", parent=shell, width=10, height=5)
+        canvas.draw_stroke([(1, 1), (2, 2)])
+        out = render(shell, 20, 8)
+        assert "*" in out
+        assert "+" in out  # border
+
+    def test_invisible_widget_skipped(self):
+        shell = Shell("app")
+        Label("l", parent=shell, text="ghost", visible=False)
+        assert "ghost" not in render(shell, 20, 2)
+
+    def test_nested_offsets(self):
+        shell = Shell("app")
+        form = Form("f", parent=shell, x=2, y=1)
+        Label("l", parent=form, text="X", x=3, y=0)
+        lines = render(shell, 20, 3).splitlines()
+        assert len(lines) >= 2
+        assert lines[1][5] == "X"  # 2 + 3 columns, row 1

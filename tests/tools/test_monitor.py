@@ -1,0 +1,66 @@
+"""Tests for the server monitoring snapshot/dashboard."""
+
+import json
+
+import pytest
+
+from repro.session import LocalSession
+from repro.tools.monitor import format_dashboard, snapshot
+from repro.toolkit.widgets import Shell, TextField
+
+from conftest import make_demo_tree
+
+FIELD = "/app/form/name"
+
+
+@pytest.fixture
+def busy_session():
+    session = LocalSession()
+    a = session.create_instance("a", user="alice", app_type="editor")
+    b = session.create_instance("b", user="bob", app_type="editor")
+    ta = a.add_root(make_demo_tree())
+    tb = b.add_root(make_demo_tree())
+    a.couple(ta.find(FIELD), ("b", FIELD))
+    session.pump()
+    # One state copy to populate history, one held floor.
+    a.copy_from(ta.find(FIELD), ("b", FIELD))
+    grant = a.acquire_floor(ta.find(FIELD))
+    yield session, a, b, grant
+    session.close()
+
+
+class TestSnapshot:
+    def test_structure(self, busy_session):
+        session, a, b, _ = busy_session
+        snap = snapshot(session.server)
+        assert {r["instance_id"] for r in snap["registered"]} == {"a", "b"}
+        assert snap["couple_links"] == 1
+        assert snap["couple_groups"] == [[f"a:{FIELD}", f"b:{FIELD}"]]
+        assert len(snap["locks"]) == 2
+        assert all(l["holder"] == "a" for l in snap["locks"])
+        assert snap["histories"][f"a:{FIELD}"] == (1, 0)
+
+    def test_json_safe(self, busy_session):
+        session, *_ = busy_session
+        json.dumps(snapshot(session.server))  # must not raise
+
+    def test_lock_stats(self, busy_session):
+        session, a, b, grant = busy_session
+        snap = snapshot(session.server)
+        assert snap["lock_stats"]["acquisitions"] >= 1
+
+
+class TestDashboard:
+    def test_mentions_everything(self, busy_session):
+        session, *_ = busy_session
+        text = format_dashboard(session.server)
+        for fragment in ("alice", "bob", "Couple groups", "Floors held",
+                         "Historical UI states", f"a:{FIELD}"):
+            assert fragment in text
+
+    def test_empty_server_renders(self):
+        session = LocalSession()
+        text = format_dashboard(session.server)
+        assert "Floors held: none" in text
+        assert "Historical UI states: none" in text
+        session.close()

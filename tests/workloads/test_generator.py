@@ -1,0 +1,136 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.toolkit.builder import build
+from repro.toolkit.events import DRAW, KEY_PRESS, VALUE_CHANGED
+from repro.workloads import (
+    TEXT_PATH,
+    UserAction,
+    WorkloadConfig,
+    assign_ids,
+    contention_burst,
+    drawing_session,
+    editing_session,
+    standard_form_spec,
+    typing_burst,
+)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(n_users=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(actions_per_user=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(text_commit_ratio=0.9, menu_ratio=0.5)
+
+
+class TestStandardForm:
+    def test_spec_builds_and_paths_resolve(self):
+        root = build(standard_form_spec())
+        for path in (TEXT_PATH, "/app/form/menu", "/app/form/button",
+                     "/app/form/scale", "/app/board/canvas"):
+            assert root.find(path) is not None
+
+
+class TestEditingSession:
+    def test_deterministic(self):
+        config = WorkloadConfig(seed=3)
+        assert editing_session(config) == editing_session(config)
+
+    def test_seed_changes_workload(self):
+        a = editing_session(WorkloadConfig(seed=1))
+        b = editing_session(WorkloadConfig(seed=2))
+        assert a != b
+
+    def test_counts(self):
+        config = WorkloadConfig(n_users=3, actions_per_user=7)
+        actions = editing_session(config)
+        assert len(actions) == 21
+        assert {a.user for a in actions} == {0, 1, 2}
+
+    def test_sorted_with_sequential_ids(self):
+        actions = editing_session(WorkloadConfig())
+        times = [a.at for a in actions]
+        assert times == sorted(times)
+        assert [a.action_id for a in actions] == list(range(len(actions)))
+
+    def test_event_mix_roughly_follows_ratios(self):
+        config = WorkloadConfig(
+            n_users=4, actions_per_user=100, text_commit_ratio=0.5,
+            menu_ratio=0.3, seed=5,
+        )
+        actions = editing_session(config)
+        text = sum(1 for a in actions if a.event_type == VALUE_CHANGED)
+        frac = text / len(actions)
+        assert 0.4 < frac < 0.6
+
+    def test_actions_carry_params(self):
+        actions = editing_session(WorkloadConfig())
+        commits = [a for a in actions if a.event_type == VALUE_CHANGED]
+        assert all("value" in a.params for a in commits)
+
+
+class TestTypingBurst:
+    def test_fine_grained_one_event_per_key(self):
+        actions = typing_burst(text="abc", fine_grained=True)
+        assert len(actions) == 3
+        assert all(a.event_type == KEY_PRESS for a in actions)
+        assert [a.params["key"] for a in actions] == ["a", "b", "c"]
+
+    def test_coarse_single_commit(self):
+        actions = typing_burst(text="abc", fine_grained=False)
+        assert len(actions) == 1
+        assert actions[0].event_type == VALUE_CHANGED
+        assert actions[0].params["value"] == "abc"
+
+    def test_keystroke_spacing(self):
+        actions = typing_burst(
+            text="ab", keystroke_interval=0.5, start=1.0
+        )
+        assert actions[0].at == pytest.approx(1.0)
+        assert actions[1].at == pytest.approx(1.5)
+
+
+class TestDrawingSession:
+    def test_stroke_structure(self):
+        actions = drawing_session(n_users=2, strokes_per_user=3)
+        assert len(actions) == 6
+        for action in actions:
+            assert action.event_type == DRAW
+            stroke = action.params["stroke"]
+            assert len(stroke["points"]) == 8
+
+    def test_points_within_canvas(self):
+        actions = drawing_session(canvas_size=(10, 5), strokes_per_user=10)
+        for action in actions:
+            for x, y in action.params["stroke"]["points"]:
+                assert 0 <= x <= 9 and 0 <= y <= 4
+
+
+class TestContentionBurst:
+    def test_rounds_tightly_spaced(self):
+        actions = contention_burst(n_users=3, rounds=2, spacing=0.001)
+        assert len(actions) == 6
+        first_round = actions[:3]
+        spread = max(a.at for a in first_round) - min(a.at for a in first_round)
+        assert spread <= 0.002 + 1e-9
+
+    def test_each_round_covers_all_users(self):
+        actions = contention_burst(n_users=4, rounds=3)
+        for r in range(3):
+            chunk = actions[r * 4 : (r + 1) * 4]
+            assert {a.user for a in chunk} == {0, 1, 2, 3}
+
+
+class TestAssignIds:
+    def test_orders_by_time(self):
+        raw = [
+            UserAction(at=2.0, user=0, path="/x", event_type=VALUE_CHANGED),
+            UserAction(at=1.0, user=1, path="/x", event_type=VALUE_CHANGED),
+        ]
+        out = assign_ids(raw)
+        assert out[0].user == 1
+        assert [a.action_id for a in out] == [0, 1]

@@ -1,0 +1,69 @@
+"""Tests for the composite collaboration scenarios."""
+
+import pytest
+
+from repro.workloads.scenarios import (
+    classroom_lesson,
+    design_meeting,
+    joint_retrieval,
+)
+
+
+class TestClassroomLesson:
+    def test_runs_and_converges(self):
+        report = classroom_lesson(n_students=3, exercises=2, seed=5)
+        assert report.observations["reference_reached_all"] is True
+        assert report.messages > 0
+
+    def test_individual_work_costs_no_traffic(self):
+        report = classroom_lesson(n_students=4, exercises=1, seed=9)
+        assert report.observations["exercise0_solo_messages"] == 0
+
+    def test_help_requests_buffered(self):
+        report = classroom_lesson(n_students=4, exercises=1, seed=9)
+        assert report.observations["exercise0_help_queue"] >= 1
+
+    def test_deterministic(self):
+        a = classroom_lesson(seed=3)
+        b = classroom_lesson(seed=3)
+        assert a.messages == b.messages
+        assert a.observations == b.observations
+
+
+class TestJointRetrieval:
+    def test_every_query_reexecutes_everywhere(self):
+        report = joint_retrieval(n_participants=3, queries=4)
+        assert report.observations["queries_per_app"] == [4, 4, 4]
+
+    def test_forms_converge(self):
+        report = joint_retrieval(n_participants=3, queries=5)
+        assert report.observations["forms_converged"] is True
+
+    def test_scan_cost_scales_with_participants(self):
+        small = joint_retrieval(n_participants=2, queries=3, db_rows=200)
+        large = joint_retrieval(n_participants=4, queries=3, db_rows=200)
+        assert (
+            large.observations["total_rows_scanned"]
+            == 2 * small.observations["total_rows_scanned"]
+        )
+
+
+class TestDesignMeeting:
+    def test_rejoin_catches_up(self):
+        report = design_meeting(n_participants=4, strokes_per_phase=5)
+        assert report.observations["converged"] is True
+        counts = report.observations["stroke_counts"]
+        assert len(set(counts.values())) == 1
+        # The leaver's snapshot is strictly smaller than the final board.
+        assert report.observations["snapshot_while_away"] < max(counts.values())
+
+    def test_phases_recorded(self):
+        report = design_meeting()
+        assert "one-leaves" in report.phases
+        assert "re-join" in report.phases
+
+    def test_deterministic(self):
+        assert (
+            design_meeting(seed=4).observations
+            == design_meeting(seed=4).observations
+        )
