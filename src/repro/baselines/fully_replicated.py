@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Dict, List
 
 from repro.baselines.common import ArchitectureHarness
+from repro.cluster import ShardedCosoftCluster
 from repro.core.instance import ApplicationInstance
 from repro.server.permissions import AccessControl
 from repro.server.server import SERVER_ID, CosoftServer
@@ -44,8 +45,19 @@ class FullyReplicatedHarness(ArchitectureHarness):
         "single_user_reuse": "register with the server (one statement)",
     }
 
+    def __init__(self, n_users: int, *, shards: int = 0, **kwargs: Any):
+        # Number of cluster shards fronting the session; 0 keeps the
+        # paper's single central server.
+        self._shards = shards
+        super().__init__(n_users, **kwargs)
+
     def _setup(self) -> None:
-        self.server = CosoftServer(clock=self.clock, access=AccessControl())
+        if self._shards:
+            self.server: Any = ShardedCosoftCluster(
+                self._shards, clock=self.clock
+            )
+        else:
+            self.server = CosoftServer(clock=self.clock, access=AccessControl())
         self.server.bind(
             self.network.attach(SERVER_ID, self.server.handle_message)
         )

@@ -1,0 +1,14 @@
+"""Sharded COSOFT deployments: consistent hashing, routing, migration.
+
+The paper's single central server (§2.1) ties the whole session to one
+process.  This package scales it out while keeping every client-visible
+guarantee: a :class:`ShardedCosoftCluster` front-end speaks the exact
+``CosoftServer`` contract, partitions couple groups across embedded server
+shards with a :class:`HashRing`, and migrates a group between shards when
+a new couple link merges groups homed apart.  See docs/CLUSTER.md.
+"""
+
+from repro.cluster.hashring import HashRing
+from repro.cluster.router import ShardedCosoftCluster
+
+__all__ = ["HashRing", "ShardedCosoftCluster"]

@@ -1,0 +1,700 @@
+"""The sharded COSOFT cluster: a router in front of N server shards.
+
+The paper's architecture (Figure 4) funnels every couple, lock and event
+through one central server.  Floor control and event serialization are
+scoped *per couple group* (the transitive closure ``CO(o)``, §3.2), so
+groups shard cleanly: each group lives on exactly one
+:class:`~repro.server.server.CosoftServer` shard and the hot path (lock →
+event → acks) never crosses shards.
+
+:class:`ShardedCosoftCluster` is itself a **sans-I/O state machine** with
+the same ``handle_message`` contract as ``CosoftServer`` — bind it to a
+:class:`~repro.net.memory.MemoryNetwork` endpoint or a
+:class:`~repro.net.tcp.TcpHostTransport` and clients cannot tell it from a
+single server.  Internally it:
+
+* forwards registration and permission rules to **all** shards (every
+  shard needs the roster and ACLs), answering the client itself so the
+  shards' duplicate replies never leave the cluster;
+* routes group-scoped traffic (COUPLE/LOCK/EVENT/state sync/history/
+  ``CoSendCommand``) to the owning shard — a sticky home assignment
+  seeded by a consistent-hash ring (:class:`~repro.cluster.hashring.HashRing`);
+* **migrates** a couple group between shards when a new couple link
+  merges two groups homed on different shards: the smaller group is
+  frozen (its traffic buffered), its couple rows, lock entries, floors
+  and historical states are transferred with the MIGRATE_* messages
+  (docs/CLUSTER.md), and the buffer is replayed on the new home.
+
+The router keeps a mirror of the cluster-wide couple table, maintained
+from the shards' own COUPLE_UPDATE broadcasts (exactly like a client
+replica), so it can compute transitive closures without asking a shard.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core import coupling
+from repro.errors import (
+    AlreadyRegisteredError,
+    NotRegisteredError,
+    ReproError,
+)
+from repro.net import kinds
+from repro.net.clock import Clock, SimClock
+from repro.net.codec import wire_size
+from repro.net.message import Message
+from repro.net.transport import (
+    ROUTER_ID,
+    SERVER_ID,
+    TrafficStats,
+    Transport,
+    resolve_destination,
+)
+from repro.cluster.hashring import HashRing
+from repro.server.couples import CoupleTable, GlobalId, gid_from_wire, gid_to_wire
+from repro.server.permissions import AccessControl
+from repro.server.registry import RegistrationRecord, Registry
+from repro.server.server import CosoftServer
+
+
+class _ShardTransport(Transport):
+    """A shard's outbound handle: hands every send back to the router."""
+
+    def __init__(self, cluster: "ShardedCosoftCluster", shard_id: str):
+        self._cluster = cluster
+        self._shard_id = shard_id
+        self._closed = False
+
+    @property
+    def local_id(self) -> str:
+        return SERVER_ID
+
+    def send(self, message: Message) -> None:
+        self._cluster._on_shard_send(self._shard_id, message)
+
+    def drive(self, predicate, timeout: float = 5.0) -> bool:
+        # Shards are passive state machines; they never block on replies.
+        return bool(predicate())
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+#: Shard replies the router suppresses because it answers the client itself.
+_REGISTER_SUPPRESS = frozenset({kinds.REGISTER_ACK, kinds.INSTANCE_LIST})
+_UNREGISTER_SUPPRESS = frozenset({kinds.INSTANCE_LIST})
+_SECONDARY_SUPPRESS = frozenset({kinds.PERMISSION_REPLY, kinds.ERROR})
+
+
+class ShardedCosoftCluster:
+    """A drop-in ``CosoftServer`` replacement that shards by couple group.
+
+    Parameters
+    ----------
+    shards:
+        Number of server shards.
+    vnodes:
+        Virtual nodes per shard on the consistent-hash ring.
+    service_time:
+        Optional modeled per-message processing cost (simulated seconds)
+        each shard pays serially.  With it the cluster tracks per-shard
+        busy periods so benchmarks can report the makespan a parallel
+        deployment would achieve (see :meth:`modeled_makespan`).
+    default_allow / admin_users / ack_release / history_depth / floor_lease:
+        Forwarded to every shard, mirroring ``CosoftServer``.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        *,
+        clock: Optional[Clock] = None,
+        vnodes: int = 64,
+        service_time: float = 0.0,
+        default_allow: bool = True,
+        admin_users: Tuple[str, ...] = (),
+        ack_release: bool = True,
+        history_depth: int = 100,
+        floor_lease: float = 30.0,
+    ):
+        if shards <= 0:
+            raise ValueError("a cluster needs at least one shard")
+        self.clock: Clock = clock if clock is not None else SimClock()
+        self.shard_ids: Tuple[str, ...] = tuple(
+            f"shard-{i}" for i in range(shards)
+        )
+        self.ring = HashRing(self.shard_ids, vnodes=vnodes)
+        self.shards: Dict[str, CosoftServer] = {}
+        self._shard_stats: Dict[str, TrafficStats] = {}
+        for shard_id in self.shard_ids:
+            shard = CosoftServer(
+                clock=self.clock,
+                access=AccessControl(default_allow=default_allow),
+                history_depth=history_depth,
+                admin_users=admin_users,
+                floor_lease=floor_lease,
+                ack_release=ack_release,
+            )
+            shard.bind(_ShardTransport(self, shard_id))
+            self.shards[shard_id] = shard
+            self._shard_stats[shard_id] = TrafficStats()
+
+        #: Router-owned registration records (shards hold replicas).
+        self.registry = Registry()
+        #: Mirror of the cluster-wide couple table, fed by the shards'
+        #: COUPLE_UPDATE broadcasts (the same mechanism client replicas use).
+        self.mirror = CoupleTable()
+        #: Sticky home assignment: coupled (or migrated) object -> shard.
+        self._home: Dict[GlobalId, str] = {}
+        #: (instance, token) -> shard that granted the floor (UNLOCK routing).
+        self._lock_routes: Dict[Tuple[str, int], str] = {}
+        #: floor owner -> shard that broadcast its event (EVENT_ACK routing).
+        self._floor_routes: Dict[Tuple[str, int], str] = {}
+        #: floor owner -> outstanding EVENT_ACKs (route-table cleanup).
+        self._floor_expected: Dict[Tuple[str, int], int] = {}
+        #: forwarded FETCH_STATE msg_id -> (shard, owner instance).
+        self._pending_routes: Dict[int, Tuple[str, str]] = {}
+        #: Objects mid-migration; messages touching them are buffered.
+        self._frozen: set = set()
+        self._migration_buffer: List[Message] = []
+        #: Replies shards address to the router (migration control).
+        self._captured: Dict[int, Message] = {}
+        self._suppress: Optional[FrozenSet[str]] = None
+        #: Modeled per-shard busy horizon (see ``service_time``).
+        self.service_time = service_time
+        self._busy_until: Dict[str, float] = {}
+
+        self.processed: Counter = Counter()
+        self.migrations = 0
+        self._transport: Optional[Transport] = None
+
+    # ------------------------------------------------------------------
+    # Wiring (same contract as CosoftServer)
+    # ------------------------------------------------------------------
+
+    def bind(self, transport: Transport) -> None:
+        """Attach the outward transport the cluster answers clients through."""
+        self._transport = transport
+
+    def _emit(self, message: Message) -> None:
+        if self._transport is None:
+            raise ReproError("cluster has no transport bound")
+        self._transport.send(message)
+
+    def _broadcast(
+        self, kind: str, payload: Mapping[str, Any], *, exclude: Tuple[str, ...] = ()
+    ) -> int:
+        count = 0
+        for instance_id in self.registry.instance_ids():
+            if instance_id in exclude:
+                continue
+            self._emit(
+                Message(kind=kind, sender=SERVER_ID, to=instance_id, payload=payload)
+            )
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Inbound dispatch
+    # ------------------------------------------------------------------
+
+    _MALFORMED = CosoftServer._MALFORMED
+
+    #: Kinds routed to a single shard by group/object/correlation.
+    _ROUTED = frozenset(
+        {
+            kinds.LOCK_REQUEST,
+            kinds.UNLOCK,
+            kinds.EVENT,
+            kinds.EVENT_ACK,
+            kinds.FETCH_STATE,
+            kinds.STATE_REPLY,
+            kinds.PUSH_STATE,
+            kinds.REMOTE_COPY,
+            kinds.HISTORY_PUSH,
+            kinds.UNDO_REQUEST,
+            kinds.COMMAND,
+            kinds.COMMAND_REPLY,
+            kinds.ERROR,
+        }
+    )
+
+    def handle_message(self, message: Message) -> None:
+        """Process one inbound client message (sans-I/O entry point)."""
+        self.processed[message.kind] += 1
+        self._safe_dispatch(message)
+
+    def _safe_dispatch(self, message: Message) -> None:
+        try:
+            self._dispatch(message)
+        except self._MALFORMED as exc:
+            self.processed["__rejected__"] += 1
+            try:
+                self._emit(
+                    message.error_reply(SERVER_ID, f"{type(exc).__name__}: {exc}")
+                )
+            except ReproError:
+                pass  # no transport bound / sender unreachable
+
+    def _dispatch(self, message: Message) -> None:
+        if self._frozen and self._touches_frozen(message):
+            # The group is mid-migration: hold the message and replay it
+            # on the new home once the transfer completes.
+            self._migration_buffer.append(message)
+            self.processed["__buffered__"] += 1
+            return
+        kind = message.kind
+        if kind == kinds.REGISTER:
+            self._on_register(message)
+        elif kind == kinds.UNREGISTER:
+            self._on_unregister(message)
+        elif kind == kinds.PERMISSION_SET:
+            self._on_permission_set(message)
+        elif kind in (kinds.COUPLE, kinds.REMOTE_COUPLE):
+            self._on_couple(message)
+        elif kind in (kinds.DECOUPLE, kinds.REMOTE_DECOUPLE):
+            self._on_decouple(message)
+        elif kind in self._ROUTED:
+            shard_id = self._route(message)
+            if shard_id is not None:
+                self._forward(shard_id, message)
+        else:
+            self._emit(message.error_reply(SERVER_ID, "unsupported message kind"))
+
+    # ------------------------------------------------------------------
+    # Registration / permissions: fan out to every shard
+    # ------------------------------------------------------------------
+
+    def _on_register(self, message: Message) -> None:
+        payload = dict(message.payload)
+        if message.sender in self.registry:
+            raise AlreadyRegisteredError(
+                f"instance {message.sender!r} is already registered"
+            )
+        record = RegistrationRecord(
+            instance_id=message.sender,
+            user=str(payload.get("user", "")),
+            host=str(payload.get("host", "localhost")),
+            app_type=str(payload.get("app_type", "")),
+            registered_at=self.clock.now(),
+        )
+        self.registry.add(record)
+        for shard_id in self.shard_ids:
+            self._forward(shard_id, message, suppress=_REGISTER_SUPPRESS)
+        self._emit(
+            message.reply(
+                kinds.REGISTER_ACK,
+                SERVER_ID,
+                roster=self.registry.roster(),
+                couples=self.mirror.to_wire(),
+                server_time=self.clock.now(),
+            )
+        )
+        self._broadcast(
+            kinds.INSTANCE_LIST,
+            {"roster": self.registry.roster(), "joined": record.instance_id},
+            exclude=(record.instance_id,),
+        )
+
+    def _on_unregister(self, message: Message) -> None:
+        instance_id = message.sender
+        self.registry.get(instance_id)  # NotRegisteredError -> ERROR reply
+        for shard_id in self.shard_ids:
+            # Shards do their own cleanup (couples, locks, floors, routes)
+            # and broadcast the removed links; their link sets are disjoint
+            # so the COUPLE_UPDATEs pass through without duplication.
+            self._forward(shard_id, message, suppress=_UNREGISTER_SUPPRESS)
+        self.mirror.remove_instance(instance_id)
+        self._home = {
+            gid: home for gid, home in self._home.items() if gid[0] != instance_id
+        }
+        for table in (self._lock_routes, self._floor_routes, self._floor_expected):
+            for key in [k for k in table if k[0] == instance_id]:
+                del table[key]
+        self._pending_routes = {
+            msg_id: route
+            for msg_id, route in self._pending_routes.items()
+            if route[1] != instance_id
+        }
+        self.registry.remove(instance_id)
+        self._broadcast(
+            kinds.INSTANCE_LIST,
+            {"roster": self.registry.roster(), "left": instance_id},
+        )
+
+    def _on_permission_set(self, message: Message) -> None:
+        # Every shard enforces ACLs, so the rule lands everywhere; only the
+        # first shard's reply (or error) travels back to the client.
+        self._forward(self.shard_ids[0], message)
+        for shard_id in self.shard_ids[1:]:
+            self._forward(shard_id, message, suppress=_SECONDARY_SUPPRESS)
+
+    # ------------------------------------------------------------------
+    # Couple links: the only operations that can move a group
+    # ------------------------------------------------------------------
+
+    def _on_couple(self, message: Message) -> None:
+        payload = message.payload
+        source = gid_from_wire(payload["source"])
+        target = gid_from_wire(payload["target"])
+        home_source = self._home_of(source)
+        home_target = self._home_of(target)
+        if home_source != home_target:
+            # The link merges two groups homed on different shards: move
+            # the smaller group (fewer rows to transfer) to the other's
+            # home, then apply the couple there.
+            group_source = self.mirror.group_of(source)
+            group_target = self.mirror.group_of(target)
+            if len(group_source) >= len(group_target):
+                winner, moving, loser = home_source, group_target, home_target
+            else:
+                winner, moving, loser = home_target, group_source, home_source
+            self._migrate(moving, loser, winner)
+        else:
+            winner = home_source
+        self._forward(winner, message)
+
+    def _on_decouple(self, message: Message) -> None:
+        payload = message.payload
+        if "object" in payload:
+            obj = gid_from_wire(payload["object"])
+            prefix = obj[1].rstrip("/") + "/"
+            affected = {
+                gid
+                for gid in self.mirror.objects_of_instance(obj[0])
+                if gid[1] == obj[1] or gid[1].startswith(prefix)
+            }
+            shard_ids = sorted({self._home_of(gid) for gid in affected})
+            if not shard_ids:
+                # Nothing coupled below the path: one shard produces the
+                # noop confirmation (or the strict-mode error).
+                shard_ids = [self._home_of(obj)]
+        else:
+            source = gid_from_wire(payload["source"])
+            target = gid_from_wire(payload["target"])
+            shard_ids = [
+                self._home.get(source)
+                or self._home.get(target)
+                or self._ring_home(source)
+            ]
+        for shard_id in shard_ids:
+            self._forward(shard_id, message)
+
+    # ------------------------------------------------------------------
+    # Single-shard routing
+    # ------------------------------------------------------------------
+
+    def _route(self, message: Message) -> Optional[str]:
+        """The shard a routed-kind message belongs to (None = drop)."""
+        kind = message.kind
+        payload = message.payload
+        if kind == kinds.LOCK_REQUEST:
+            source = gid_from_wire(payload["source"])
+            shard_id = self._home_of(source)
+            token = int(payload.get("token", 0))
+            self._lock_routes[(message.sender, token)] = shard_id
+            return shard_id
+        if kind == kinds.UNLOCK:
+            token = int(payload.get("token", 0))
+            shard_id = self._lock_routes.pop((message.sender, token), None)
+            if shard_id is not None:
+                return shard_id
+            objects = payload.get("objects") or ()
+            if objects:
+                return self._home_of(gid_from_wire(objects[0]))
+            return self._ring_home((message.sender, ""))
+        if kind == kinds.EVENT:
+            event_wire = dict(payload.get("event", {}))
+            source = (
+                str(event_wire.get("instance_id", message.sender)),
+                str(event_wire.get("source_path", "")),
+            )
+            shard_id = self._home_of(source)
+            if payload.get("release", True):
+                # The shard releases the floor after this event's acks;
+                # the grant's UNLOCK route will never be used again.
+                token = int(payload.get("token", 0))
+                self._lock_routes.pop((message.sender, token), None)
+            return shard_id
+        if kind == kinds.EVENT_ACK:
+            owner = payload.get("owner")
+            if not owner:
+                return None
+            key = (str(owner[0]), int(owner[1]))
+            shard_id = self._floor_routes.get(key)
+            if shard_id is None:
+                return None  # late ack for a floor already gone
+            remaining = self._floor_expected.get(key, 0) - 1
+            if remaining <= 0:
+                self._floor_routes.pop(key, None)
+                self._floor_expected.pop(key, None)
+            else:
+                self._floor_expected[key] = remaining
+            return shard_id
+        if kind in (kinds.FETCH_STATE, kinds.REMOTE_COPY):
+            return self._home_of(gid_from_wire(
+                payload["object"] if kind == kinds.FETCH_STATE else payload["source"]
+            ))
+        if kind == kinds.PUSH_STATE:
+            return self._home_of(gid_from_wire(payload["target"]))
+        if kind in (kinds.HISTORY_PUSH, kinds.UNDO_REQUEST):
+            return self._home_of(gid_from_wire(payload["object"]))
+        if kind in (kinds.STATE_REPLY, kinds.ERROR):
+            route = self._pending_routes.pop(message.reply_to or -1, None)
+            if route is None:
+                return None  # late or duplicate reply; drop like the server
+            return route[0]
+        if kind in (kinds.COMMAND, kinds.COMMAND_REPLY):
+            # Stateless relays: any shard can serve them (all hold the full
+            # registry); hash the sender to spread the load.
+            return self.ring.node_for(message.sender)
+        raise ReproError(f"unroutable message kind {kind!r}")
+
+    def _home_of(self, gid: GlobalId) -> str:
+        home = self._home.get(gid)
+        return home if home is not None else self._ring_home(gid)
+
+    def _ring_home(self, gid: GlobalId) -> str:
+        return self.ring.node_for(f"{gid[0]}:{gid[1]}")
+
+    # ------------------------------------------------------------------
+    # Shard invocation
+    # ------------------------------------------------------------------
+
+    def _forward(
+        self,
+        shard_id: str,
+        message: Message,
+        suppress: Optional[FrozenSet[str]] = None,
+    ) -> None:
+        self._shard_stats[shard_id].record(message, wire_size(message), shard_id)
+        self._model_service(shard_id)
+        self._call_shard(shard_id, message, suppress=suppress)
+
+    def _call_shard(
+        self,
+        shard_id: str,
+        message: Message,
+        suppress: Optional[FrozenSet[str]] = None,
+    ) -> None:
+        previous = self._suppress
+        self._suppress = suppress
+        try:
+            self.shards[shard_id].handle_message(message)
+        finally:
+            self._suppress = previous
+
+    def _on_shard_send(self, shard_id: str, message: Message) -> None:
+        """Every shard-emitted message funnels through here."""
+        self._shard_stats[shard_id].record(
+            message, wire_size(message), resolve_destination(message)
+        )
+        if message.to == ROUTER_ID:
+            if message.reply_to is not None:
+                self._captured[message.reply_to] = message
+            return
+        if self._suppress is not None and message.kind in self._suppress:
+            return
+        if message.kind == kinds.COUPLE_UPDATE:
+            self._absorb_couple_update(shard_id, message.payload)
+        elif message.kind == kinds.FETCH_STATE:
+            self._pending_routes[message.msg_id] = (shard_id, message.to)
+        elif message.kind == kinds.EVENT_BROADCAST:
+            owner = message.payload.get("owner")
+            if owner:
+                key = (str(owner[0]), int(owner[1]))
+                self._floor_routes[key] = shard_id
+                self._floor_expected[key] = self._floor_expected.get(key, 0) + 1
+        self._emit(message)
+
+    def _absorb_couple_update(self, shard_id: str, payload: Mapping[str, Any]) -> None:
+        """Track shard-committed couple changes in the router's mirror.
+
+        The same update arrives once per addressee (reply + broadcasts);
+        the mirror operations are idempotent, exactly as on clients.
+        """
+        link = coupling.apply_couple_update(self.mirror, payload)
+        if link is None:
+            return
+        if payload.get("action") == "add":
+            # The emitting shard owns the (possibly merged) group now.
+            for gid in self.mirror.group_of(link.source):
+                self._home[gid] = shard_id
+        else:
+            for endpoint in (link.source, link.target):
+                if len(self.mirror.group_of(endpoint)) > 1:
+                    continue
+                # Back to a singleton: drop the pin unless the object's
+                # state (history, locks) lives away from its ring home.
+                if self._home.get(endpoint) == self._ring_home(endpoint):
+                    del self._home[endpoint]
+
+    # ------------------------------------------------------------------
+    # Group migration
+    # ------------------------------------------------------------------
+
+    def _migrate(
+        self, objects: Iterable[GlobalId], from_shard: str, to_shard: str
+    ) -> None:
+        """Move a couple group (and everything it owns) between shards."""
+        moving = frozenset(objects)
+        self.migrations += 1
+        self._frozen.update(moving)
+        try:
+            export = Message(
+                kind=kinds.MIGRATE_EXPORT,
+                sender=ROUTER_ID,
+                payload={"objects": [gid_to_wire(g) for g in sorted(moving)]},
+            )
+            state = self._shard_request(from_shard, export, kinds.MIGRATE_STATE)
+            install = Message(
+                kind=kinds.MIGRATE_IMPORT,
+                sender=ROUTER_ID,
+                payload=dict(state.payload),
+            )
+            self._shard_request(to_shard, install, kinds.MIGRATE_ACK)
+            for gid in moving:
+                self._home[gid] = to_shard
+            for floor in state.payload.get("floors", ()):
+                owner = floor["owner"]
+                key = (str(owner[0]), int(owner[1]))
+                if key in self._lock_routes:
+                    self._lock_routes[key] = to_shard
+                if key in self._floor_routes:
+                    self._floor_routes[key] = to_shard
+        finally:
+            self._frozen.difference_update(moving)
+            self._drain_buffer()
+
+    def _shard_request(
+        self, shard_id: str, message: Message, expect: str
+    ) -> Message:
+        """Synchronously ask a shard and return its captured reply."""
+        self._forward(shard_id, message)
+        reply = self._captured.pop(message.msg_id, None)
+        if reply is None or reply.kind != expect:
+            detail = reply.payload.get("reason") if reply is not None else "no reply"
+            raise ReproError(
+                f"shard {shard_id!r} failed {message.kind}: {detail}"
+            )
+        return reply
+
+    def _touches_frozen(self, message: Message) -> bool:
+        """Whether *message* addresses an object that is mid-migration."""
+        for gid in self._scoped_gids(message):
+            if gid in self._frozen:
+                return True
+        return False
+
+    @staticmethod
+    def _scoped_gids(message: Message) -> Tuple[GlobalId, ...]:
+        payload = message.payload
+        kind = message.kind
+        try:
+            if kind in (kinds.COUPLE, kinds.REMOTE_COUPLE,
+                        kinds.DECOUPLE, kinds.REMOTE_DECOUPLE):
+                gids = []
+                if "object" in payload:
+                    gids.append(gid_from_wire(payload["object"]))
+                else:
+                    gids.append(gid_from_wire(payload["source"]))
+                    gids.append(gid_from_wire(payload["target"]))
+                return tuple(gids)
+            if kind == kinds.LOCK_REQUEST:
+                return (gid_from_wire(payload["source"]),)
+            if kind == kinds.UNLOCK:
+                objects = payload.get("objects") or ()
+                return tuple(gid_from_wire(g) for g in objects)
+            if kind == kinds.EVENT:
+                event_wire = dict(payload.get("event", {}))
+                return ((
+                    str(event_wire.get("instance_id", message.sender)),
+                    str(event_wire.get("source_path", "")),
+                ),)
+            if kind in (kinds.FETCH_STATE, kinds.HISTORY_PUSH, kinds.UNDO_REQUEST):
+                return (gid_from_wire(payload["object"]),)
+            if kind == kinds.PUSH_STATE:
+                return (gid_from_wire(payload["target"]),)
+            if kind == kinds.REMOTE_COPY:
+                return (
+                    gid_from_wire(payload["source"]),
+                    gid_from_wire(payload["target"]),
+                )
+        except (KeyError, ValueError, TypeError):
+            return ()  # malformed payloads fail in the normal dispatch path
+        return ()
+
+    def _drain_buffer(self) -> None:
+        if self._frozen or not self._migration_buffer:
+            return
+        pending, self._migration_buffer = self._migration_buffer, []
+        for message in pending:
+            self._safe_dispatch(message)
+
+    # ------------------------------------------------------------------
+    # Modeled parallelism (benchmarks)
+    # ------------------------------------------------------------------
+
+    def _model_service(self, shard_id: str) -> None:
+        if not self.service_time:
+            return
+        start = max(self.clock.now(), self._busy_until.get(shard_id, 0.0))
+        self._busy_until[shard_id] = start + self.service_time
+
+    def modeled_makespan(self) -> float:
+        """When the busiest shard finishes its (modeled) serial work.
+
+        Only meaningful with a non-zero ``service_time``: each message a
+        shard handles occupies it for that long, so the makespan shrinks
+        as load spreads over more shards.
+        """
+        return max(self._busy_until.values(), default=0.0)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def shard_of(self, gid: GlobalId) -> str:
+        """The shard currently owning *gid*'s couple group."""
+        return self._home_of(gid)
+
+    def shard_traffic(self) -> TrafficStats:
+        """All shard transports aggregated into one cluster-wide snapshot."""
+        total = TrafficStats()
+        for stats in self._shard_stats.values():
+            total.merge(stats)
+        return total
+
+    def reset_shard_traffic(self) -> None:
+        for stats in self._shard_stats.values():
+            stats.reset()
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational counters, cluster-wide and per shard."""
+        per_shard = {
+            shard_id: {
+                "messages": self._shard_stats[shard_id].messages,
+                "couple_links": len(shard.couples),
+                "couple_groups": len(shard.couples.groups()),
+                "locks_held": len(shard.locks),
+                "history_entries": len(shard.history),
+                "processed": dict(shard.processed),
+            }
+            for shard_id, shard in self.shards.items()
+        }
+        return {
+            "shards": len(self.shards),
+            "migrations": self.migrations,
+            "registered": len(self.registry),
+            "couple_links": len(self.mirror),
+            "couple_groups": len(self.mirror.groups()),
+            "homes": len(self._home),
+            "processed": dict(self.processed),
+            "per_shard": per_shard,
+        }

@@ -84,7 +84,9 @@ class ApplicationInstance:
         request_timeout: float = 5.0,
         replica_fast_path: bool = True,
     ):
-        if not instance_id or instance_id == "server":
+        if not instance_id or instance_id in ("server", "router"):
+            # Both endpoint names are reserved: "server" is the central
+            # controller, "router" the cluster front-end's internal sender.
             raise ValueError(f"invalid instance id {instance_id!r}")
         self.instance_id = instance_id
         self.user = user

@@ -18,7 +18,13 @@ from repro.net.memory import MemoryNetwork, MemoryTransport
 from repro.net.message import Message
 from repro.net import message as kinds
 from repro.net.tcp import TcpClientTransport, TcpHostTransport
-from repro.net.transport import TrafficStats, Transport, resolve_destination
+from repro.net.transport import (
+    ROUTER_ID,
+    SERVER_ID,
+    TrafficStats,
+    Transport,
+    resolve_destination,
+)
 
 __all__ = [
     "Clock",
@@ -27,6 +33,8 @@ __all__ = [
     "MemoryNetwork",
     "MemoryTransport",
     "Message",
+    "ROUTER_ID",
+    "SERVER_ID",
     "SimClock",
     "StreamDecoder",
     "TcpClientTransport",

@@ -132,13 +132,13 @@ class MemoryNetwork:
     def submit(self, message: Message) -> None:
         """Schedule *message* for delivery (called by transport handles)."""
         receiver = resolve_destination(message)
+        size = wire_size(message)
         if message.sender in self._partitioned or receiver in self._partitioned:
-            self.stats.record_drop()
+            self.stats.record_drop(message, size)
             return
         if self.loss_rate and self._rng.random() < self.loss_rate:
-            self.stats.record_drop()
+            self.stats.record_drop(message, size)
             return
-        size = wire_size(message)
         delay = self.base_latency + self.per_byte_latency * size
         if self.jitter:
             delay += self._rng.random() * self.jitter
@@ -197,13 +197,13 @@ class MemoryNetwork:
                 continue
             self.clock.advance_to(max(self.clock.now(), deliver_at))
             if receiver in self._partitioned:
-                self.stats.record_drop()
+                self.stats.record_drop(message, wire_size(message))
                 continue
             handler = self._handlers.get(receiver)
             if handler is None:
                 # Receiver detached (instance terminated): drop silently,
                 # like a closed socket.
-                self.stats.record_drop()
+                self.stats.record_drop(message, wire_size(message))
                 continue
             handler(message)
             return True
@@ -246,7 +246,7 @@ class MemoryNetwork:
             self.clock.advance_to(max(self.clock.now(), deliver_at))
             handler = self._handlers.get(receiver)
             if handler is None or receiver in self._partitioned:
-                self.stats.record_drop()
+                self.stats.record_drop(message, wire_size(message))
                 continue
             handler(message)
             steps += 1

@@ -66,11 +66,23 @@ HISTORY_PUSH = "history_push"      # receiver backs up an overwritten state
 UNDO_REQUEST = "undo_request"      # restore a historical UI state
 UNDO_REPLY = "undo_reply"
 
+# Cluster-internal group migration (sharded deployments; docs/CLUSTER.md).
+# Only a cluster front-end router (sender "router") may issue these; a
+# shard answers EXPORT with STATE and IMPORT with ACK.
+MIGRATE_EXPORT = "migrate_export"  # router -> shard: extract a couple group
+MIGRATE_STATE = "migrate_state"    # shard -> router: the group's state
+MIGRATE_IMPORT = "migrate_import"  # router -> shard: install a couple group
+MIGRATE_ACK = "migrate_ack"        # shard -> router: import complete
+
 # Errors
 ERROR = "error"                    # server -> client: request failed
 
 ALL_KINDS = frozenset(
     {
+        MIGRATE_EXPORT,
+        MIGRATE_STATE,
+        MIGRATE_IMPORT,
+        MIGRATE_ACK,
         REGISTER,
         REGISTER_ACK,
         UNREGISTER,

@@ -21,11 +21,19 @@ from __future__ import annotations
 import abc
 import contextlib
 from collections import Counter
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.net.message import Message
 
 MessageHandler = Callable[[Message], None]
+
+#: Reserved endpoint id of the central server (or of a cluster front-end
+#: posing as it).  An empty ``Message.to`` addresses this endpoint.
+SERVER_ID = "server"
+
+#: Reserved sender id of a cluster front-end router issuing internal
+#: control traffic (shard migration).  Never a client instance id.
+ROUTER_ID = "router"
 
 
 class TrafficStats:
@@ -39,9 +47,11 @@ class TrafficStats:
         self.messages = 0
         self.bytes = 0
         self.dropped = 0
+        self.dropped_bytes = 0
         self.by_kind: Counter = Counter()
         self.bytes_by_kind: Counter = Counter()
         self.by_link: Counter = Counter()
+        self.dropped_by_kind: Counter = Counter()
 
     def record(self, message: Message, size: int, receiver: str) -> None:
         self.messages += 1
@@ -50,8 +60,28 @@ class TrafficStats:
         self.bytes_by_kind[message.kind] += size
         self.by_link[(message.sender, receiver)] += 1
 
-    def record_drop(self) -> None:
+    def record_drop(self, message: Optional[Message] = None, size: int = 0) -> None:
+        """Count a lost message, attributing its kind and size when known."""
         self.dropped += 1
+        self.dropped_bytes += size
+        if message is not None:
+            self.dropped_by_kind[message.kind] += 1
+
+    def merge(self, other: "TrafficStats") -> "TrafficStats":
+        """Fold *other*'s counters into this one (returns self).
+
+        Aggregates per-shard transport stats into one cluster-wide
+        snapshot for benchmarks and the monitor tool.
+        """
+        self.messages += other.messages
+        self.bytes += other.bytes
+        self.dropped += other.dropped
+        self.dropped_bytes += other.dropped_bytes
+        self.by_kind.update(other.by_kind)
+        self.bytes_by_kind.update(other.bytes_by_kind)
+        self.by_link.update(other.by_link)
+        self.dropped_by_kind.update(other.dropped_by_kind)
+        return self
 
     def snapshot(self) -> Dict[str, object]:
         """A plain-dict summary (stable keys, benchmark-friendly)."""
@@ -59,18 +89,22 @@ class TrafficStats:
             "messages": self.messages,
             "bytes": self.bytes,
             "dropped": self.dropped,
+            "dropped_bytes": self.dropped_bytes,
             "by_kind": dict(self.by_kind),
             "bytes_by_kind": dict(self.bytes_by_kind),
             "by_link": {f"{a}->{b}": n for (a, b), n in self.by_link.items()},
+            "dropped_by_kind": dict(self.dropped_by_kind),
         }
 
     def reset(self) -> None:
         self.messages = 0
         self.bytes = 0
         self.dropped = 0
+        self.dropped_bytes = 0
         self.by_kind.clear()
         self.bytes_by_kind.clear()
         self.by_link.clear()
+        self.dropped_by_kind.clear()
 
     def __repr__(self) -> str:
         return (
@@ -124,4 +158,4 @@ class Transport(abc.ABC):
 
 def resolve_destination(message: Message) -> str:
     """The endpoint id a message should be delivered to."""
-    return message.to or "server"
+    return message.to or SERVER_ID

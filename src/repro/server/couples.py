@@ -178,6 +178,22 @@ class CoupleTable:
             self._remove(link)
         return removed
 
+    def extract_objects(self, objects: Iterable[GlobalId]) -> List[CoupleLink]:
+        """Remove and return every link touching any of *objects*.
+
+        Used by shard migration: the extracted links are re-installed on
+        the receiving shard via :meth:`add_link`.
+        """
+        targets = set(objects)
+        removed = [
+            l
+            for l in self._links
+            if l.source in targets or l.target in targets
+        ]
+        for link in removed:
+            self._remove(link)
+        return removed
+
     def clear(self) -> None:
         self._links.clear()
         self._adjacency.clear()

@@ -38,6 +38,17 @@ class HistoricalState:
             "by_user": self.by_user,
         }
 
+    @classmethod
+    def from_wire(cls, data: Mapping[str, Any]) -> "HistoricalState":
+        obj = data["obj"]
+        return cls(
+            obj=(str(obj[0]), str(obj[1])),
+            state=dict(data.get("state", {})),
+            timestamp=float(data.get("timestamp", 0.0)),
+            reason=str(data.get("reason", "")),
+            by_user=str(data.get("by_user", "")),
+        )
+
 
 class HistoryStore:
     """Bounded per-object undo and redo stacks."""
@@ -119,6 +130,26 @@ class HistoryStore:
     def peek(self, obj: GlobalId) -> Optional[HistoricalState]:
         stack = self._undo.get(obj)
         return stack[-1] if stack else None
+
+    def export_object(self, obj: GlobalId) -> Dict[str, Any]:
+        """Remove and return *obj*'s stacks in wire form (shard migration)."""
+        undo = self._undo.pop(obj, [])
+        redo = self._redo.pop(obj, [])
+        return {
+            "undo": [entry.to_wire() for entry in undo],
+            "redo": [entry.to_wire() for entry in redo],
+        }
+
+    def import_object(self, obj: GlobalId, data: Mapping[str, Any]) -> None:
+        """Install stacks previously produced by :meth:`export_object`."""
+        undo = [HistoricalState.from_wire(dict(e)) for e in data.get("undo", ())]
+        redo = [HistoricalState.from_wire(dict(e)) for e in data.get("redo", ())]
+        if undo:
+            self._undo.setdefault(obj, []).extend(undo)
+            del self._undo[obj][:-self._max_depth]
+        if redo:
+            self._redo.setdefault(obj, []).extend(redo)
+            del self._redo[obj][:-self._max_depth]
 
     def forget_instance(self, instance_id: str) -> int:
         """Drop all history of a terminated instance; returns entry count."""

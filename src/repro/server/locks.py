@@ -140,6 +140,26 @@ class LockTable:
             del self._locks[obj]
         return len(objects)
 
+    def transfer_out(
+        self, objects: Iterable[GlobalId]
+    ) -> List[Tuple[GlobalId, LockOwner]]:
+        """Remove and return the lock entries of *objects* (migration).
+
+        Unlike :meth:`release_all` this bypasses the stats counters: a
+        shard migration moves locks, it neither grants nor releases them.
+        """
+        moved: List[Tuple[GlobalId, LockOwner]] = []
+        for obj in objects:
+            owner = self._locks.pop(obj, None)
+            if owner is not None:
+                moved.append((obj, owner))
+        return moved
+
+    def install(self, entries: Iterable[Tuple[GlobalId, LockOwner]]) -> None:
+        """Install lock entries produced by :meth:`transfer_out`."""
+        for obj, owner in entries:
+            self._locks[obj] = owner
+
     def locked_objects(self) -> List[GlobalId]:
         return list(self._locks)
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.errors import (
     AlreadyRegisteredError,
@@ -40,7 +40,7 @@ from repro.errors import (
 from repro.net import kinds
 from repro.net.clock import Clock, SimClock
 from repro.net.message import Message
-from repro.net.transport import Transport
+from repro.net.transport import ROUTER_ID, SERVER_ID, Transport
 from repro.server.couples import (
     CoupleLink,
     CoupleTable,
@@ -59,7 +59,10 @@ from repro.server.permissions import (
 )
 from repro.server.registry import RegistrationRecord, Registry
 
-SERVER_ID = "server"
+# SERVER_ID historically lived here; it is now defined once in
+# ``repro.net.transport`` (the wire layer also needs it) and re-exported
+# for the many existing importers.
+__all__ = ["SERVER_ID", "CosoftServer"]
 
 
 @dataclass
@@ -165,6 +168,8 @@ class CosoftServer:
         kinds.COMMAND_REPLY: "_on_command_reply",
         kinds.PERMISSION_SET: "_on_permission_set",
         kinds.ERROR: "_on_client_error",
+        kinds.MIGRATE_EXPORT: "_on_migrate_export",
+        kinds.MIGRATE_IMPORT: "_on_migrate_import",
     }
 
     #: Exception classes a malformed payload can trigger inside a handler;
@@ -737,6 +742,97 @@ class CosoftServer:
             self.access.add(rule)
         self._send(
             message.reply(kinds.PERMISSION_REPLY, SERVER_ID, ok=True)
+        )
+
+    # ------------------------------------------------------------------
+    # Group migration (sharded clusters; docs/CLUSTER.md)
+    # ------------------------------------------------------------------
+
+    def export_group(self, objects: Iterable[GlobalId]) -> Dict[str, Any]:
+        """Extract everything this server holds about *objects*.
+
+        Removes and returns the couple links, lock entries, floors and
+        historical states of the given couple group, in wire form, so a
+        cluster router can re-install them on another shard.  The group
+        must be quiescent (the router freezes it) — in-flight floors are
+        carried across verbatim, including their pending-ack sets.
+        """
+        objs = set(objects)
+        links = self.couples.extract_objects(objs)
+        locks = self.locks.transfer_out(sorted(objs))
+        floors: List[Dict[str, Any]] = []
+        for key, floor_objects in list(self._floors.items()):
+            if not objs.intersection(floor_objects):
+                continue
+            floors.append(
+                {
+                    "owner": [key[0], key[1]],
+                    "objects": [gid_to_wire(g) for g in floor_objects],
+                    "granted_at": self._floor_granted_at.get(key, 0.0),
+                    "pending_acks": sorted(self._pending_acks.get(key, ())),
+                }
+            )
+            del self._floors[key]
+            self._floor_granted_at.pop(key, None)
+            self._pending_acks.pop(key, None)
+        history = [
+            [gid_to_wire(obj), self.history.export_object(obj)]
+            for obj in sorted(objs)
+            if self.history.depth(obj) != (0, 0)
+        ]
+        return {
+            "objects": [gid_to_wire(g) for g in sorted(objs)],
+            "links": [link.to_wire() for link in links],
+            "locks": [
+                [gid_to_wire(obj), owner.to_wire()] for obj, owner in locks
+            ],
+            "floors": floors,
+            "history": history,
+        }
+
+    def import_group(self, data: Mapping[str, Any]) -> None:
+        """Install a couple group exported by :meth:`export_group`."""
+        for link_wire in data.get("links", ()):
+            self.couples.add_link(CoupleLink.from_wire(dict(link_wire)))
+        self.locks.install(
+            (gid_from_wire(obj), LockOwner.from_wire(owner))
+            for obj, owner in data.get("locks", ())
+        )
+        for floor in data.get("floors", ()):
+            owner = floor["owner"]
+            key = (str(owner[0]), int(owner[1]))
+            self._floors[key] = tuple(
+                gid_from_wire(g) for g in floor.get("objects", ())
+            )
+            self._floor_granted_at[key] = float(floor.get("granted_at", 0.0))
+            pending = {str(i) for i in floor.get("pending_acks", ())}
+            if pending:
+                self._pending_acks[key] = pending
+        for obj_wire, stacks in data.get("history", ()):
+            self.history.import_object(gid_from_wire(obj_wire), dict(stacks))
+
+    def _require_router(self, message: Message) -> None:
+        if message.sender != ROUTER_ID:
+            raise ReproError(
+                f"migration messages are router-internal, not for "
+                f"{message.sender!r}"
+            )
+
+    def _on_migrate_export(self, message: Message) -> None:
+        self._require_router(message)
+        objects = [gid_from_wire(g) for g in message.payload["objects"]]
+        data = self.export_group(objects)
+        self._send(message.reply(kinds.MIGRATE_STATE, SERVER_ID, **data))
+
+    def _on_migrate_import(self, message: Message) -> None:
+        self._require_router(message)
+        self.import_group(message.payload)
+        self._send(
+            message.reply(
+                kinds.MIGRATE_ACK,
+                SERVER_ID,
+                objects=list(message.payload.get("objects", ())),
+            )
         )
 
     # ------------------------------------------------------------------

@@ -4,13 +4,20 @@ Tests, benchmarks and examples all need the same setup — a central server,
 a network, and N application instances — so this module packages it:
 
 * :class:`LocalSession` — simulated network (deterministic, latency model);
-* :class:`TcpSession` — real TCP sockets on localhost.
+* :class:`TcpSession` — real TCP sockets on localhost;
+* :class:`ClusterSession` — :class:`LocalSession` fronted by a
+  :class:`~repro.cluster.ShardedCosoftCluster` instead of a single server.
+
+Both harnesses accept ``shards=N`` to swap the single ``CosoftServer`` for
+a sharded cluster; instances are wired identically either way because the
+cluster speaks the same protocol on the same endpoint.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
+from repro.cluster import ShardedCosoftCluster
 from repro.core.compat import CorrespondenceRegistry
 from repro.core.instance import ApplicationInstance
 from repro.net.clock import SimClock
@@ -18,6 +25,9 @@ from repro.net.memory import MemoryNetwork
 from repro.net.tcp import TcpHostTransport
 from repro.server.permissions import AccessControl
 from repro.server.server import SERVER_ID, CosoftServer
+
+#: Either kind of central endpoint a session can front.
+ServerLike = Union[CosoftServer, ShardedCosoftCluster]
 
 
 class LocalSession:
@@ -45,6 +55,9 @@ class LocalSession:
         admin_users: Tuple[str, ...] = (),
         correspondences: Optional[CorrespondenceRegistry] = None,
         ack_release: bool = True,
+        shards: int = 0,
+        vnodes: int = 64,
+        service_time: float = 0.0,
     ):
         self.clock = SimClock()
         self.network = MemoryNetwork(
@@ -56,15 +69,51 @@ class LocalSession:
             duplicate_rate=duplicate_rate,
             seed=seed,
         )
-        self.server = CosoftServer(
-            clock=self.clock,
-            access=AccessControl(default_allow=default_allow),
+        self.server: ServerLike = self._build_server(
+            shards=shards,
+            vnodes=vnodes,
+            service_time=service_time,
+            default_allow=default_allow,
             admin_users=admin_users,
             ack_release=ack_release,
         )
         self.server.bind(self.network.attach(SERVER_ID, self.server.handle_message))
         self.correspondences = correspondences
         self.instances: Dict[str, ApplicationInstance] = {}
+
+    def _build_server(
+        self,
+        *,
+        shards: int,
+        vnodes: int,
+        service_time: float,
+        default_allow: bool,
+        admin_users: Tuple[str, ...],
+        ack_release: bool,
+    ) -> ServerLike:
+        """The central endpoint: one server, or a cluster when ``shards``."""
+        if shards:
+            return ShardedCosoftCluster(
+                shards,
+                clock=self.clock,
+                vnodes=vnodes,
+                service_time=service_time,
+                default_allow=default_allow,
+                admin_users=admin_users,
+                ack_release=ack_release,
+            )
+        return CosoftServer(
+            clock=self.clock,
+            access=AccessControl(default_allow=default_allow),
+            admin_users=admin_users,
+            ack_release=ack_release,
+        )
+
+    @property
+    def cluster(self) -> Optional[ShardedCosoftCluster]:
+        """The sharded cluster, when this session runs one (else None)."""
+        server = self.server
+        return server if isinstance(server, ShardedCosoftCluster) else None
 
     def create_instance(
         self,
@@ -116,17 +165,49 @@ class LocalSession:
         self.pump()
 
 
-class TcpSession:
-    """A COSOFT deployment over real localhost TCP sockets."""
+class ClusterSession(LocalSession):
+    """A :class:`LocalSession` whose central endpoint is a sharded cluster.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0):
-        self.server = CosoftServer()
+    One constructor argument is the whole opt-in::
+
+        session = ClusterSession(shards=4)
+        teacher = session.create_instance("teacher", user="ms-lin")
+
+    Everything else — instances, coupling, pumping — works exactly as with
+    :class:`LocalSession`, because the cluster router speaks the same
+    protocol on the same ``server`` endpoint.
+    """
+
+    def __init__(self, shards: int = 2, **kwargs: object):
+        if shards <= 0:
+            raise ValueError("ClusterSession needs at least one shard")
+        super().__init__(shards=shards, **kwargs)  # type: ignore[arg-type]
+
+
+class TcpSession:
+    """A COSOFT deployment over real localhost TCP sockets.
+
+    Pass ``shards=N`` to front the session with a sharded cluster: the TCP
+    host transport serializes handler dispatch, so the sans-I/O router
+    needs no extra locking.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, shards: int = 0):
+        self.server: ServerLike = (
+            ShardedCosoftCluster(shards) if shards else CosoftServer()
+        )
         self._host_transport = TcpHostTransport(
             self.server.handle_message, host=host, port=port
         )
         self.server.bind(self._host_transport)
         self.host, self.port = self._host_transport.address
         self.instances: List[ApplicationInstance] = []
+
+    @property
+    def cluster(self) -> Optional[ShardedCosoftCluster]:
+        """The sharded cluster, when this session runs one (else None)."""
+        server = self.server
+        return server if isinstance(server, ShardedCosoftCluster) else None
 
     def create_instance(
         self,

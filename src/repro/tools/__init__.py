@@ -1,10 +1,17 @@
 """Operational tooling: server monitoring and session record/replay."""
 
-from repro.tools.monitor import format_dashboard, snapshot
+from repro.tools.monitor import (
+    cluster_snapshot,
+    format_cluster_dashboard,
+    format_dashboard,
+    snapshot,
+)
 from repro.tools.replay import SessionRecorder, loads, replay, replay_locally
 
 __all__ = [
     "SessionRecorder",
+    "cluster_snapshot",
+    "format_cluster_dashboard",
     "format_dashboard",
     "loads",
     "replay",

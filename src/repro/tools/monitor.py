@@ -5,12 +5,18 @@ categories of §2.2 — who is registered, which couple groups exist, which
 floors are held, how deep the histories are.  :func:`snapshot` collects a
 structured view; :func:`format_dashboard` renders it as a fixed-width text
 dashboard (the kind an admin would watch next to the server).
+
+Sharded deployments get the same treatment per shard:
+:func:`cluster_snapshot` adds router-level data (homes, migrations,
+per-shard load) on top of one ordinary snapshot per shard, and
+:func:`format_cluster_dashboard` renders the fleet view.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List
 
+from repro.cluster.router import ShardedCosoftCluster
 from repro.server.server import CosoftServer
 
 
@@ -109,5 +115,70 @@ def format_dashboard(server: CosoftServer, *, width: int = 72) -> str:
             lines.append(f"   {obj:<34} undo={undo} redo={redo}")
     else:
         lines.append(" Historical UI states: none")
+    lines.append(bar)
+    return "\n".join(lines)
+
+
+def cluster_snapshot(cluster: ShardedCosoftCluster) -> Dict[str, Any]:
+    """A structured view of a sharded cluster: router plus every shard."""
+    traffic = cluster.shard_traffic()
+    per_shard: Dict[str, Any] = {}
+    for shard_id in cluster.shard_ids:
+        shard_snap = snapshot(cluster.shards[shard_id])
+        shard_snap["traffic_messages"] = cluster._shard_stats[shard_id].messages
+        shard_snap["traffic_bytes"] = cluster._shard_stats[shard_id].bytes
+        per_shard[shard_id] = shard_snap
+    return {
+        "time": cluster.clock.now(),
+        "shards": len(cluster.shard_ids),
+        "registered": len(cluster.registry),
+        "couple_links": len(cluster.mirror),
+        "couple_groups": len(cluster.mirror.groups()),
+        "migrations": cluster.migrations,
+        "homes": {
+            f"{gid[0]}:{gid[1]}": shard_id
+            for gid, shard_id in sorted(cluster._home.items())
+        },
+        "processed": dict(cluster.processed),
+        "traffic": traffic.snapshot(),
+        "per_shard": per_shard,
+    }
+
+
+def format_cluster_dashboard(
+    cluster: ShardedCosoftCluster, *, width: int = 72
+) -> str:
+    """Render the cluster snapshot as a text dashboard (fleet view)."""
+    snap = cluster_snapshot(cluster)
+    bar = "=" * width
+    thin = "-" * width
+    lines: List[str] = [
+        bar,
+        f" COSOFT cluster @ t={snap['time']:.3f}s   "
+        f"{snap['shards']} shards, {snap['migrations']} migrations",
+        bar,
+        f" Registered instances: {snap['registered']}   "
+        f"couple groups: {snap['couple_groups']} "
+        f"({snap['couple_links']} links)",
+        f" Shard traffic: {snap['traffic']['messages']} messages, "
+        f"{snap['traffic']['bytes']} bytes",
+        thin,
+    ]
+    for shard_id in sorted(snap["per_shard"]):
+        shard = snap["per_shard"][shard_id]
+        locks = len(shard["locks"])
+        lines.append(
+            f" {shard_id:<10} msgs={shard['traffic_messages']:<8} "
+            f"groups={len(shard['couple_groups']):<4} "
+            f"links={shard['couple_links']:<4} floors={locks}"
+        )
+    homes = snap["homes"]
+    lines.append(thin)
+    if homes:
+        lines.append(f" Group homes ({len(homes)} pinned objects):")
+        for obj, shard_id in homes.items():
+            lines.append(f"   {obj:<40} -> {shard_id}")
+    else:
+        lines.append(" Group homes: none pinned (all placement by ring)")
     lines.append(bar)
     return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Unit tests for the consistent-hash ring."""
+
+import pytest
+
+from repro.cluster.hashring import HashRing
+
+
+class TestMembership:
+    def test_initial_nodes(self):
+        ring = HashRing(["a", "b"])
+        assert ring.nodes() == ("a", "b")
+        assert len(ring) == 2
+        assert "a" in ring and "c" not in ring
+
+    def test_duplicate_add_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add_node("a")
+
+    def test_remove_unknown_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.remove_node("b")
+
+    def test_remove_node_drops_all_vnodes(self):
+        ring = HashRing(["a", "b"], vnodes=16)
+        ring.remove_node("a")
+        assert ring.nodes() == ("b",)
+        assert all(ring.node_for(f"k{i}") == "b" for i in range(50))
+
+    def test_vnodes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+
+class TestLookup:
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing().node_for("key")
+
+    def test_lookup_is_deterministic(self):
+        first = HashRing(["a", "b", "c"])
+        second = HashRing(["c", "a", "b"])  # insertion order is irrelevant
+        for i in range(100):
+            assert first.node_for(f"key-{i}") == second.node_for(f"key-{i}")
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.node_for(f"k{i}") == "only" for i in range(20))
+
+    def test_distribution_counts_every_key(self):
+        ring = HashRing(["a", "b", "c"])
+        keys = [f"key-{i}" for i in range(300)]
+        dist = ring.distribution(keys)
+        assert set(dist) == {"a", "b", "c"}
+        assert sum(dist.values()) == len(keys)
+        assert all(count > 0 for count in dist.values())
+
+    def test_adding_node_only_steals_keys(self):
+        ring = HashRing(["a", "b", "c"])
+        keys = [f"key-{i}" for i in range(500)]
+        before = {key: ring.node_for(key) for key in keys}
+        ring.add_node("d")
+        for key in keys:
+            owner = ring.node_for(key)
+            # A key either stayed put or moved to the new node — never
+            # between two pre-existing nodes.
+            assert owner == before[key] or owner == "d"

@@ -36,6 +36,52 @@ class TestTrafficStats:
         stats.record_drop()
         assert stats.dropped == 2
 
+    def test_drop_attributes_kind_and_bytes(self):
+        stats = TrafficStats()
+        stats.record_drop(msg(), 80)
+        stats.record_drop(msg(), 20)
+        stats.record_drop()  # anonymous drop: counted, not attributed
+        assert stats.dropped == 3
+        assert stats.dropped_bytes == 100
+        assert stats.dropped_by_kind[kinds.COMMAND] == 2
+        snap = stats.snapshot()
+        assert snap["dropped_bytes"] == 100
+        assert snap["dropped_by_kind"] == {kinds.COMMAND: 2}
+
+    def test_merge_aggregates_all_counters(self):
+        left = TrafficStats()
+        right = TrafficStats()
+        left.record(msg(), 100, "b")
+        right.record(msg(), 50, "b")
+        right.record(msg(sender="c", to="d"), 30, "d")
+        right.record_drop(msg(), 10)
+        result = left.merge(right)
+        assert result is left  # merge mutates and returns the target
+        assert left.messages == 3
+        assert left.bytes == 180
+        assert left.by_kind[kinds.COMMAND] == 3
+        assert left.by_link[("a", "b")] == 2
+        assert left.by_link[("c", "d")] == 1
+        assert left.dropped == 1
+        assert left.dropped_bytes == 10
+        assert left.dropped_by_kind[kinds.COMMAND] == 1
+        # The source of the merge is untouched.
+        assert right.messages == 2
+
+    def test_merge_is_associative_over_snapshots(self):
+        parts = []
+        for size in (10, 20, 30):
+            stats = TrafficStats()
+            stats.record(msg(), size, "b")
+            parts.append(stats)
+        onto_first = TrafficStats()
+        for part in parts:
+            onto_first.merge(part)
+        pairwise = TrafficStats()
+        pairwise.merge(parts[0].merge(parts[1]))
+        pairwise.merge(parts[2])
+        assert onto_first.snapshot() == pairwise.snapshot()
+
     def test_snapshot_keys(self):
         stats = TrafficStats()
         stats.record(msg(), 10, "b")

@@ -1,0 +1,83 @@
+"""Property-based tests for the consistent-hash ring.
+
+Two contracts matter for the cluster router:
+
+* **balance** — with enough virtual nodes, no shard owns more than a
+  small multiple of its fair share of keys;
+* **minimal disruption** — adding or removing one shard remaps only the
+  keys that touch that shard's arcs, never keys between two surviving
+  shards, and only around the expected ``1/n`` fraction of them.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.hashring import HashRing
+
+node_counts = st.integers(min_value=2, max_value=8)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def make_keys(seed, count=600):
+    return [f"key-{seed}-{i}" for i in range(count)]
+
+
+def make_ring(n):
+    return HashRing([f"shard-{i}" for i in range(n)], vnodes=128)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=node_counts, seed=seeds)
+def test_no_node_exceeds_twice_the_fair_share(n, seed):
+    ring = make_ring(n)
+    keys = make_keys(seed)
+    dist = ring.distribution(keys)
+    fair = len(keys) / n
+    assert max(dist.values()) <= 2 * fair
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=node_counts, seed=seeds)
+def test_adding_a_node_moves_only_keys_to_the_new_node(n, seed):
+    ring = make_ring(n)
+    keys = make_keys(seed)
+    before = {key: ring.node_for(key) for key in keys}
+    ring.add_node("newcomer")
+    moved = 0
+    for key in keys:
+        after = ring.node_for(key)
+        if after != before[key]:
+            # A remapped key may only land on the newcomer.
+            assert after == "newcomer"
+            moved += 1
+    # Expected fraction: 1/(n+1); allow generous slack (3x) since each
+    # sample is one finite draw from the ring's arc distribution.
+    assert moved <= 3 * len(keys) / (n + 1)
+    assert moved > 0  # with 600 keys the newcomer cannot stay empty
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=node_counts, seed=seeds)
+def test_removing_a_node_strands_no_surviving_keys(n, seed):
+    ring = make_ring(n)
+    keys = make_keys(seed)
+    before = {key: ring.node_for(key) for key in keys}
+    victim = f"shard-{n - 1}"
+    ring.remove_node(victim)
+    for key in keys:
+        after = ring.node_for(key)
+        if before[key] == victim:
+            assert after != victim  # orphaned keys must be re-homed
+        else:
+            # Keys on surviving nodes never move on a removal.
+            assert after == before[key]
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=node_counts, seed=seeds)
+def test_add_then_remove_is_an_identity(n, seed):
+    ring = make_ring(n)
+    keys = make_keys(seed, count=200)
+    before = {key: ring.node_for(key) for key in keys}
+    ring.add_node("transient")
+    ring.remove_node("transient")
+    assert {key: ring.node_for(key) for key in keys} == before

@@ -64,3 +64,56 @@ class TestDashboard:
         assert "Floors held: none" in text
         assert "Historical UI states: none" in text
         session.close()
+
+
+class TestClusterMonitor:
+    @pytest.fixture
+    def cluster_session(self):
+        from repro.session import ClusterSession
+
+        session = ClusterSession(shards=2)
+        a = session.create_instance("a", user="alice")
+        b = session.create_instance("b", user="bob")
+        ta = a.add_root(make_demo_tree())
+        tb = b.add_root(make_demo_tree())
+        a.couple(ta.find(FIELD), ("b", FIELD))
+        session.pump()
+        yield session
+        session.close()
+
+    def test_cluster_snapshot_structure(self, cluster_session):
+        from repro.tools.monitor import cluster_snapshot
+
+        snap = cluster_snapshot(cluster_session.cluster)
+        assert snap["shards"] == 2
+        assert snap["registered"] == 2
+        assert snap["couple_links"] == 1
+        assert snap["couple_groups"] == 1
+        assert set(snap["per_shard"]) == {"shard-0", "shard-1"}
+        # The two coupled objects are pinned to the same home shard.
+        assert len(set(snap["homes"].values())) == 1
+        assert set(snap["homes"]) == {f"a:{FIELD}", f"b:{FIELD}"}
+        # Exactly one shard holds the link; per-shard snapshots agree.
+        links = [s["couple_links"] for s in snap["per_shard"].values()]
+        assert sorted(links) == [0, 1]
+
+    def test_cluster_snapshot_json_safe(self, cluster_session):
+        from repro.tools.monitor import cluster_snapshot
+
+        json.dumps(cluster_snapshot(cluster_session.cluster))
+
+    def test_cluster_dashboard_mentions_everything(self, cluster_session):
+        from repro.tools.monitor import format_cluster_dashboard
+
+        text = format_cluster_dashboard(cluster_session.cluster)
+        for fragment in ("COSOFT cluster", "2 shards", "shard-0", "shard-1",
+                         "Group homes", f"a:{FIELD}"):
+            assert fragment in text
+
+    def test_empty_cluster_dashboard_renders(self):
+        from repro.cluster import ShardedCosoftCluster
+        from repro.tools.monitor import format_cluster_dashboard
+
+        text = format_cluster_dashboard(ShardedCosoftCluster(3))
+        assert "3 shards" in text
+        assert "Group homes: none pinned" in text
