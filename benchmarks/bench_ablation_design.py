@@ -14,7 +14,7 @@ quantifies both sides.
 import pytest
 
 from _common import emit_table, ms
-from repro.session import LocalSession
+from repro.session import Session
 from repro.toolkit.widgets import Scale, Shell, TextField
 from repro.workloads import contention_burst
 
@@ -22,14 +22,14 @@ FIELD = "/ui/field"
 
 
 def build_session(**session_kwargs):
-    session = LocalSession(**session_kwargs)
+    session = Session(**session_kwargs)
     return session
 
 
 class TestReplicaFastPath:
     def test_uncoupled_event_cost(self, benchmark):
         def measure(fast_path):
-            session = LocalSession()
+            session = Session()
             inst = session.create_instance(
                 "solo", user="u", replica_fast_path=fast_path
             )
@@ -73,7 +73,7 @@ class TestReplicaFastPath:
         events behave identically either way."""
 
         def run(fast_path):
-            session = LocalSession()
+            session = Session()
             a = session.create_instance("a", user="u1",
                                         replica_fast_path=fast_path)
             b = session.create_instance("b", user="u2")
@@ -97,7 +97,7 @@ class TestReplicaFastPath:
 
 class TestAckRelease:
     def _run_contention(self, ack_release):
-        session = LocalSession(base_latency=0.005, ack_release=ack_release)
+        session = Session(base_latency=0.005, ack_release=ack_release)
         trees = []
         for i in range(4):
             inst = session.create_instance(f"i{i}", user=f"u{i}")

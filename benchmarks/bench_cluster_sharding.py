@@ -23,7 +23,7 @@ from _common import emit_table
 from repro.baselines.fully_replicated import FullyReplicatedHarness
 from repro.core.groups import CouplingGroup
 from repro.net.transport import TrafficStats
-from repro.session import ClusterSession, LocalSession
+from repro.session import Session
 from repro.toolkit.widgets import Shell, TextField
 from repro.workloads import SCALE_PATH, contention_burst
 
@@ -44,9 +44,9 @@ E10_SPACING = 0.001  # tight overlap: denials guaranteed
 
 def build_population(shards):
     session = (
-        ClusterSession(shards=shards, service_time=SERVICE_TIME)
+        Session(shards=shards, service_time=SERVICE_TIME)
         if shards
-        else LocalSession()
+        else Session()
     )
     trees = []
     for i in range(USERS):

@@ -17,7 +17,7 @@ import pytest
 
 from _common import emit_table
 from repro.core.groups import CouplingGroup
-from repro.session import LocalSession
+from repro.session import Session
 from repro.toolkit.widgets import Shell, TextField
 
 USERS = (4, 8, 16)
@@ -26,7 +26,7 @@ FIELD = "/ui/field"
 
 
 def build_session(n_users):
-    session = LocalSession()
+    session = Session()
     trees = []
     for i in range(n_users):
         inst = session.create_instance(f"i{i}", user=f"u{i}")

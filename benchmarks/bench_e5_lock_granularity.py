@@ -14,7 +14,7 @@ bytes, lock acquisitions, simulated completion time.
 import pytest
 
 from _common import emit_table, ms
-from repro.session import LocalSession
+from repro.session import Session
 from repro.toolkit.widgets import Shell, TextField
 
 TEXTS = {
@@ -25,7 +25,7 @@ TEXTS = {
 
 
 def build_pair():
-    session = LocalSession()
+    session = Session()
     trees = []
     for name in ("a", "b"):
         inst = session.create_instance(name, user=name)

@@ -21,7 +21,7 @@ from _common import emit_table
 from repro.net.codec import wire_size
 from repro.net.message import Message
 from repro.net import kinds
-from repro.session import LocalSession
+from repro.session import Session
 from repro.toolkit.events import VALUE_CHANGED
 from repro.toolkit.widgets import Scale, Shell, TextField
 
@@ -35,7 +35,7 @@ def offline_work(n_actions):
 
     Returns (session, trees, missed events list).
     """
-    session = LocalSession()
+    session = Session()
     trees = []
     for name in ("worker", "rejoiner"):
         inst = session.create_instance(name, user=name)

@@ -18,7 +18,7 @@ import pytest
 from _common import emit_table
 from repro.apps.minidb import sample_publications
 from repro.apps.tori import ToriApplication
-from repro.session import LocalSession
+from repro.session import Session
 
 SWEEP = (  # (participants, rows in each database)
     (2, 200),
@@ -30,7 +30,7 @@ SWEEP = (  # (participants, rows in each database)
 
 
 def run_mode(n_users, db_rows, share_results):
-    session = LocalSession()
+    session = Session()
     apps = [
         ToriApplication(
             session.create_instance(f"tori-{i}", user=f"u{i}", app_type="tori"),
@@ -107,7 +107,7 @@ class TestToriQueries:
         user queries their *own* database and still stays coordinated."""
 
         def run():
-            session = LocalSession()
+            session = Session()
             a = ToriApplication(
                 session.create_instance("tori-a", user="u1"),
                 sample_publications(300, seed=1),
@@ -134,7 +134,7 @@ class TestToriQueries:
         assert not same_rows  # different corpora, legitimately different hits
 
     def test_query_wall_clock(self, benchmark):
-        session = LocalSession()
+        session = Session()
         app = ToriApplication(
             session.create_instance("tori", user="u"),
             sample_publications(2000, seed=3),

@@ -22,7 +22,7 @@ from repro.apps.classroom import (
     TeacherEnvironment,
     couple_simulation_directly,
 )
-from repro.session import LocalSession
+from repro.session import Session
 
 RESOLUTIONS = (16, 64, 256)
 PARAM_CHANGES = 5
@@ -32,7 +32,7 @@ def run(indirect, sim_points):
     original = classroom.SIM_POINTS
     classroom.SIM_POINTS = sim_points
     try:
-        session = LocalSession()
+        session = Session()
         teacher = TeacherEnvironment(
             session.create_instance("teacher", user="t")
         )
@@ -109,7 +109,7 @@ class TestIndirectCoupling:
         assert factors[-1] > 5
 
     def test_indirect_change_wall_clock(self, benchmark):
-        session = LocalSession()
+        session = Session()
         teacher = TeacherEnvironment(session.create_instance("teacher", user="t"))
         StudentEnvironment(session.create_instance("student-0", user="s"))
         session.pump()

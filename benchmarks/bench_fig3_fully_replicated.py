@@ -121,10 +121,10 @@ class TestFigure3:
         would queue ahead of Y's at the single semantic process."""
 
         def measure():
-            from repro.session import LocalSession
+            from repro.session import Session
             from repro.toolkit.widgets import Scale, Shell, TextField
 
-            session = LocalSession()
+            session = Session()
             trees = []
             for i in range(4):
                 inst = session.create_instance(f"r{i}", user=f"u{i}")

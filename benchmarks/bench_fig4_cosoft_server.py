@@ -11,14 +11,14 @@ event, end-to-end sync latency); plus raw server event throughput.
 import pytest
 
 from _common import emit_table, ms
-from repro.session import LocalSession
+from repro.session import Session
 from repro.toolkit.widgets import Shell, TextField
 
 GROUP_SIZES = (2, 4, 8, 16, 32)
 
 
 def build_group(n):
-    session = LocalSession()
+    session = Session()
     trees = []
     for i in range(n):
         inst = session.create_instance(f"i{i}", user=f"u{i}")

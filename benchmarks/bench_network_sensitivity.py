@@ -16,7 +16,7 @@ behaves across network regimes — from same-switch (0.1 ms) to WAN-like
 import pytest
 
 from _common import emit_table, ms
-from repro.session import LocalSession
+from repro.session import Session
 from repro.toolkit.widgets import Canvas, Shell, TextField
 
 LATENCIES = (0.0001, 0.001, 0.01, 0.05)
@@ -25,7 +25,7 @@ CANVAS = "/ui/canvas"
 
 
 def build_pair(**net_kwargs):
-    session = LocalSession(**net_kwargs)
+    session = Session(**net_kwargs)
     trees = []
     for name in ("a", "b"):
         inst = session.create_instance(name, user=name)

@@ -14,13 +14,13 @@ workstations, all heterogeneous application instances:
 5. the session ends with RemoteDecouple; the student keeps working.
 """
 
-from repro import LocalSession
+from repro import Session
 from repro.apps.classroom import StudentEnvironment, TeacherEnvironment
 from repro.toolkit import render
 
 
 def main() -> None:
-    session = LocalSession()
+    session = Session()
     teacher = TeacherEnvironment(
         session.create_instance("liveboard", user="dr-hoppe",
                                 app_type="cosoft-teacher")

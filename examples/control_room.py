@@ -13,7 +13,7 @@ a variety of COSOFT applications."  This example drives that mechanism:
 5. the server-side dashboard shows the four database categories live.
 """
 
-from repro import LocalSession
+from repro import Session
 from repro.apps.classroom import StudentEnvironment, TeacherEnvironment
 from repro.apps.control_panel import (
     CouplingControlPanel,
@@ -24,7 +24,7 @@ from repro.toolkit import render
 
 
 def main() -> None:
-    session = LocalSession()
+    session = Session()
     teacher_inst = session.create_instance(
         "liveboard", user="dr-hoppe", app_type="cosoft-teacher"
     )

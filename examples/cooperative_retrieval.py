@@ -12,13 +12,13 @@ once and share the result rows (CopyTo of the result form plus semantic
 data), showing the scan/bandwidth trade-off.
 """
 
-from repro import LocalSession
+from repro import Session
 from repro.apps.minidb import sample_publications
 from repro.apps.tori import ToriApplication
 
 
 def main() -> None:
-    session = LocalSession()
+    session = Session()
     alice = ToriApplication(
         session.create_instance("tori-alice", user="alice", app_type="tori"),
         sample_publications(400, seed=1),
@@ -71,7 +71,7 @@ def main() -> None:
     session.close()
 
     # --- Mode 2: evaluate once, share the results.
-    session = LocalSession()
+    session = Session()
     alice = ToriApplication(
         session.create_instance("tori-alice", user="alice"),
         sample_publications(400, seed=1),

@@ -14,7 +14,7 @@ This example couples/copies between *functionally different* programs:
    are interchangeable.
 """
 
-from repro import CorrespondenceRegistry, LocalSession, TcpSession
+from repro import CorrespondenceRegistry, Session
 from repro.toolkit import Form, Label, Scale, Shell, TextField
 
 
@@ -76,19 +76,11 @@ def main() -> None:
     corr.declare("label", "textfield", {"text": "value"})
 
     print("== simulated in-memory network ==")
-    session = LocalSession(correspondences=corr)
-    run(session, "memory")
-    session.close()
+    with Session(correspondences=corr) as session:
+        run(session, "memory")
 
     print("\n== real TCP sockets (localhost) ==")
-    with TcpSession() as tcp:
-        # TcpSession builds instances itself; inject the correspondences.
-        original = tcp.create_instance
-        def create(*args, **kwargs):
-            inst = original(*args, **kwargs)
-            inst.correspondences = corr
-            return inst
-        tcp.create_instance = create
+    with Session(backend="tcp", correspondences=corr) as tcp:
         run(tcp, "tcp")
 
 

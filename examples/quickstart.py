@@ -13,7 +13,7 @@ Runs entirely on the deterministic in-memory network:
 5. decouple — the objects keep existing and keep their content (§2.2).
 """
 
-from repro import LocalSession
+from repro import Session
 from repro.toolkit import Label, PushButton, Shell, TextField, render
 
 
@@ -31,7 +31,7 @@ def show(name: str, tree: Shell) -> None:
 
 
 def main() -> None:
-    session = LocalSession()
+    session = Session()
 
     alice = session.create_instance("editor-alice", user="alice")
     bob = session.create_instance("editor-bob", user="bob")

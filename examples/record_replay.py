@@ -12,7 +12,7 @@ Combines three operational features:
 
 import json
 
-from repro import LocalSession
+from repro import Session
 from repro.tools.replay import SessionRecorder, replay, replay_locally
 from repro.toolkit import Canvas, Shell, TextField
 from repro.toolkit.tree import subtree_state
@@ -27,7 +27,7 @@ def build_ui() -> Shell:
 
 def main() -> None:
     # ---- Act 1: a live session is recorded.
-    session = LocalSession()
+    session = Session()
     alice = session.create_instance("pad-alice", user="alice")
     bob = session.create_instance("pad-bob", user="bob")
     ui_alice = alice.add_root(build_ui())
@@ -55,7 +55,7 @@ def main() -> None:
     session.close()
 
     # ---- Act 2: replay the log in a brand-new session.
-    session2 = LocalSession()
+    session2 = Session()
     carol = session2.create_instance("pad-carol", user="carol")
     dave = session2.create_instance("pad-dave", user="dave")
     ui_carol = carol.add_root(build_ui())
@@ -78,7 +78,7 @@ def main() -> None:
           f"{subtree_state(offline) == final_state}")
 
     # ---- Act 4: the exported workspace reconstructs directly.
-    session3 = LocalSession()
+    session3 = Session()
     erin = session3.create_instance("pad-erin", user="erin")
     erin.import_ui(workspace)
     print("Workspace import matches:",

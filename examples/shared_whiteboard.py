@@ -10,13 +10,13 @@ Demonstrates the dimensions of flexibility from §2.2:
 * **decoupled objects survive** — leaving keeps the local drawing.
 """
 
-from repro import LocalSession
+from repro import Session
 from repro.apps.drawing import Whiteboard
 from repro.toolkit import render
 
 
 def main() -> None:
-    session = LocalSession()
+    session = Session()
     w1 = Whiteboard(session.create_instance("wb-anna", user="anna"))
     w2 = Whiteboard(session.create_instance("wb-ben", user="ben"))
     w3 = Whiteboard(session.create_instance("wb-cleo", user="cleo"))

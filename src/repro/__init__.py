@@ -7,10 +7,10 @@ multiple execution through a central server.
 
 Quick start::
 
-    from repro import LocalSession
+    from repro import Session
     from repro.toolkit import Shell, TextField
 
-    session = LocalSession()
+    session = Session()                        # backend="memory"|"tcp"|"aio"
     a = session.create_instance("app-a", user="alice")
     b = session.create_instance("app-b", user="bob")
 
@@ -34,12 +34,19 @@ from repro.core.compat import CorrespondenceRegistry
 from repro.core.state_sync import FLEXIBLE, MERGE, STRICT
 from repro.errors import ReproError
 from repro.server.server import CosoftServer
-from repro.session import LocalSession, TcpSession
+from repro.session import (
+    ClusterSession,
+    LocalSession,
+    Session,
+    SessionConfig,
+    TcpSession,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ApplicationInstance",
+    "ClusterSession",
     "CorrespondenceRegistry",
     "CosoftServer",
     "FLEXIBLE",
@@ -47,6 +54,8 @@ __all__ = [
     "MERGE",
     "ReproError",
     "STRICT",
+    "Session",
+    "SessionConfig",
     "TcpSession",
     "__version__",
 ]

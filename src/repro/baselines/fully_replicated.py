@@ -1,6 +1,6 @@
 """The fully replicated architecture (Figures 3/4) under the harness API.
 
-This is *the library itself* — a :class:`~repro.session.LocalSession` with
+This is *the library itself* — a :class:`~repro.session.Session` with
 one COSOFT application instance per user and the shared widgets coupled —
 wrapped into an :class:`~repro.baselines.common.ArchitectureHarness` so
 Table 1 and the figure benchmarks can run the same workload against all

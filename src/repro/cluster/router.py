@@ -60,19 +60,31 @@ from repro.server.server import CosoftServer
 
 
 class _ShardTransport(Transport):
-    """A shard's outbound handle: hands every send back to the router."""
+    """A shard's outbound handle: hands every send back to the router.
+
+    Owns the shard's :class:`TrafficStats`, so the cluster path reports
+    per-hop traffic through the same object a single server does.
+    """
 
     def __init__(self, cluster: "ShardedCosoftCluster", shard_id: str):
         self._cluster = cluster
         self._shard_id = shard_id
         self._closed = False
+        self._stats = TrafficStats()
 
     @property
     def local_id(self) -> str:
         return SERVER_ID
 
+    @property
+    def stats(self) -> TrafficStats:
+        return self._stats
+
     def send(self, message: Message) -> None:
         self._cluster._on_shard_send(self._shard_id, message)
+
+    def recv(self, message: Message) -> None:
+        self._cluster.shards[self._shard_id].handle_message(message)
 
     def drive(self, predicate, timeout: float = 5.0) -> bool:
         # Shards are passive state machines; they never block on replies.
@@ -131,6 +143,9 @@ class ShardedCosoftCluster:
         )
         self.ring = HashRing(self.shard_ids, vnodes=vnodes)
         self.shards: Dict[str, CosoftServer] = {}
+        #: Per-shard traffic accounting lives on each shard's transport —
+        #: the same ``TrafficStats`` object a single server reports — and
+        #: is aggregated with :meth:`TrafficStats.merge`.
         self._shard_stats: Dict[str, TrafficStats] = {}
         for shard_id in self.shard_ids:
             shard = CosoftServer(
@@ -141,9 +156,10 @@ class ShardedCosoftCluster:
                 floor_lease=floor_lease,
                 ack_release=ack_release,
             )
-            shard.bind(_ShardTransport(self, shard_id))
+            transport = _ShardTransport(self, shard_id)
+            shard.bind(transport)
             self.shards[shard_id] = shard
-            self._shard_stats[shard_id] = TrafficStats()
+            self._shard_stats[shard_id] = transport.stats
 
         #: Router-owned registration records (shards hold replicas).
         self.registry = Registry()

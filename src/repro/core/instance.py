@@ -37,6 +37,7 @@ from repro.errors import (
     ServerError,
 )
 from repro.net import kinds
+from repro.net.aio import AioClientTransport
 from repro.net.memory import MemoryNetwork
 from repro.net.message import Message
 from repro.net.tcp import TcpClientTransport
@@ -136,6 +137,22 @@ class ApplicationInstance:
         """Connect to a TCP server; returns self for chaining."""
         self.bind(
             TcpClientTransport(self.instance_id, self.handle_message, host, port)
+        )
+        return self
+
+    def connect_aio(
+        self, host: str, port: int, *, loop=None
+    ) -> "ApplicationInstance":
+        """Connect through a shared event loop; returns self for chaining.
+
+        With ``loop=None`` the transport starts a private loop thread;
+        passing a running loop (e.g. the aio runtime's) lets any number
+        of instances share one thread for all their connections.
+        """
+        self.bind(
+            AioClientTransport(
+                self.instance_id, self.handle_message, host, port, loop=loop
+            )
         )
         return self
 

@@ -23,18 +23,25 @@ MAX_FRAME_SIZE = 16 * 1024 * 1024
 
 
 def encode(message: Message) -> bytes:
-    """Serialize *message* into one length-prefixed frame."""
+    """Serialize *message* into one length-prefixed frame.
+
+    The frame is cached on the (immutable) message, so retries and
+    replays of the same object serialize once.
+    """
+    frame = message._frame
+    if frame is not None:
+        return frame
     try:
-        body = json.dumps(
-            message.to_wire(), separators=(",", ":"), sort_keys=True
-        ).encode("utf-8")
+        body = message.wire_body().encode("utf-8")
     except (TypeError, ValueError) as exc:
         raise CodecError(f"cannot encode message: {exc}") from exc
     if len(body) > MAX_FRAME_SIZE:
         raise CodecError(
             f"message of {len(body)} bytes exceeds MAX_FRAME_SIZE"
         )
-    return _HEADER.pack(len(body)) + body
+    frame = _HEADER.pack(len(body)) + body
+    object.__setattr__(message, "_frame", frame)
+    return frame
 
 
 def decode(frame: bytes) -> Message:
@@ -78,26 +85,28 @@ class StreamDecoder:
 
     def feed(self, data: bytes) -> List[Message]:
         """Append *data*; return all messages completed by it."""
-        self._buffer.extend(data)
+        buffer = self._buffer
+        buffer.extend(data)
         out: List[Message] = []
-        while True:
-            message = self._try_extract()
-            if message is None:
-                return out
-            out.append(message)
-
-    def _try_extract(self) -> Optional[Message]:
-        if len(self._buffer) < HEADER_SIZE:
-            return None
-        (length,) = _HEADER.unpack_from(bytes(self._buffer[:HEADER_SIZE]))
-        if length > MAX_FRAME_SIZE:
-            raise CodecError(f"frame of {length} bytes exceeds MAX_FRAME_SIZE")
-        end = HEADER_SIZE + length
-        if len(self._buffer) < end:
-            return None
-        body = bytes(self._buffer[HEADER_SIZE:end])
-        del self._buffer[:end]
-        return _decode_body(body)
+        pos = 0
+        size = len(buffer)
+        # Scan complete frames by offset; the buffer is compacted once
+        # per feed, not once per frame (which is quadratic in the number
+        # of frames a chunk carries).
+        while size - pos >= HEADER_SIZE:
+            (length,) = _HEADER.unpack_from(buffer, pos)
+            if length > MAX_FRAME_SIZE:
+                raise CodecError(
+                    f"frame of {length} bytes exceeds MAX_FRAME_SIZE"
+                )
+            end = pos + HEADER_SIZE + length
+            if end > size:
+                break
+            out.append(_decode_body(buffer[pos + HEADER_SIZE : end]))
+            pos = end
+        if pos:
+            del buffer[:pos]
+        return out
 
     @property
     def pending_bytes(self) -> int:

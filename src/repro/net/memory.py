@@ -30,6 +30,9 @@ from repro.net.clock import SimClock
 from repro.net.codec import wire_size
 from repro.net.message import Message
 from repro.net.transport import (
+    DROP_DETACHED,
+    DROP_LOSS,
+    DROP_PARTITION,
     MessageHandler,
     TrafficStats,
     Transport,
@@ -85,7 +88,7 @@ class MemoryNetwork:
         self.duplicate_rate = duplicate_rate
         self.stats = TrafficStats()
         self._rng = random.Random(seed)
-        self._handlers: Dict[str, MessageHandler] = {}
+        self._transports: Dict[str, "MemoryTransport"] = {}
         self._queue: List[Tuple[float, int, str, Message]] = []
         self._tiebreak = itertools.count()
         #: Per-link FIFO watermark: earliest time the next message on a link
@@ -104,18 +107,19 @@ class MemoryNetwork:
 
     def attach(self, endpoint_id: str, handler: MessageHandler) -> "MemoryTransport":
         """Register an endpoint and return its transport handle."""
-        if endpoint_id in self._handlers:
+        if endpoint_id in self._transports:
             raise ValueError(f"endpoint {endpoint_id!r} already attached")
-        self._handlers[endpoint_id] = handler
-        return MemoryTransport(self, endpoint_id)
+        transport = MemoryTransport(self, endpoint_id, handler)
+        self._transports[endpoint_id] = transport
+        return transport
 
     def detach(self, endpoint_id: str) -> None:
         """Remove an endpoint; queued messages to it are dropped on pump."""
-        self._handlers.pop(endpoint_id, None)
+        self._transports.pop(endpoint_id, None)
         self._partitioned.discard(endpoint_id)
 
     def endpoints(self) -> Tuple[str, ...]:
-        return tuple(self._handlers)
+        return tuple(self._transports)
 
     def partition(self, endpoint_id: str) -> None:
         """Simulate a network partition: drop traffic to/from the endpoint."""
@@ -134,10 +138,10 @@ class MemoryNetwork:
         receiver = resolve_destination(message)
         size = wire_size(message)
         if message.sender in self._partitioned or receiver in self._partitioned:
-            self.stats.record_drop(message, size)
+            self.stats.record_drop(message, size, reason=DROP_PARTITION)
             return
         if self.loss_rate and self._rng.random() < self.loss_rate:
-            self.stats.record_drop(message, size)
+            self.stats.record_drop(message, size, reason=DROP_LOSS)
             return
         delay = self.base_latency + self.per_byte_latency * size
         if self.jitter:
@@ -197,15 +201,19 @@ class MemoryNetwork:
                 continue
             self.clock.advance_to(max(self.clock.now(), deliver_at))
             if receiver in self._partitioned:
-                self.stats.record_drop(message, wire_size(message))
+                self.stats.record_drop(
+                    message, wire_size(message), reason=DROP_PARTITION
+                )
                 continue
-            handler = self._handlers.get(receiver)
-            if handler is None:
+            transport = self._transports.get(receiver)
+            if transport is None:
                 # Receiver detached (instance terminated): drop silently,
                 # like a closed socket.
-                self.stats.record_drop(message, wire_size(message))
+                self.stats.record_drop(
+                    message, wire_size(message), reason=DROP_DETACHED
+                )
                 continue
-            handler(message)
+            transport.recv(message)
             return True
         return False
 
@@ -244,11 +252,14 @@ class MemoryNetwork:
                 continue
             heapq.heappop(self._queue)
             self.clock.advance_to(max(self.clock.now(), deliver_at))
-            handler = self._handlers.get(receiver)
-            if handler is None or receiver in self._partitioned:
-                self.stats.record_drop(message, wire_size(message))
+            transport = self._transports.get(receiver)
+            if transport is None or receiver in self._partitioned:
+                reason = (
+                    DROP_PARTITION if receiver in self._partitioned else DROP_DETACHED
+                )
+                self.stats.record_drop(message, wire_size(message), reason=reason)
                 continue
-            handler(message)
+            transport.recv(message)
             steps += 1
         if steps >= max_steps:
             raise DeliveryError(
@@ -287,9 +298,12 @@ class MemoryNetwork:
 class MemoryTransport(Transport):
     """One endpoint's handle onto a :class:`MemoryNetwork`."""
 
-    def __init__(self, network: MemoryNetwork, endpoint_id: str):
+    def __init__(
+        self, network: MemoryNetwork, endpoint_id: str, handler: MessageHandler
+    ):
         self._network = network
         self._endpoint_id = endpoint_id
+        self._handler = handler
         self._closed = False
 
     @property
@@ -300,12 +314,22 @@ class MemoryTransport(Transport):
     def network(self) -> MemoryNetwork:
         return self._network
 
+    @property
+    def stats(self) -> TrafficStats:
+        """The network-wide accounting (shared by all memory endpoints)."""
+        return self._network.stats
+
     def send(self, message: Message) -> None:
         if self._closed:
             raise TransportClosedError(
                 f"transport for {self._endpoint_id!r} is closed"
             )
         self._network.submit(message)
+
+    def recv(self, message: Message) -> None:
+        """Deliver one inbound message (called by the network's pump)."""
+        if not self._closed:
+            self._handler(message)
 
     def drive(self, predicate: Callable[[], bool], timeout: float = 5.0) -> bool:
         return self._network.pump_until(predicate, timeout=timeout)

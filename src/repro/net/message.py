@@ -14,11 +14,11 @@ never about application semantics.  Application-specific protocols ride on
 from __future__ import annotations
 
 import itertools
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
 
 from repro.errors import CodecError
-from repro.toolkit.attributes import json_safe
 
 # ---------------------------------------------------------------------------
 # Message kinds
@@ -120,6 +120,48 @@ def _next_msg_id() -> int:
     return next(_msg_counter)
 
 
+# Validating a payload and serializing it are the same walk, so the
+# constructor does both at once: one ``json.dumps`` (C speed) proves the
+# payload serializable *and* yields the exact bytes :func:`repro.net.codec.encode`
+# will splice into the frame.  The memo shares that work across the
+# fan-out case — a server broadcast constructs one Message per receiver
+# around the same payload container — keyed by identity, with a strong
+# reference pinning the object so its id cannot be recycled.  Entries
+# hold ``(payload, json_or_None)``; ``None`` marks a container that is
+# known JSON-safe (it came off the wire) but not serialized yet.
+_JSON_MEMO: "Dict[int, Any]" = {}
+_JSON_MEMO_MAX = 512
+
+
+def _dumps(value: Any) -> str:
+    return json.dumps(value, separators=(",", ":"), sort_keys=True)
+
+
+def _remember(payload: Any, body: Optional[str]) -> None:
+    if len(_JSON_MEMO) >= _JSON_MEMO_MAX:
+        _JSON_MEMO.clear()
+    _JSON_MEMO[id(payload)] = (payload, body)
+
+
+#: Kinds are fixed ASCII identifiers — their JSON form needs no escaping.
+_WIRE_KINDS = {kind: f'"{kind}"' for kind in ALL_KINDS}
+
+#: Endpoint ids repeat across nearly every message of a session; memoize
+#: their (escaping-correct) JSON form instead of re-dumping per message.
+_WIRE_IDS: "Dict[str, str]" = {}
+_WIRE_IDS_MAX = 1024
+
+
+def _wire_id(value: str) -> str:
+    cached = _WIRE_IDS.get(value)
+    if cached is None:
+        cached = json.dumps(value)
+        if len(_WIRE_IDS) >= _WIRE_IDS_MAX:
+            _WIRE_IDS.clear()
+        _WIRE_IDS[value] = cached
+    return cached
+
+
 @dataclass(frozen=True)
 class Message:
     """One protocol message.
@@ -148,14 +190,64 @@ class Message:
     to: str = ""
     msg_id: int = field(default_factory=_next_msg_id)
     reply_to: Optional[int] = None
+    #: Payload pre-serialized at validation time; ``None`` until the
+    #: first (lazy) serialization for wire-deserialized messages.
+    _payload_json: Optional[str] = field(
+        init=False, repr=False, compare=False, default=None
+    )
+    #: Full wire frame, cached by :func:`repro.net.codec.encode` on first
+    #: use — a message is immutable, so re-sends (retries, replays) skip
+    #: re-serialization entirely.
+    _frame: Optional[bytes] = field(
+        init=False, repr=False, compare=False, default=None
+    )
 
     def __post_init__(self) -> None:
         if self.kind not in ALL_KINDS:
             raise CodecError(f"unknown message kind {self.kind!r}")
-        if not json_safe(dict(self.payload)):
+        payload = self.payload
+        if type(payload) is not dict:
+            payload = dict(payload)
+        entry = _JSON_MEMO.get(id(payload))
+        if entry is not None and entry[0] is payload:
+            object.__setattr__(self, "_payload_json", entry[1])
+            return
+        for key in payload:
+            if not isinstance(key, str):
+                raise CodecError(
+                    f"payload of {self.kind!r} message has non-string "
+                    f"key {key!r}"
+                )
+        try:
+            body = _dumps(payload)
+        except (TypeError, ValueError) as exc:
             raise CodecError(
-                f"payload of {self.kind!r} message is not JSON-serializable"
-            )
+                f"payload of {self.kind!r} message is not "
+                f"JSON-serializable: {exc}"
+            ) from exc
+        object.__setattr__(self, "_payload_json", body)
+        _remember(payload, body)
+
+    def wire_body(self) -> str:
+        """The frame body: JSON identical to ``dumps(self.to_wire())``.
+
+        Splices the payload serialization cached at construction between
+        cheaply-dumped scalar fields, preserving the codec's sorted-key,
+        compact-separator format byte for byte.
+        """
+        payload_json = self._payload_json
+        if payload_json is None:  # wire-deserialized; serialize lazily
+            payload_json = _dumps(dict(self.payload))
+            object.__setattr__(self, "_payload_json", payload_json)
+        reply_to = self.reply_to
+        return (
+            f'{{"kind":{_WIRE_KINDS[self.kind]}'
+            f',"msg_id":{self.msg_id:d}'
+            f',"payload":{payload_json}'
+            f',"reply_to":{"null" if reply_to is None else f"{reply_to:d}"}'
+            f',"sender":{_wire_id(self.sender)}'
+            f',"to":{_wire_id(self.to)}}}'
+        )
 
     def reply(self, kind: str, sender: str, **payload: Any) -> "Message":
         """Build a reply to this message (correlated via ``reply_to``)."""
@@ -192,11 +284,19 @@ class Message:
     @classmethod
     def from_wire(cls, data: Mapping[str, Any]) -> "Message":
         try:
+            payload = data.get("payload")
+            if type(payload) is not dict:
+                payload = dict(payload) if payload else {}
+            # Deserialized wire data is JSON-safe by construction; skip
+            # re-serializing it in ``__post_init__``.  No defensive copy:
+            # on the decode path the dict is fresh out of ``json.loads``
+            # (and ``to_wire`` hands out copies anyway).
+            _remember(payload, None)
             return cls(
                 kind=data["kind"],
                 sender=data["sender"],
                 to=data.get("to", ""),
-                payload=dict(data.get("payload", {})),
+                payload=payload,
                 msg_id=int(data["msg_id"]),
                 reply_to=data.get("reply_to"),
             )

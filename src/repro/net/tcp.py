@@ -23,7 +23,7 @@ import contextlib
 import socket
 import threading
 import time
-from typing import Callable, Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.errors import DeliveryError, TransportClosedError
 from repro.net.codec import StreamDecoder, encode
@@ -39,7 +39,7 @@ class TcpTransportBase(Transport):
         self._handler = handler
         self._cond = threading.Condition(threading.RLock())
         self._closed = False
-        self.stats = TrafficStats()
+        self._stats = TrafficStats()
 
     @property
     def local_id(self) -> str:
@@ -49,13 +49,17 @@ class TcpTransportBase(Transport):
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def stats(self) -> TrafficStats:
+        return self._stats
+
     @contextlib.contextmanager
     def guard(self) -> Iterator[None]:
         """Serialize application-thread access with the reader thread(s)."""
         with self._cond:
             yield
 
-    def _dispatch(self, message: Message) -> None:
+    def recv(self, message: Message) -> None:
         """Run the endpoint handler under the serialization lock."""
         with self._cond:
             if self._closed:
@@ -141,6 +145,11 @@ class TcpHostTransport(TcpTransportBase):
 
     # Internal ----------------------------------------------------------
 
+    def connections(self) -> Tuple[str, ...]:
+        """Peer ids with a live connection (same shape as the aio host)."""
+        with self._cond:
+            return tuple(self._conns)
+
     def _accept_loop(self) -> None:
         while not self._closed:
             try:
@@ -167,7 +176,7 @@ class TcpHostTransport(TcpTransportBase):
                         peer_id = message.sender
                         with self._cond:
                             self._conns[peer_id] = sock
-                    self._dispatch(message)
+                    self.recv(message)
         except OSError:
             pass
         finally:
@@ -231,7 +240,7 @@ class TcpClientTransport(TcpTransportBase):
                 if not data:
                     break
                 for message in decoder.feed(data):
-                    self._dispatch(message)
+                    self.recv(message)
         except OSError:
             pass
         finally:

@@ -1,13 +1,33 @@
-"""Transport abstraction shared by the simulated and TCP networks.
+"""Transport abstraction shared by the simulated, TCP and asyncio networks.
 
 The server and the application instances are **sans-I/O state machines**:
 they expose ``handle_message(Message)`` and emit messages through a
-:class:`Transport` handle.  Two implementations exist:
+:class:`Transport` handle.  Three implementations exist:
 
 * :class:`~repro.net.memory.MemoryNetwork` — deterministic discrete-event
   simulation with a latency model (the default for tests and benchmarks);
 * :class:`~repro.net.tcp.TcpTransport` — real sockets, one thread per
-  connection.
+  connection;
+* :class:`~repro.net.aio.AioHostTransport` — real sockets on an asyncio
+  event loop, with outbound batching, bounded per-client send queues and
+  per-hop retry (see docs/RUNTIME.md).
+
+The :class:`Transport` ABC is the explicit contract all of them implement:
+
+``send``
+    queue one outbound message for delivery to ``message.to``;
+``recv``
+    deliver one inbound message into the endpoint's handler (transports
+    call this from their reader thread / task / pump loop — it is the
+    single choke point through which every inbound message passes);
+``close``
+    detach the endpoint;
+``stats``
+    the :class:`TrafficStats` the transport accounts its traffic in.
+
+Third-party transports need not subclass the ABC: anything matching the
+:class:`TransportLike` structural protocol can be bound to a server or an
+instance (``isinstance(obj, TransportLike)`` works at runtime).
 
 Blocking request/reply interactions (CopyFrom, lock acquisition, …) are
 expressed through :meth:`Transport.drive`: "make progress until *predicate*
@@ -21,7 +41,7 @@ from __future__ import annotations
 import abc
 import contextlib
 from collections import Counter
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Protocol, runtime_checkable
 
 from repro.net.message import Message
 
@@ -35,12 +55,27 @@ SERVER_ID = "server"
 #: control traffic (shard migration).  Never a client instance id.
 ROUTER_ID = "router"
 
+# Canonical drop reasons, shared by every transport so single-server and
+# cluster runs report the same attribution fields (``drops_by_reason``).
+DROP_LOSS = "loss"                  # simulated wire loss
+DROP_PARTITION = "partition"        # simulated network partition
+DROP_DETACHED = "detached"          # receiver endpoint gone / closed socket
+DROP_BACKPRESSURE = "backpressure"  # bounded send queue overflowed (policy=drop)
+DROP_DISCONNECTED = "disconnected"  # slow consumer evicted (policy=disconnect)
+DROP_UNDELIVERABLE = "undeliverable"  # per-hop retry budget exhausted
+
 
 class TrafficStats:
     """Counters of protocol traffic, reported by every benchmark.
 
     Tracks message and byte counts globally, per message kind and per
-    directed (sender, receiver) link.
+    directed (sender, receiver) link; drops are attributed by kind *and*
+    by reason (one of the ``DROP_*`` constants), and the batching runtime
+    additionally accounts flushed batches and per-hop retries.  Every
+    transport — memory, TCP, asyncio, cluster shard — owns one of these,
+    so a single-server run reports exactly the same fields a sharded or
+    batched deployment does; :meth:`merge` folds several into one
+    cluster-wide snapshot.
     """
 
     def __init__(self) -> None:
@@ -52,6 +87,13 @@ class TrafficStats:
         self.bytes_by_kind: Counter = Counter()
         self.by_link: Counter = Counter()
         self.dropped_by_kind: Counter = Counter()
+        self.drops_by_reason: Counter = Counter()
+        #: Outbound flushes (a batch of >= 1 coalesced messages).
+        self.batches = 0
+        #: Messages that left inside those batches.
+        self.batched_messages = 0
+        #: Per-hop delivery retries (see docs/RUNTIME.md).
+        self.retries = 0
 
     def record(self, message: Message, size: int, receiver: str) -> None:
         self.messages += 1
@@ -60,17 +102,32 @@ class TrafficStats:
         self.bytes_by_kind[message.kind] += size
         self.by_link[(message.sender, receiver)] += 1
 
-    def record_drop(self, message: Optional[Message] = None, size: int = 0) -> None:
-        """Count a lost message, attributing its kind and size when known."""
+    def record_drop(
+        self,
+        message: Optional[Message] = None,
+        size: int = 0,
+        *,
+        reason: str = DROP_LOSS,
+    ) -> None:
+        """Count a lost message, attributing kind, size and *reason*."""
         self.dropped += 1
         self.dropped_bytes += size
+        self.drops_by_reason[reason] += 1
         if message is not None:
             self.dropped_by_kind[message.kind] += 1
+
+    def record_batch(self, n_messages: int) -> None:
+        """Count one outbound flush carrying *n_messages* messages."""
+        self.batches += 1
+        self.batched_messages += n_messages
+
+    def record_retry(self, attempts: int = 1) -> None:
+        self.retries += attempts
 
     def merge(self, other: "TrafficStats") -> "TrafficStats":
         """Fold *other*'s counters into this one (returns self).
 
-        Aggregates per-shard transport stats into one cluster-wide
+        Aggregates per-shard / per-transport stats into one system-wide
         snapshot for benchmarks and the monitor tool.
         """
         self.messages += other.messages
@@ -81,6 +138,10 @@ class TrafficStats:
         self.bytes_by_kind.update(other.bytes_by_kind)
         self.by_link.update(other.by_link)
         self.dropped_by_kind.update(other.dropped_by_kind)
+        self.drops_by_reason.update(other.drops_by_reason)
+        self.batches += other.batches
+        self.batched_messages += other.batched_messages
+        self.retries += other.retries
         return self
 
     def snapshot(self) -> Dict[str, object]:
@@ -94,6 +155,10 @@ class TrafficStats:
             "bytes_by_kind": dict(self.bytes_by_kind),
             "by_link": {f"{a}->{b}": n for (a, b), n in self.by_link.items()},
             "dropped_by_kind": dict(self.dropped_by_kind),
+            "drops_by_reason": dict(self.drops_by_reason),
+            "batches": self.batches,
+            "batched_messages": self.batched_messages,
+            "retries": self.retries,
         }
 
     def reset(self) -> None:
@@ -105,6 +170,10 @@ class TrafficStats:
         self.bytes_by_kind.clear()
         self.by_link.clear()
         self.dropped_by_kind.clear()
+        self.drops_by_reason.clear()
+        self.batches = 0
+        self.batched_messages = 0
+        self.retries = 0
 
     def __repr__(self) -> str:
         return (
@@ -114,7 +183,12 @@ class TrafficStats:
 
 
 class Transport(abc.ABC):
-    """One endpoint's handle onto a network."""
+    """One endpoint's handle onto a network.
+
+    The four-method contract — :meth:`send`, :meth:`recv`, :meth:`close`,
+    :attr:`stats` — is what every transport implements; :meth:`drive` and
+    :meth:`guard` have sensible defaults for single-threaded transports.
+    """
 
     def guard(self):
         """Context manager serializing application threads with handler
@@ -136,6 +210,15 @@ class Transport(abc.ABC):
         """
 
     @abc.abstractmethod
+    def recv(self, message: Message) -> None:
+        """Deliver one inbound *message* into the endpoint's handler.
+
+        Transports call this from their reader thread / task / pump loop;
+        implementations serialize the call with :meth:`guard` so the
+        sans-I/O cores never see concurrent handler invocations.
+        """
+
+    @abc.abstractmethod
     def drive(
         self, predicate: Callable[[], bool], timeout: float = 5.0
     ) -> bool:
@@ -154,6 +237,39 @@ class Transport(abc.ABC):
     @abc.abstractmethod
     def closed(self) -> bool:
         ...
+
+    @property
+    @abc.abstractmethod
+    def stats(self) -> TrafficStats:
+        """The traffic accounting this transport records into."""
+
+
+@runtime_checkable
+class TransportLike(Protocol):
+    """Structural protocol for third-party transports.
+
+    Anything with this shape can be bound to a :class:`CosoftServer`, a
+    :class:`ShardedCosoftCluster` or an :class:`ApplicationInstance`
+    without subclassing :class:`Transport` — the endpoints only ever call
+    these members.
+    """
+
+    @property
+    def local_id(self) -> str: ...
+
+    def send(self, message: Message) -> None: ...
+
+    def recv(self, message: Message) -> None: ...
+
+    def drive(self, predicate: Callable[[], bool], timeout: float = 5.0) -> bool: ...
+
+    def close(self) -> None: ...
+
+    @property
+    def closed(self) -> bool: ...
+
+    @property
+    def stats(self) -> TrafficStats: ...
 
 
 def resolve_destination(message: Message) -> str:

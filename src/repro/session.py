@@ -1,119 +1,212 @@
-"""Session harnesses: one-call wiring of server, network and instances.
+"""The unified :class:`Session` facade: one-call wiring of a deployment.
 
-Tests, benchmarks and examples all need the same setup — a central server,
-a network, and N application instances — so this module packages it:
+Tests, benchmarks and examples all need the same setup — a central
+endpoint (server or sharded cluster), a network, and N application
+instances — so this module packages it behind **one** class::
 
-* :class:`LocalSession` — simulated network (deterministic, latency model);
-* :class:`TcpSession` — real TCP sockets on localhost;
-* :class:`ClusterSession` — :class:`LocalSession` fronted by a
-  :class:`~repro.cluster.ShardedCosoftCluster` instead of a single server.
+    session = Session()                              # simulated network
+    session = Session(backend="tcp")                 # real TCP sockets
+    session = Session(backend="aio", shards=4)       # asyncio runtime,
+                                                     # 4-shard cluster
 
-Both harnesses accept ``shards=N`` to swap the single ``CosoftServer`` for
-a sharded cluster; instances are wired identically either way because the
-cluster speaks the same protocol on the same endpoint.
+Backends
+--------
+``"memory"``
+    Deterministic discrete-event simulation with a latency model — the
+    default for tests and benchmarks.  :meth:`Session.pump` delivers all
+    in-flight messages; time is simulated.
+``"tcp"``
+    Real localhost TCP sockets, one thread per connection (the paper's
+    implementation shape).
+``"aio"``
+    The asyncio server runtime (:mod:`repro.server.runtime`): one event
+    loop, outbound batching, bounded send queues with backpressure, and
+    per-hop retry — see docs/RUNTIME.md.  Session-created instances join
+    the runtime's loop through :class:`~repro.net.aio.AioClientTransport`
+    (no reader thread per instance); the wire protocol is identical and
+    plain TCP clients interoperate.
+
+Every backend accepts ``shards=N`` to swap the single
+:class:`~repro.server.server.CosoftServer` for a
+:class:`~repro.cluster.ShardedCosoftCluster`; instances are wired
+identically either way because the cluster speaks the same protocol on
+the same endpoint.
+
+All knobs live on :class:`SessionConfig`; keyword arguments to
+:class:`Session` are conveniences that build one::
+
+    session = Session(backend="aio", max_batch=128, backpressure="block")
+    session = Session(config=SessionConfig(backend="memory", loss_rate=0.01))
+
+The pre-redesign entry points — ``LocalSession``, ``TcpSession``,
+``ClusterSession`` — remain as thin deprecated aliases and will be
+removed in a future release.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+import time
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple, Union
 
 from repro.cluster import ShardedCosoftCluster
 from repro.core.compat import CorrespondenceRegistry
 from repro.core.instance import ApplicationInstance
+from repro.net.aio import BatchConfig
 from repro.net.clock import SimClock
 from repro.net.memory import MemoryNetwork
 from repro.net.tcp import TcpHostTransport
+from repro.net.transport import TrafficStats
 from repro.server.permissions import AccessControl
+from repro.server.runtime import AsyncServerRuntime
 from repro.server.server import SERVER_ID, CosoftServer
 
 #: Either kind of central endpoint a session can front.
 ServerLike = Union[CosoftServer, ShardedCosoftCluster]
 
+#: The session backends :class:`Session` can build.
+BACKENDS = ("memory", "tcp", "aio")
 
-class LocalSession:
-    """A complete COSOFT deployment on a simulated network.
+#: BatchConfig field names accepted as Session(...) keyword conveniences.
+_BATCH_FIELDS = (
+    "max_batch",
+    "max_delay",
+    "max_queue",
+    "backpressure",
+    "retry_initial",
+    "retry_backoff",
+    "retry_limit",
+    "retry_max_delay",
+)
 
-    Example::
 
-        session = LocalSession()
-        teacher = session.create_instance("teacher", user="ms-lin")
-        student = session.create_instance("student-1", user="kim")
-        ...
-        session.pump()   # drain in-flight messages
-    """
+@dataclass
+class SessionConfig:
+    """Everything a :class:`Session` needs to build a deployment."""
 
-    def __init__(
-        self,
-        *,
-        base_latency: float = 0.001,
-        per_byte_latency: float = 0.0,
-        jitter: float = 0.0,
-        loss_rate: float = 0.0,
-        duplicate_rate: float = 0.0,
-        seed: int = 0,
-        default_allow: bool = True,
-        admin_users: Tuple[str, ...] = (),
-        correspondences: Optional[CorrespondenceRegistry] = None,
-        ack_release: bool = True,
-        shards: int = 0,
-        vnodes: int = 64,
-        service_time: float = 0.0,
-    ):
-        self.clock = SimClock()
-        self.network = MemoryNetwork(
-            self.clock,
-            base_latency=base_latency,
-            per_byte_latency=per_byte_latency,
-            jitter=jitter,
-            loss_rate=loss_rate,
-            duplicate_rate=duplicate_rate,
-            seed=seed,
-        )
-        self.server: ServerLike = self._build_server(
-            shards=shards,
-            vnodes=vnodes,
-            service_time=service_time,
-            default_allow=default_allow,
-            admin_users=admin_users,
-            ack_release=ack_release,
-        )
-        self.server.bind(self.network.attach(SERVER_ID, self.server.handle_message))
-        self.correspondences = correspondences
-        self.instances: Dict[str, ApplicationInstance] = {}
+    backend: str = "memory"
+    #: 0 = single server; N >= 1 = sharded cluster with N shards.
+    shards: int = 0
 
-    def _build_server(
-        self,
-        *,
-        shards: int,
-        vnodes: int,
-        service_time: float,
-        default_allow: bool,
-        admin_users: Tuple[str, ...],
-        ack_release: bool,
-    ) -> ServerLike:
-        """The central endpoint: one server, or a cluster when ``shards``."""
-        if shards:
-            return ShardedCosoftCluster(
-                shards,
-                clock=self.clock,
-                vnodes=vnodes,
-                service_time=service_time,
-                default_allow=default_allow,
-                admin_users=admin_users,
-                ack_release=ack_release,
+    # Central endpoint ------------------------------------------------
+    default_allow: bool = True
+    admin_users: Tuple[str, ...] = ()
+    ack_release: bool = True
+    correspondences: Optional[CorrespondenceRegistry] = None
+    vnodes: int = 64
+
+    # Simulated network model (memory backend) ------------------------
+    base_latency: float = 0.001
+    per_byte_latency: float = 0.0
+    jitter: float = 0.0
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    seed: int = 0
+    service_time: float = 0.0
+
+    # Socket backends (tcp, aio) --------------------------------------
+    host: str = "127.0.0.1"
+    port: int = 0
+
+    # Asyncio runtime (aio backend) -----------------------------------
+    batch: BatchConfig = field(default_factory=BatchConfig)
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
             )
-        return CosoftServer(
-            clock=self.clock,
-            access=AccessControl(default_allow=default_allow),
-            admin_users=admin_users,
-            ack_release=ack_release,
+        if self.shards < 0:
+            raise ValueError("shards must be >= 0")
+
+
+def _build_server(config: SessionConfig, clock=None) -> ServerLike:
+    """The central endpoint: one server, or a cluster when ``shards``."""
+    if config.shards:
+        kwargs = dict(
+            vnodes=config.vnodes,
+            default_allow=config.default_allow,
+            admin_users=config.admin_users,
+            ack_release=config.ack_release,
         )
+        if clock is not None:
+            kwargs["clock"] = clock
+            kwargs["service_time"] = config.service_time
+        return ShardedCosoftCluster(config.shards, **kwargs)
+    kwargs = dict(
+        access=AccessControl(default_allow=config.default_allow),
+        admin_users=config.admin_users,
+        ack_release=config.ack_release,
+    )
+    if clock is not None:
+        kwargs["clock"] = clock
+    return CosoftServer(**kwargs)
+
+
+class _BackendBase:
+    """Shared machinery of the session backends."""
+
+    config: SessionConfig
+    server: ServerLike
+    instances: Dict[str, ApplicationInstance]
 
     @property
     def cluster(self) -> Optional[ShardedCosoftCluster]:
         """The sharded cluster, when this session runs one (else None)."""
         server = self.server
         return server if isinstance(server, ShardedCosoftCluster) else None
+
+    def drop_instance(self, instance_id: str) -> None:
+        """Close and forget one instance."""
+        instance = self.instances.pop(instance_id, None)
+        if instance is not None:
+            instance.close()
+            self.pump()
+
+    def close(self) -> None:
+        for instance in list(self.instances.values()):
+            try:
+                instance.close()
+            except Exception:
+                pass
+        self.instances.clear()
+
+    # Subclass responsibilities ---------------------------------------
+
+    def create_instance(self, instance_id, user, **kwargs) -> ApplicationInstance:
+        raise NotImplementedError
+
+    def pump(self) -> int:
+        raise NotImplementedError
+
+    def traffic(self) -> Dict[str, object]:
+        raise NotImplementedError
+
+    @property
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class _MemoryBackend(_BackendBase):
+    """A complete deployment on the simulated network."""
+
+    def __init__(self, config: SessionConfig):
+        self.config = config
+        self.clock = SimClock()
+        self.network = MemoryNetwork(
+            self.clock,
+            base_latency=config.base_latency,
+            per_byte_latency=config.per_byte_latency,
+            jitter=config.jitter,
+            loss_rate=config.loss_rate,
+            duplicate_rate=config.duplicate_rate,
+            seed=config.seed,
+        )
+        self.server: ServerLike = _build_server(config, clock=self.clock)
+        self.server.bind(self.network.attach(SERVER_ID, self.server.handle_message))
+        self.correspondences = config.correspondences
+        self.instances: Dict[str, ApplicationInstance] = {}
 
     def create_instance(
         self,
@@ -123,28 +216,22 @@ class LocalSession:
         app_type: str = "",
         register: bool = True,
         lock_timeout: float = 5.0,
+        request_timeout: float = 5.0,
         replica_fast_path: bool = True,
     ) -> ApplicationInstance:
-        """Create, connect and (by default) register an instance."""
         instance = ApplicationInstance(
             instance_id,
             user,
             app_type=app_type,
             correspondences=self.correspondences,
             lock_timeout=lock_timeout,
+            request_timeout=request_timeout,
             replica_fast_path=replica_fast_path,
         ).connect(self.network)
         self.instances[instance_id] = instance
         if register:
             instance.register()
         return instance
-
-    def drop_instance(self, instance_id: str) -> None:
-        """Close and forget one instance."""
-        instance = self.instances.pop(instance_id, None)
-        if instance is not None:
-            instance.close()
-            self.pump()
 
     def pump(self) -> int:
         """Deliver all in-flight messages; returns the delivery count."""
@@ -159,55 +246,15 @@ class LocalSession:
         return self.network.stats.snapshot()
 
     def close(self) -> None:
-        for instance in list(self.instances.values()):
-            instance.close()
-        self.instances.clear()
-        self.pump()
+        super().close()
+        self.network.pump()
 
 
-class ClusterSession(LocalSession):
-    """A :class:`LocalSession` whose central endpoint is a sharded cluster.
+class _SocketBackendBase(_BackendBase):
+    """Shared machinery of the real-socket backends (tcp, aio)."""
 
-    One constructor argument is the whole opt-in::
-
-        session = ClusterSession(shards=4)
-        teacher = session.create_instance("teacher", user="ms-lin")
-
-    Everything else — instances, coupling, pumping — works exactly as with
-    :class:`LocalSession`, because the cluster router speaks the same
-    protocol on the same ``server`` endpoint.
-    """
-
-    def __init__(self, shards: int = 2, **kwargs: object):
-        if shards <= 0:
-            raise ValueError("ClusterSession needs at least one shard")
-        super().__init__(shards=shards, **kwargs)  # type: ignore[arg-type]
-
-
-class TcpSession:
-    """A COSOFT deployment over real localhost TCP sockets.
-
-    Pass ``shards=N`` to front the session with a sharded cluster: the TCP
-    host transport serializes handler dispatch, so the sans-I/O router
-    needs no extra locking.
-    """
-
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, shards: int = 0):
-        self.server: ServerLike = (
-            ShardedCosoftCluster(shards) if shards else CosoftServer()
-        )
-        self._host_transport = TcpHostTransport(
-            self.server.handle_message, host=host, port=port
-        )
-        self.server.bind(self._host_transport)
-        self.host, self.port = self._host_transport.address
-        self.instances: List[ApplicationInstance] = []
-
-    @property
-    def cluster(self) -> Optional[ShardedCosoftCluster]:
-        """The sharded cluster, when this session runs one (else None)."""
-        server = self.server
-        return server if isinstance(server, ShardedCosoftCluster) else None
+    host: str
+    port: int
 
     def create_instance(
         self,
@@ -216,30 +263,283 @@ class TcpSession:
         *,
         app_type: str = "",
         register: bool = True,
+        lock_timeout: float = 5.0,
         request_timeout: float = 5.0,
+        replica_fast_path: bool = True,
     ) -> ApplicationInstance:
-        instance = ApplicationInstance(
-            instance_id,
-            user,
-            app_type=app_type,
-            request_timeout=request_timeout,
-        ).connect_tcp(self.host, self.port)
-        self.instances.append(instance)
+        instance = self._connect(
+            ApplicationInstance(
+                instance_id,
+                user,
+                app_type=app_type,
+                correspondences=self.config.correspondences,
+                lock_timeout=lock_timeout,
+                request_timeout=request_timeout,
+                replica_fast_path=replica_fast_path,
+            )
+        )
+        self.instances[instance_id] = instance
         if register:
             instance.register()
         return instance
 
+    def _connect(self, instance: ApplicationInstance) -> ApplicationInstance:
+        return instance.connect_tcp(self.host, self.port)
+
+    def _server_stats(self) -> TrafficStats:
+        raise NotImplementedError
+
+    def pump(self, idle: float = 0.02, timeout: float = 2.0) -> int:
+        """Settle the deployment: wait until traffic is quiescent.
+
+        Real-socket backends cannot enumerate in-flight messages the way
+        the simulator can, so "pump" polls the server transport's
+        counters until they have been stable for *idle* seconds (or
+        *timeout* elapses).  Returns the number of server-side messages
+        that moved while settling.
+        """
+        stats = self._server_stats()
+
+        def probe() -> Tuple[int, int]:
+            return stats.messages, stats.dropped
+
+        start = probe()
+        last_change = time.monotonic()
+        last = start
+        deadline = last_change + timeout
+        while time.monotonic() < deadline:
+            time.sleep(0.002)
+            current = probe()
+            if current != last:
+                last = current
+                last_change = time.monotonic()
+            elif time.monotonic() - last_change >= idle:
+                break
+        return last[0] - start[0]
+
+    @property
+    def now(self) -> float:
+        return time.monotonic()
+
+    def traffic(self) -> Dict[str, object]:
+        """Server-side traffic counters (same fields as the simulator)."""
+        return self._server_stats().snapshot()
+
+
+class _TcpBackend(_SocketBackendBase):
+    """A deployment over real localhost TCP sockets (thread per conn)."""
+
+    def __init__(self, config: SessionConfig):
+        self.config = config
+        self.server: ServerLike = _build_server(config)
+        self._host_transport = TcpHostTransport(
+            self.server.handle_message, host=config.host, port=config.port
+        )
+        self.server.bind(self._host_transport)
+        self.host, self.port = self._host_transport.address
+        self.instances: Dict[str, ApplicationInstance] = {}
+
+    def _server_stats(self) -> TrafficStats:
+        return self._host_transport.stats
+
     def close(self) -> None:
-        for instance in self.instances:
-            try:
-                instance.close()
-            except Exception:
-                pass
-        self.instances.clear()
+        super().close()
         self._host_transport.close()
 
-    def __enter__(self) -> "TcpSession":
+
+class _AioBackend(_SocketBackendBase):
+    """A deployment under the asyncio server runtime (batching,
+    backpressure, per-hop retry — docs/RUNTIME.md)."""
+
+    def __init__(self, config: SessionConfig):
+        self.config = config
+        self.server: ServerLike = _build_server(config)
+        self.runtime = AsyncServerRuntime(
+            self.server, config.host, config.port, config=config.batch
+        )
+        self.host, self.port = self.runtime.address
+        self.instances: Dict[str, ApplicationInstance] = {}
+
+    def _connect(self, instance: ApplicationInstance) -> ApplicationInstance:
+        # Instances join the runtime's own loop: the whole deployment —
+        # host plus every client connection — is serviced by one thread
+        # instead of a reader thread per endpoint.
+        return instance.connect_aio(self.host, self.port, loop=self.runtime.loop)
+
+    def _server_stats(self) -> TrafficStats:
+        return self.runtime.transport.stats
+
+    def close(self) -> None:
+        super().close()
+        self.runtime.close()
+
+
+_BACKEND_CLASSES = {
+    "memory": _MemoryBackend,
+    "tcp": _TcpBackend,
+    "aio": _AioBackend,
+}
+
+
+class Session:
+    """A complete COSOFT deployment behind one constructor.
+
+    Example::
+
+        session = Session()                      # simulated, single server
+        teacher = session.create_instance("teacher", user="ms-lin")
+        student = session.create_instance("student-1", user="kim")
+        ...
+        session.pump()                           # drain in-flight messages
+        session.close()
+
+    Parameters
+    ----------
+    backend:
+        ``"memory"`` (default), ``"tcp"`` or ``"aio"``.
+    config:
+        A ready-made :class:`SessionConfig`.  Mutually exclusive with the
+        keyword conveniences below.
+    **knobs:
+        Any :class:`SessionConfig` field (``shards``, ``loss_rate``,
+        ``ack_release``, …) or :class:`~repro.net.aio.BatchConfig` field
+        (``max_batch``, ``backpressure``, …).
+    """
+
+    def __init__(
+        self,
+        backend: Optional[str] = None,
+        *,
+        config: Optional[SessionConfig] = None,
+        **knobs: object,
+    ):
+        if config is not None:
+            if knobs:
+                raise TypeError(
+                    "pass either a SessionConfig or keyword knobs, not both"
+                )
+            if backend is not None and backend != config.backend:
+                config = replace(config, backend=backend)
+        else:
+            batch_knobs = {
+                key: knobs.pop(key) for key in _BATCH_FIELDS if key in knobs
+            }
+            if batch_knobs:
+                knobs["batch"] = BatchConfig(**batch_knobs)  # type: ignore[arg-type]
+            if backend is not None:
+                knobs["backend"] = backend
+            config = SessionConfig(**knobs)  # type: ignore[arg-type]
+        self.config = config
+        self._impl: _BackendBase = _BACKEND_CLASSES[config.backend](config)
+
+    # ------------------------------------------------------------------
+    # The common facade
+    # ------------------------------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        return self.config.backend
+
+    @property
+    def server(self) -> ServerLike:
+        return self._impl.server
+
+    @property
+    def cluster(self) -> Optional[ShardedCosoftCluster]:
+        """The sharded cluster, when this session runs one (else None)."""
+        return self._impl.cluster
+
+    @property
+    def instances(self) -> Dict[str, ApplicationInstance]:
+        return self._impl.instances
+
+    @property
+    def now(self) -> float:
+        """Simulated seconds (memory) or wall-clock seconds (tcp/aio)."""
+        return self._impl.now
+
+    def create_instance(
+        self, instance_id: str, user: str, **kwargs: object
+    ) -> ApplicationInstance:
+        """Create, connect and (by default) register an instance."""
+        return self._impl.create_instance(instance_id, user, **kwargs)
+
+    def drop_instance(self, instance_id: str) -> None:
+        """Close and forget one instance."""
+        self._impl.drop_instance(instance_id)
+
+    def pump(self, **kwargs: object) -> int:
+        """Drain in-flight messages (memory) / settle traffic (tcp, aio)."""
+        return self._impl.pump(**kwargs)
+
+    def traffic(self) -> Dict[str, object]:
+        """Traffic counters with the same fields on every backend."""
+        return self._impl.traffic()
+
+    def close(self) -> None:
+        self._impl.close()
+
+    def __enter__(self) -> "Session":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Session(backend={self.backend!r}, shards={self.config.shards}, "
+            f"instances={len(self.instances)})"
+        )
+
+    # Backend-specific attributes (``network``, ``clock``, ``host``,
+    # ``port``, ``runtime``, …) fall through to the implementation.
+    def __getattr__(self, name: str):
+        impl = self.__dict__.get("_impl")
+        if impl is None:
+            raise AttributeError(name)
+        try:
+            return getattr(impl, name)
+        except AttributeError:
+            raise AttributeError(
+                f"{type(self).__name__} (backend={self.backend!r}) has no "
+                f"attribute {name!r}"
+            ) from None
+
+
+# ---------------------------------------------------------------------------
+# Deprecated aliases (pre-redesign entry points)
+# ---------------------------------------------------------------------------
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class LocalSession(Session):
+    """Deprecated alias for ``Session(backend="memory")``."""
+
+    def __init__(self, **kwargs: object):
+        _deprecated("LocalSession", 'Session(backend="memory")')
+        super().__init__(backend="memory", **kwargs)  # type: ignore[arg-type]
+
+
+class ClusterSession(Session):
+    """Deprecated alias for ``Session(backend="memory", shards=N)``."""
+
+    def __init__(self, shards: int = 2, **kwargs: object):
+        _deprecated("ClusterSession", 'Session(backend="memory", shards=N)')
+        if shards <= 0:
+            raise ValueError("ClusterSession needs at least one shard")
+        super().__init__(backend="memory", shards=shards, **kwargs)  # type: ignore[arg-type]
+
+
+class TcpSession(Session):
+    """Deprecated alias for ``Session(backend="tcp")``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, shards: int = 0):
+        _deprecated("TcpSession", 'Session(backend="tcp")')
+        super().__init__(backend="tcp", host=host, port=port, shards=shards)

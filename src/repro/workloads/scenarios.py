@@ -18,7 +18,7 @@ from repro.apps.classroom import StudentEnvironment, TeacherEnvironment
 from repro.apps.drawing import Whiteboard
 from repro.apps.minidb import sample_publications
 from repro.apps.tori import ToriApplication
-from repro.session import LocalSession
+from repro.session import Session
 
 
 @dataclass
@@ -55,7 +55,7 @@ def classroom_lesson(
     """
     rng = random.Random(seed)
     report = ScenarioReport(name="classroom_lesson")
-    session = LocalSession(seed=seed)
+    session = Session(seed=seed)
     teacher = TeacherEnvironment(
         session.create_instance("liveboard", user="teacher",
                                 app_type="cosoft-teacher")
@@ -139,7 +139,7 @@ def joint_retrieval(
     """A TORI working session: coupled query forms, alternating drivers."""
     rng = random.Random(seed)
     report = ScenarioReport(name="joint_retrieval")
-    session = LocalSession(seed=seed)
+    session = Session(seed=seed)
     apps = [
         ToriApplication(
             session.create_instance(f"tori-{i}", user=f"analyst-{i}",
@@ -187,7 +187,7 @@ def design_meeting(
     """A whiteboard meeting with churn: join, sketch, leave, re-join."""
     rng = random.Random(seed)
     report = ScenarioReport(name="design_meeting")
-    session = LocalSession(seed=seed)
+    session = Session(seed=seed)
     boards = [
         Whiteboard(session.create_instance(f"wb-{i}", user=f"designer-{i}"))
         for i in range(n_participants)

@@ -5,7 +5,7 @@ import pytest
 from repro.cluster import ShardedCosoftCluster
 from repro.net import kinds
 from repro.net.message import Message
-from repro.net.transport import ROUTER_ID, Transport
+from repro.net.transport import ROUTER_ID, TrafficStats, Transport
 from repro.session import ClusterSession
 from repro.toolkit.widgets import Shell, TextField
 
@@ -16,13 +16,21 @@ class Outbox(Transport):
     def __init__(self):
         self.sent = []
         self._closed = False
+        self._stats = TrafficStats()
 
     @property
     def local_id(self):
         return "server"
 
+    @property
+    def stats(self):
+        return self._stats
+
     def send(self, message):
         self.sent.append(message)
+
+    def recv(self, message):
+        pass  # the cluster is driven directly via handle_message
 
     def drive(self, predicate, timeout=5.0):
         return bool(predicate())

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro.session import LocalSession
+from repro.session import Session
 from repro.toolkit import (
     Canvas,
     Form,
@@ -19,10 +21,15 @@ from repro.toolkit import (
 )
 
 
+#: Backend the shared ``session`` fixture builds; CI overrides this to
+#: run the whole suite against the asyncio runtime (REPRO_BACKEND=aio).
+SESSION_BACKEND = os.environ.get("REPRO_BACKEND", "memory")
+
+
 @pytest.fixture
 def session():
-    """A fresh simulated deployment (server + network)."""
-    sess = LocalSession()
+    """A fresh deployment (server + network) on the configured backend."""
+    sess = Session(backend=SESSION_BACKEND)
     yield sess
     sess.close()
 

@@ -98,9 +98,9 @@ class TestLocalVsCoupledEvents:
     def test_uncoupled_events_stay_local(self, pair):
         session, a, _ = pair
         tree = a.add_root(make_demo_tree())
-        before = session.network.stats.messages
+        before = session.traffic()["messages"]
         tree.find("/app/form/name").commit("local only")
-        assert session.network.stats.messages == before
+        assert session.traffic()["messages"] == before
         assert a.stats["events_local"] == 1
         assert a.last_execution.local_only
 
