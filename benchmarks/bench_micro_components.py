@@ -9,6 +9,7 @@ in the substrate itself.
 
 import pytest
 
+from repro.core.compat import DEFAULT_MAPPING_CACHE, spec_fingerprint
 from repro.core.state_sync import apply_state_payload, build_state_payload
 from repro.net import kinds
 from repro.net.codec import decode, encode
@@ -109,6 +110,47 @@ class TestCoupleClosure:
         table.group_of(probe)  # warm the cache
         group = benchmark(table.group_of, probe)
         assert len(group) == 10
+
+
+class TestCompatMappingCache:
+    """Structural-mapping resolution with the fingerprint cache cold vs
+    warm.  Every STRICT transfer between structurally distinct replicas
+    pays this cost, so the warm path must be markedly cheaper."""
+
+    def _transfer(self):
+        source = build(standard_form_spec())
+        source.find("/app/form/text").commit("content")
+        payload = build_state_payload(source)
+        target = build(standard_form_spec())
+        return payload, target
+
+    def test_fingerprint(self, benchmark):
+        source = build(standard_form_spec())
+        payload = build_state_payload(source)
+        digest = benchmark(spec_fingerprint, payload["structure"])
+        assert len(digest) == 40
+
+    def test_apply_mapping_cold(self, benchmark):
+        payload, target = self._transfer()
+
+        def cold():
+            DEFAULT_MAPPING_CACHE.clear()  # force recomputation
+            return apply_state_payload(target, payload)
+
+        report = benchmark(cold)
+        assert report.applied_paths
+
+    def test_apply_mapping_warm(self, benchmark):
+        payload, target = self._transfer()
+        DEFAULT_MAPPING_CACHE.clear()
+        apply_state_payload(target, payload)  # warm the cache
+
+        def warm():
+            return apply_state_payload(target, payload)
+
+        report = benchmark(warm)
+        assert report.applied_paths
+        assert DEFAULT_MAPPING_CACHE.hits > 0
 
 
 class TestStateSyncThroughput:

@@ -1,0 +1,221 @@
+"""Interest-aware routing + delta sync: delivered traffic on the hot path.
+
+The paper's central server should make traffic scale with *coupling
+interest*, not population (§2.2).  Two series quantify what the PR's
+routing layer buys:
+
+* **Routing sweep** — N instances with sparse (10% of the population in
+  couple pairs) or dense (everyone paired) coupling run a workload of
+  coupling churn plus coupled edits.  ``couple_scope="all"`` replicates
+  every COUPLE_UPDATE to the whole population (the pre-change broadcast
+  path); ``couple_scope="group"`` scopes it to the affected group's
+  audience.  Reported: delivered messages per logical operation.
+
+* **Delta payload** — repeated CopyTo of a mostly-unchanged tree, full
+  snapshot vs delta encoding, measured in wire bytes per transfer.
+
+Both series run on the simulated network by default; CI re-runs them on
+the asyncio runtime via ``REPRO_ROUTING_BENCH_BACKEND=aio`` as the
+regression gate, so the counters come from ``session.traffic()`` (the
+same snapshot every backend reports) rather than the memory network's
+private stats object.
+"""
+
+import os
+import time
+
+from _common import emit_table
+from repro.session import Session
+from repro.toolkit.widgets import Scale, Shell, TextField
+
+BACKEND = os.environ.get("REPRO_ROUTING_BENCH_BACKEND", "memory")
+POPULATIONS = (16, 32, 64)
+CHURN_ROUNDS = 3
+FIELD = "/ui/field"
+
+#: Acceptance floor: scoped routing must at least halve delivered
+#: messages on the sparse 64-instance workload.
+MIN_SPARSE_REDUCTION = 2.0
+
+#: Committed sparse-coupling baseline (delivered messages per logical
+#: operation with ``couple_scope="group"``): measured 3.7 on the memory
+#: backend at every population, with headroom for backend accounting
+#: differences.  CI fails if a change pushes the scoped path above this.
+SPARSE_GROUP_BASELINE = 5.0
+
+
+def settle(session, predicate, timeout=10.0):
+    if session.backend == "memory":
+        session.pump()
+        return predicate()
+    session.pump()
+    end = time.monotonic() + timeout
+    while time.monotonic() < end:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+def build_tree():
+    root = Shell("ui")
+    TextField("field", parent=root)
+    Scale("zoom", parent=root, maximum=100)
+    return root
+
+
+def run_routing(n_instances, density, scope):
+    """Coupling churn + coupled edits; returns delivered msgs/operation."""
+    session = Session(backend=BACKEND, couple_scope=scope)
+    trees = []
+    instances = []
+    for i in range(n_instances):
+        inst = session.create_instance(f"i{i}", user=f"u{i}")
+        trees.append(inst.add_root(build_tree()))
+        instances.append(inst)
+    session.pump()
+
+    if density == "sparse":
+        coupled_count = max(2, n_instances // 10)
+    else:  # dense
+        coupled_count = n_instances
+    coupled_count -= coupled_count % 2
+    pairs = [(i, i + 1) for i in range(0, coupled_count, 2)]
+
+    baseline = session.traffic()["messages"]
+    operations = 0
+    for round_no in range(CHURN_ROUNDS):
+        for a, b in pairs:
+            instances[a].couple(trees[a].find(FIELD), (f"i{b}", FIELD))
+            operations += 1
+        for a, b in pairs:
+            trees[a].find(FIELD).commit(f"r{round_no}-{a}")
+            assert settle(
+                session,
+                lambda a=a, b=b, v=f"r{round_no}-{a}": (
+                    trees[b].find(FIELD).value == v
+                ),
+            )
+            operations += 1
+        for a, b in pairs:
+            instances[a].decouple(trees[a].find(FIELD), (f"i{b}", FIELD))
+            operations += 1
+    session.pump()
+
+    # Correctness guard: the scoped run still converged every pair.
+    for a, b in pairs:
+        assert (
+            trees[b].find(FIELD).value
+            == trees[a].find(FIELD).value
+            == f"r{CHURN_ROUNDS - 1}-{a}"
+        )
+    delivered = session.traffic()["messages"] - baseline
+    session.close()
+    return delivered / operations
+
+
+def build_form_tree(fields=12):
+    """A form-sized complex object: deltas touch one field of many."""
+    root = Shell("ui")
+    for i in range(fields):
+        TextField(f"field{i}", parent=root)
+    field = TextField("field", parent=root)
+    field.set("value", "seed " * 8)
+    Scale("zoom", parent=root, maximum=100)
+    return root
+
+
+def run_delta_bytes(edits_between_transfers=1, transfers=10):
+    """Wire bytes per CopyTo transfer: full snapshot vs delta encoding."""
+    results = {}
+    for delta in (False, True):
+        session = Session(backend=BACKEND, delta_sync=delta)
+        a = session.create_instance("a", user="alice")
+        b = session.create_instance("b", user="bob")
+        tree_a = a.add_root(build_form_tree())
+        b.add_root(build_form_tree())
+        session.pump()
+
+        # Prime with the first (always-full) transfer, then measure the
+        # steady state through the per-kind byte counters.
+        a.copy_to("/ui", ("b", "/ui"))
+        session.pump()
+        baseline = session.traffic()["bytes_by_kind"].get("push_state", 0)
+        for t in range(transfers):
+            for e in range(edits_between_transfers):
+                tree_a.find(FIELD).set("value", f"t{t}e{e}")
+            a.copy_to("/ui", ("b", "/ui"))
+        session.pump()
+        push_bytes = (
+            session.traffic()["bytes_by_kind"].get("push_state", 0) - baseline
+        )
+        session.close()
+        results["delta" if delta else "full"] = push_bytes / transfers
+    return results
+
+
+class TestRoutingSweep:
+    def test_scoped_vs_broadcast(self, benchmark):
+        def sweep():
+            rows = []
+            for n in POPULATIONS:
+                for density in ("sparse", "dense"):
+                    all_cost = run_routing(n, density, "all")
+                    group_cost = run_routing(n, density, "group")
+                    rows.append(
+                        [
+                            n,
+                            density,
+                            round(all_cost, 1),
+                            round(group_cost, 1),
+                            round(all_cost / group_cost, 1),
+                        ]
+                    )
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        emit_table(
+            "routing_delta_sweep",
+            "Interest routing: delivered msgs/op, scope=all vs scope=group",
+            ["instances", "density", "all msgs/op", "group msgs/op", "ratio"],
+            rows,
+        )
+        by_key = {(n, d): ratio for n, d, _, _, ratio in rows}
+        # Acceptance: >= 2x delivered-message reduction on the sparse
+        # 64-instance workload vs the pre-change broadcast path.
+        assert by_key[(64, "sparse")] >= MIN_SPARSE_REDUCTION
+        # The win grows with population: suppressed copies scale with N.
+        sparse_ratios = [by_key[(n, "sparse")] for n in POPULATIONS]
+        assert sparse_ratios == sorted(sparse_ratios)
+        # Regression gate: the scoped path must stay at (or below) the
+        # committed per-operation cost, independent of population.
+        by_group = {(n, d): group for n, d, _, group, _ in rows}
+        assert by_group[(64, "sparse")] <= SPARSE_GROUP_BASELINE
+
+
+class TestDeltaPayload:
+    def test_delta_bytes_vs_full(self, benchmark):
+        def sweep():
+            rows = []
+            for edits in (1, 3):
+                sizes = run_delta_bytes(edits_between_transfers=edits)
+                rows.append(
+                    [
+                        edits,
+                        round(sizes["full"]),
+                        round(sizes["delta"]),
+                        round(sizes["full"] / sizes["delta"], 1),
+                    ]
+                )
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        emit_table(
+            "routing_delta_payload",
+            "Delta sync: PUSH_STATE wire bytes/transfer, full vs delta",
+            ["edits/transfer", "full bytes", "delta bytes", "ratio"],
+            rows,
+        )
+        for _, full_bytes, delta_bytes, ratio in rows:
+            assert delta_bytes < full_bytes
+            assert ratio >= 2

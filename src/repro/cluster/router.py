@@ -56,6 +56,7 @@ from repro.cluster.hashring import HashRing
 from repro.server.couples import CoupleTable, GlobalId, gid_from_wire, gid_to_wire
 from repro.server.permissions import AccessControl
 from repro.server.registry import RegistrationRecord, Registry
+from repro.server.routing import RoutingStats, broadcast, validate_couple_scope
 from repro.server.server import CosoftServer
 
 
@@ -134,10 +135,16 @@ class ShardedCosoftCluster:
         ack_release: bool = True,
         history_depth: int = 100,
         floor_lease: float = 30.0,
+        couple_scope: str = "all",
     ):
         if shards <= 0:
             raise ValueError("a cluster needs at least one shard")
         self.clock: Clock = clock if clock is not None else SimClock()
+        #: COUPLE_UPDATE delivery policy, enforced inside each shard (the
+        #: router's own broadcasts — INSTANCE_LIST — stay population-wide).
+        self.couple_scope = validate_couple_scope(couple_scope)
+        #: Router-level delivery decisions (shards keep their own).
+        self.routing = RoutingStats()
         self.shard_ids: Tuple[str, ...] = tuple(
             f"shard-{i}" for i in range(shards)
         )
@@ -155,6 +162,7 @@ class ShardedCosoftCluster:
                 admin_users=admin_users,
                 floor_lease=floor_lease,
                 ack_release=ack_release,
+                couple_scope=couple_scope,
             )
             transport = _ShardTransport(self, shard_id)
             shard.bind(transport)
@@ -204,17 +212,24 @@ class ShardedCosoftCluster:
         self._transport.send(message)
 
     def _broadcast(
-        self, kind: str, payload: Mapping[str, Any], *, exclude: Tuple[str, ...] = ()
+        self,
+        kind: str,
+        payload: Mapping[str, Any],
+        *,
+        exclude: Tuple[str, ...] = (),
+        audience: Optional[Iterable[str]] = None,
     ) -> int:
-        count = 0
-        for instance_id in self.registry.instance_ids():
-            if instance_id in exclude:
-                continue
-            self._emit(
-                Message(kind=kind, sender=SERVER_ID, to=instance_id, payload=payload)
-            )
-            count += 1
-        return count
+        # Same delivery helper the single server uses — the interest
+        # routing policy cannot drift between the two front ends.
+        return broadcast(
+            self._emit,
+            self.registry.instance_ids(),
+            kind,
+            payload,
+            exclude=exclude,
+            audience=audience,
+            stats=self.routing,
+        )
 
     # ------------------------------------------------------------------
     # Inbound dispatch
@@ -233,6 +248,7 @@ class ShardedCosoftCluster:
             kinds.STATE_REPLY,
             kinds.PUSH_STATE,
             kinds.REMOTE_COPY,
+            kinds.RESYNC_REQUEST,
             kinds.HISTORY_PUSH,
             kinds.UNDO_REQUEST,
             kinds.COMMAND,
@@ -459,7 +475,7 @@ class ShardedCosoftCluster:
             ))
         if kind == kinds.PUSH_STATE:
             return self._home_of(gid_from_wire(payload["target"]))
-        if kind in (kinds.HISTORY_PUSH, kinds.UNDO_REQUEST):
+        if kind in (kinds.HISTORY_PUSH, kinds.UNDO_REQUEST, kinds.RESYNC_REQUEST):
             return self._home_of(gid_from_wire(payload["object"]))
         if kind in (kinds.STATE_REPLY, kinds.ERROR):
             route = self._pending_routes.pop(message.reply_to or -1, None)
@@ -633,7 +649,8 @@ class ShardedCosoftCluster:
                     str(event_wire.get("instance_id", message.sender)),
                     str(event_wire.get("source_path", "")),
                 ),)
-            if kind in (kinds.FETCH_STATE, kinds.HISTORY_PUSH, kinds.UNDO_REQUEST):
+            if kind in (kinds.FETCH_STATE, kinds.HISTORY_PUSH,
+                        kinds.UNDO_REQUEST, kinds.RESYNC_REQUEST):
                 return (gid_from_wire(payload["object"]),)
             if kind == kinds.PUSH_STATE:
                 return (gid_from_wire(payload["target"]),)
@@ -704,6 +721,10 @@ class ShardedCosoftCluster:
             }
             for shard_id, shard in self.shards.items()
         }
+        routing = RoutingStats()
+        routing.merge(self.routing)
+        for shard in self.shards.values():
+            routing.merge(shard.routing)
         return {
             "shards": len(self.shards),
             "migrations": self.migrations,
@@ -712,5 +733,6 @@ class ShardedCosoftCluster:
             "couple_groups": len(self.mirror.groups()),
             "homes": len(self._home),
             "processed": dict(self.processed),
+            "routing": routing.snapshot(),
             "per_shard": per_shard,
         }

@@ -23,6 +23,7 @@ check works on wire payloads without materializing widgets.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
@@ -52,6 +53,10 @@ class CorrespondenceRegistry:
 
     def __init__(self) -> None:
         self._table: Dict[Tuple[str, str], AttributeMapping] = {}
+        #: Bumped on every declaration; cached structural mappings embed the
+        #: epoch in their key, so declaring a new correspondence naturally
+        #: invalidates every mapping computed under the old table.
+        self.epoch = 0
 
     def declare(
         self, type_a: str, type_b: str, mapping: Mapping[str, str]
@@ -78,6 +83,7 @@ class CorrespondenceRegistry:
         self._table[(type_a, type_b)] = dict(mapping)
         inverse = {v: k for k, v in mapping.items()}
         self._table.setdefault((type_b, type_a), inverse)
+        self.epoch += 1
 
     def lookup(self, type_a: str, type_b: str) -> Optional[AttributeMapping]:
         return self._table.get((type_a, type_b))
@@ -91,6 +97,97 @@ class CorrespondenceRegistry:
 
 #: Process-wide default registry; instances may carry their own.
 DEFAULT_CORRESPONDENCES = CorrespondenceRegistry()
+
+
+def spec_fingerprint(spec: Mapping[str, Any]) -> str:
+    """A stable fingerprint of a builder spec's *structure*.
+
+    Covers exactly what the structural matchers look at — widget types,
+    component names and nesting — and deliberately ignores state values,
+    so two transfers of the same (possibly mutated) object hash alike.
+    Used as the memoization key for mapping results and as the cheap
+    "did the structure change since last transfer?" test of the delta
+    sync protocol.
+    """
+
+    def canon(node: Mapping[str, Any]) -> Tuple:
+        return (
+            node.get("type", ""),
+            node.get("name", ""),
+            tuple(canon(child) for child in node.get("children", ())),
+        )
+
+    return hashlib.sha1(repr(canon(spec)).encode("utf-8")).hexdigest()
+
+
+class MappingCache:
+    """Memoized structural-compatibility mappings (§3.3 hot path).
+
+    "Calculating a over several levels of nesting may be costly in
+    practice" — and the coupling/copy hot path recomputes the *same*
+    mapping on every transfer between a stable pair of objects.  The cache
+    keys on the two structure fingerprints, the matching strategy and the
+    correspondence-registry epoch, so any input that could change the
+    result changes the key.  Only successful mappings are stored; failures
+    stay uncached (they raise, and are rare on the hot path).
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        self.maxsize = maxsize
+        self._entries: Dict[Tuple, ComponentMapping] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: Tuple) -> Optional[ComponentMapping]:
+        cached = self._entries.get(key)
+        if cached is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return dict(cached)
+
+    def store(self, key: Tuple, mapping: ComponentMapping) -> None:
+        if len(self._entries) >= self.maxsize and key not in self._entries:
+            # Simple FIFO eviction: drop the oldest insertion.  The cache
+            # is a perf aid, not a correctness requirement.
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = dict(mapping)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def snapshot(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
+
+
+#: Process-wide default mapping cache, shared by every instance that does
+#: not carry its own (mirrors DEFAULT_CORRESPONDENCES).
+DEFAULT_MAPPING_CACHE = MappingCache()
+
+
+def mapping_cache_key(
+    spec_a: Mapping[str, Any],
+    spec_b: Mapping[str, Any],
+    strategy: str,
+    correspondences: Optional["CorrespondenceRegistry"] = None,
+    predefined: Optional[ComponentMapping] = None,
+) -> Tuple:
+    """The memoization key for a structural-mapping computation."""
+    registry = (
+        correspondences if correspondences is not None else DEFAULT_CORRESPONDENCES
+    )
+    return (
+        spec_fingerprint(spec_a),
+        spec_fingerprint(spec_b),
+        strategy,
+        registry.epoch,
+        tuple(sorted(predefined.items())) if predefined is not None else None,
+    )
 
 
 def _value_kind(value: Any) -> str:
@@ -175,6 +272,11 @@ def declare_inferred(
     return mapping
 
 
+#: type class -> identity attribute mapping; widget ATTRIBUTES are
+#: class-level constants, so this never goes stale for a given class.
+_IDENTITY_MAPPINGS: Dict[type, AttributeMapping] = {}
+
+
 def attribute_mapping(
     type_a: str,
     type_b: str,
@@ -187,7 +289,13 @@ def attribute_mapping(
     """
     if type_a == type_b:
         cls = widget_class(type_a)
-        return {name: name for name in cls.ATTRIBUTES.relevant_names()}
+        # Memoized per widget *class* (not name) so re-registering a type
+        # name with a different class cannot serve a stale identity map.
+        cached = _IDENTITY_MAPPINGS.get(cls)
+        if cached is None:
+            cached = {name: name for name in cls.ATTRIBUTES.relevant_names()}
+            _IDENTITY_MAPPINGS[cls] = cached
+        return dict(cached)
     registry = (
         correspondences if correspondences is not None else DEFAULT_CORRESPONDENCES
     )

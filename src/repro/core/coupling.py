@@ -30,6 +30,12 @@ def apply_couple_update(table: CoupleTable, payload: Mapping[str, Any]) -> Optio
     link = CoupleLink.from_wire(dict(link_wire))
     if action == "add":
         table.add_link(link)
+        # Interest-scoped updates carry the merged group's full link list:
+        # an instance that just joined the group has never seen the
+        # group's pre-existing internal links, so absorb them here
+        # (idempotent — add_link is a no-op for known links).
+        for group_link_wire in payload.get("links", ()):
+            table.add_link(CoupleLink.from_wire(dict(group_link_wire)))
         return link
     if action == "remove":
         try:

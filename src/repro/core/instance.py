@@ -20,6 +20,7 @@ purely local otherwise.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from collections import Counter
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
@@ -27,7 +28,12 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 from repro.core import action_sync, coupling, state_sync
 from repro.core.action_sync import ExecutionResult, FloorGrant
 from repro.core.commands import CommandRegistry
-from repro.core.compat import ComponentMapping, CorrespondenceRegistry
+from repro.core.compat import (
+    ComponentMapping,
+    CorrespondenceRegistry,
+    spec_fingerprint,
+    translate_state,
+)
 from repro.core.semantic import SemanticHookRegistry
 from repro.core.state_sync import ApplyReport, STRICT
 from repro.errors import (
@@ -45,11 +51,26 @@ from repro.net.transport import Transport
 from repro.server.couples import CoupleTable, GlobalId, gid_from_wire, gid_to_wire
 from repro.server.permissions import PermissionRule
 from repro.server.registry import RegistrationRecord
+from repro.toolkit.builder import to_spec
 from repro.toolkit.events import Event, EventTrace
-from repro.toolkit.tree import subtree_state
-from repro.toolkit.widget import UIObject
+from repro.toolkit.tree import (
+    apply_subtree_state,
+    subtree_state,
+    subtree_state_since,
+)
+from repro.toolkit.widget import UIObject, state_clock
 
 WidgetRef = Union[UIObject, str]
+
+
+def _blob_fingerprint(blob: Any) -> str:
+    """Fingerprint an arbitrary (repr-stable) payload blob.
+
+    Used to skip re-shipping an unchanged semantic blob in delta pushes;
+    both sides of a comparison are produced by the same process, so repr
+    stability within one run is all that is required.
+    """
+    return hashlib.sha1(repr(blob).encode("utf-8")).hexdigest()
 
 
 class ApplicationInstance:
@@ -84,6 +105,7 @@ class ApplicationInstance:
         lock_timeout: float = 5.0,
         request_timeout: float = 5.0,
         replica_fast_path: bool = True,
+        delta_sync: bool = True,
     ):
         if not instance_id or instance_id in ("server", "router"):
             # Both endpoint names are reserved: "server" is the central
@@ -102,6 +124,10 @@ class ApplicationInstance:
         #: server — kept for the ablation benchmark quantifying what the
         #: replica buys.
         self.replica_fast_path = replica_fast_path
+        #: Ship only changed attributes on repeat CopyTo transfers to the
+        #: same target (full snapshots remain the fallback for first
+        #: contact, MERGE/FLEXIBLE modes and continuity loss).
+        self.delta_sync = delta_sync
 
         self._roots: Dict[str, UIObject] = {}
         #: Local replica of the server's couple table (§3.2).
@@ -122,6 +148,16 @@ class ApplicationInstance:
         #: highest event seq executed per originating instance (dedup of
         #: at-least-once broadcast deliveries).
         self._last_event_seq: Dict[str, int] = {}
+        #: Delta sync sender cache: (local pathname, target gid) -> the last
+        #: *acknowledged* transfer (seq, state-clock baseline, structure and
+        #: semantic fingerprints).  Entries are dropped on any failed or
+        #: non-STRICT transfer so the next push falls back to a full
+        #: snapshot.
+        self._delta_out: Dict[Tuple[str, GlobalId], Dict[str, Any]] = {}
+        #: Delta sync receiver cache: (source gid, local pathname) -> the
+        #: last applied transfer (seq, fingerprints, source spec and the
+        #: resolved component mapping for translating deltas).
+        self._delta_in: Dict[Tuple[GlobalId, str], Dict[str, Any]] = {}
         self._tokens = itertools.count(1)
 
     # ------------------------------------------------------------------
@@ -193,6 +229,8 @@ class ApplicationInstance:
         self.send(Message(kind=kinds.UNREGISTER, sender=self.instance_id))
         self.registered = False
         self.replica.clear()
+        self._delta_out.clear()
+        self._delta_in.clear()
 
     def close(self) -> None:
         """Unregister and release the transport."""
@@ -384,19 +422,94 @@ class ApplicationInstance:
         "The passive synchronization (implemented as a function CopyTo)
         indicates a scenario in which one person lets another person see
         his or her work" (§3.1).
+
+        With :attr:`delta_sync`, repeat STRICT pushes to the same target
+        ship only the attributes written since the last acknowledged
+        transfer (no structure, no unchanged state); the receiver detects
+        continuity loss via sequence/fingerprint checks and requests a
+        full resync.
         """
         widget = self._resolve_local(local)
-        payload = state_sync.build_state_payload(widget, self.semantics)
-        payload["target"] = gid_to_wire(target)
-        payload["mode"] = mode
-        payload["source"] = gid_to_wire(self.gid(widget))
-        if predefined is not None:
-            payload["predefined"] = dict(predefined)
-        reply = self.request(
-            Message(kind=kinds.PUSH_STATE, sender=self.instance_id, payload=payload)
-        )
+        key = (widget.pathname, target)
+        payload, commit = self._build_push_payload(widget, target, mode, predefined)
+        try:
+            reply = self.request(
+                Message(
+                    kind=kinds.PUSH_STATE, sender=self.instance_id, payload=payload
+                )
+            )
+        except ServerError:
+            self._delta_out.pop(key, None)
+            raise
         if reply is None:
+            # Unacknowledged: the delta baseline would be a guess, so drop
+            # it — the next push sends a full snapshot.
+            self._delta_out.pop(key, None)
             raise ServerError("copy_to timed out")
+        if commit is not None:
+            self._delta_out[key] = commit
+
+    def _build_push_payload(
+        self,
+        widget: UIObject,
+        target: GlobalId,
+        mode: str,
+        predefined: Optional[ComponentMapping],
+    ) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]]]:
+        """Build a PUSH_STATE payload, delta-encoded when safe.
+
+        Returns ``(payload, commit)`` where *commit* is the sender-cache
+        entry to install once the transfer is acknowledged (``None`` when
+        the transfer is outside the delta protocol entirely).
+        """
+        key = (widget.pathname, target)
+        if not self.delta_sync or mode != STRICT or predefined is not None:
+            # MERGE/FLEXIBLE rewrite structure, predefined mappings bypass
+            # the cached-mapping path: full snapshot, and invalidate any
+            # delta continuity with this target.
+            self._delta_out.pop(key, None)
+            payload = state_sync.build_state_payload(widget, self.semantics)
+            payload["target"] = gid_to_wire(target)
+            payload["mode"] = mode
+            payload["source"] = gid_to_wire(self.gid(widget))
+            if predefined is not None:
+                payload["predefined"] = dict(predefined)
+            return payload, None
+        # Baseline *before* reading state: attributes written between the
+        # snapshot and the read are shipped now and again in the next
+        # delta — at-least-once per attribute, never lost.
+        baseline = state_clock()
+        fp = spec_fingerprint(to_spec(widget, full_state=False))
+        stored = self.semantics.store_subtree(widget)
+        sem_fp = _blob_fingerprint(stored) if stored else None
+        entry = self._delta_out.get(key)
+        payload: Dict[str, Any] = {
+            "target": gid_to_wire(target),
+            "mode": mode,
+            "source": gid_to_wire(self.gid(widget)),
+        }
+        if entry is not None and entry["fp"] == fp:
+            seq = entry["seq"] + 1
+            payload["state"] = subtree_state_since(widget, entry["baseline"])
+            payload["sync"] = {
+                "delta": True,
+                "seq": seq,
+                "base": entry["seq"],
+                "fp": fp,
+            }
+            if stored and sem_fp != entry.get("sem_fp"):
+                payload["semantic"] = stored
+            self.stats["delta_pushes"] += 1
+        else:
+            seq = 1
+            payload["state"] = subtree_state(widget, relevant_only=True)
+            payload["structure"] = to_spec(widget, full_state=False)
+            payload["sync"] = {"delta": False, "seq": seq, "fp": fp}
+            if stored:
+                payload["semantic"] = stored
+            self.stats["full_pushes"] += 1
+        commit = {"seq": seq, "baseline": baseline, "fp": fp, "sem_fp": sem_fp}
+        return payload, commit
 
     def remote_copy(
         self, source: GlobalId, target: GlobalId, *, mode: str = STRICT
@@ -446,8 +559,6 @@ class ApplicationInstance:
         if reply is None:
             return False
         state = reply.payload.get("state", {})
-        from repro.toolkit.tree import apply_subtree_state
-
         apply_subtree_state(widget, state)
         return True
 
@@ -712,6 +823,8 @@ class ApplicationInstance:
             self._on_fetch_state(message)
         elif message.kind == kinds.PUSH_STATE:
             self._on_push_state(message)
+        elif message.kind == kinds.RESYNC_REQUEST:
+            self._on_resync_request(message)
         elif message.kind == kinds.COMMAND:
             self._on_command(message)
 
@@ -745,6 +858,10 @@ class ApplicationInstance:
         if widget is None or widget.destroyed:
             self.stats["push_state_misses"] += 1
             return
+        sync = payload.get("sync")
+        if sync and sync.get("delta"):
+            self._apply_push_delta(widget, target, payload, dict(sync))
+            return
         predefined = payload.get("predefined")
         try:
             report = state_sync.apply_state_payload(
@@ -758,8 +875,112 @@ class ApplicationInstance:
         except ReproError:
             self.stats["push_state_failures"] += 1
             return
+        if sync is not None and "source" in payload:
+            # Full snapshot under the delta protocol: (re)establish the
+            # continuity baseline for this sender/target pair.
+            source = gid_from_wire(payload["source"])
+            self._delta_in[(source, target[1])] = {
+                "seq": int(sync["seq"]),
+                "fp": sync.get("fp"),
+                "local_fp": spec_fingerprint(to_spec(widget, full_state=False)),
+                "spec": payload.get("structure"),
+                "mapping": report.mapping,
+            }
         self._push_history(widget, report.old_state, reason="push_state")
         self.stats["states_applied"] += 1
+
+    def _apply_push_delta(
+        self,
+        widget: UIObject,
+        target: GlobalId,
+        payload: Mapping[str, Any],
+        sync: Dict[str, Any],
+    ) -> None:
+        """Apply a delta PUSH_STATE, or request a resync on continuity loss.
+
+        Continuity holds when the delta's base sequence matches the last
+        applied transfer and neither side's structure changed (sender
+        fingerprint carried in the payload, ours recomputed locally).
+        A broken chain — dropped transfer, structural change, restarted
+        receiver — triggers a RESYNC_REQUEST routed to the sender, which
+        answers with a fresh full snapshot.
+        """
+        source = gid_from_wire(payload["source"])
+        key = (source, target[1])
+        entry = self._delta_in.get(key)
+        target_spec = to_spec(widget, full_state=False)
+        if (
+            entry is None
+            or entry["seq"] != sync.get("base")
+            or entry["fp"] != sync.get("fp")
+            or entry["local_fp"] != spec_fingerprint(target_spec)
+        ):
+            self._delta_in.pop(key, None)
+            self.stats["delta_resyncs"] += 1
+            self._request_resync(source, target)
+            return
+        old_state = subtree_state(widget, relevant_only=True)
+        state: Mapping[str, Mapping[str, Any]] = payload.get("state", {})
+        if entry.get("mapping") is not None and entry.get("spec") is not None:
+            state = translate_state(
+                state,
+                entry["spec"],
+                target_spec,
+                entry["mapping"],
+                self.correspondences,
+            )
+        apply_subtree_state(widget, state)
+        if "semantic" in payload:
+            self.semantics.load_subtree(widget, dict(payload["semantic"]))
+        entry["seq"] = int(sync["seq"])
+        self._push_history(widget, old_state, reason="push_state")
+        self.stats["states_applied"] += 1
+        self.stats["deltas_applied"] += 1
+
+    def _request_resync(self, source: GlobalId, target: GlobalId) -> None:
+        """Ask the server to have *source*'s owner re-push a full snapshot."""
+        if self._transport is None or self._transport.closed or not self.registered:
+            return
+        self.send(
+            Message(
+                kind=kinds.RESYNC_REQUEST,
+                sender=self.instance_id,
+                payload={
+                    "object": gid_to_wire(source),
+                    "target": gid_to_wire(target),
+                },
+            )
+        )
+
+    def _on_resync_request(self, message: Message) -> None:
+        """Sender side of a resync: re-push a full snapshot, fire-and-forget.
+
+        Runs inside the inbound dispatch, so it must not block on a
+        correlated reply (a nested ``request`` could deadlock the memory
+        network pump); the server's PUSH_STATE ack is pre-abandoned
+        instead.  If the push is lost the receiver simply resyncs again.
+        """
+        payload = message.payload
+        obj = gid_from_wire(payload["object"])
+        target = gid_from_wire(payload["target"])
+        widget = self.find_widget(obj[1])
+        if widget is None or widget.destroyed:
+            self.stats["resync_misses"] += 1
+            return
+        self._delta_out.pop((widget.pathname, target), None)
+        push_payload, commit = self._build_push_payload(
+            widget, target, STRICT, None
+        )
+        push = Message(
+            kind=kinds.PUSH_STATE, sender=self.instance_id, payload=push_payload
+        )
+        self._abandoned.add(push.msg_id)
+        self.send(push)
+        if commit is not None:
+            # Optimistic: if this push is also lost, the receiver's next
+            # continuity check fails and it asks again.
+            self._delta_out[(widget.pathname, target)] = commit
+        self.stats["resync_pushes"] += 1
 
     def _on_command(self, message: Message) -> None:
         """Receiver side of CoSendCommand: unpack and interpret."""

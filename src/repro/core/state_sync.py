@@ -75,6 +75,10 @@ class ApplyReport:
     mapping_size: int = 0
     semantic_loaded: List[str] = field(default_factory=list)
     old_state: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: The resolved component mapping (STRICT with structure only); the
+    #: delta sync protocol caches it for translating later delta payloads
+    #: without re-running the structural matcher.
+    mapping: Optional[compat.ComponentMapping] = None
 
 
 def apply_state_payload(
@@ -110,6 +114,7 @@ def apply_state_payload(
                 source_spec, widget, strategy, correspondences, predefined
             )
             report.mapping_size = len(mapping)
+            report.mapping = dict(mapping)
             translated = compat.translate_state(
                 source_state,
                 source_spec,
@@ -146,8 +151,30 @@ def _resolve_mapping(
     strategy: str,
     correspondences: Optional[compat.CorrespondenceRegistry],
     predefined: Optional[compat.ComponentMapping],
+    cache: Optional[compat.MappingCache] = None,
 ) -> compat.ComponentMapping:
     target_spec = to_spec(widget, full_state=False)
+    mapping_cache = cache if cache is not None else compat.DEFAULT_MAPPING_CACHE
+    key = compat.mapping_cache_key(
+        source_spec, target_spec, strategy, correspondences, predefined
+    )
+    cached = mapping_cache.lookup(key)
+    if cached is not None:
+        return cached
+    mapping = _compute_mapping(
+        source_spec, target_spec, strategy, correspondences, predefined
+    )
+    mapping_cache.store(key, mapping)
+    return mapping
+
+
+def _compute_mapping(
+    source_spec: Mapping[str, Any],
+    target_spec: Mapping[str, Any],
+    strategy: str,
+    correspondences: Optional[compat.CorrespondenceRegistry],
+    predefined: Optional[compat.ComponentMapping],
+) -> compat.ComponentMapping:
     if predefined is not None:
         return compat.ensure_compatible(
             source_spec,

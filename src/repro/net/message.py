@@ -54,6 +54,9 @@ FETCH_STATE = "fetch_state"        # CopyFrom: requester -> server -> owner
 STATE_REPLY = "state_reply"        # owner -> server -> requester
 PUSH_STATE = "push_state"          # CopyTo: owner -> server -> receiver(s)
 REMOTE_COPY = "remote_copy"        # third party -> server: copy A's obj to B
+RESYNC_REQUEST = "resync_request"  # delta receiver -> server -> owner: the
+#   receiver lost delta continuity (missed seq / structure changed) and
+#   asks the owner to re-send a full snapshot (docs/PERF.md)
 
 # Protocol extension (§3.4)
 COMMAND = "command"                # CoSendCommand: app-defined RPC
@@ -102,6 +105,7 @@ ALL_KINDS = frozenset(
         STATE_REPLY,
         PUSH_STATE,
         REMOTE_COPY,
+        RESYNC_REQUEST,
         COMMAND,
         COMMAND_REPLY,
         PERMISSION_SET,

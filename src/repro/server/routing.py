@@ -1,0 +1,136 @@
+"""Interest-aware routing: one broadcast helper for server and cluster.
+
+The paper's central server exists so that traffic scales with *coupling
+interest* rather than population size (§2.2): an event on object ``o``
+concerns exactly the instances holding an object in ``CO(o)``.  This
+module is the single place where "who receives this message" is decided —
+:class:`~repro.server.server.CosoftServer` and
+:class:`~repro.cluster.router.ShardedCosoftCluster` both delegate here, so
+the interest index cannot drift between the two.
+
+Two delivery modes:
+
+* **full broadcast** — roster changes (INSTANCE_LIST) and, by default,
+  COUPLE_UPDATE keep the paper's replicate-everywhere semantics: every
+  registered instance gets a copy.
+* **interest cast** — the caller passes the *audience* (instance ids
+  derived from the couple table's per-component audience index,
+  :meth:`CoupleTable.audience_of`); only registered audience members get
+  a copy and the suppressed remainder is counted.
+
+:class:`RoutingStats` records both so benchmarks and the monitor can show
+delivered-vs-suppressed message counts per event.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Collection, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.net.message import Message
+from repro.net.transport import SERVER_ID
+
+#: Accepted values for the ``couple_scope`` server/session knob:
+#: ``"all"`` broadcasts COUPLE_UPDATE to the whole population (the
+#: paper's literal replication), ``"group"`` restricts it to the affected
+#: couple group's audience.
+COUPLE_SCOPES = ("all", "group")
+
+
+def validate_couple_scope(scope: str) -> str:
+    if scope not in COUPLE_SCOPES:
+        raise ValueError(
+            f"couple_scope must be one of {COUPLE_SCOPES}, got {scope!r}"
+        )
+    return scope
+
+
+class RoutingStats:
+    """Counters for the routing layer's delivery decisions.
+
+    ``broadcasts``/``broadcast_messages`` count full-population sends;
+    ``interest_casts``/``interest_messages`` count audience-scoped sends;
+    ``suppressed_messages`` is how many copies a full broadcast would have
+    added on top of the scoped delivery — the routing layer's savings.
+    ``events``/``event_receivers`` track EVENT_BROADCAST fan-out.
+    """
+
+    __slots__ = (
+        "broadcasts",
+        "broadcast_messages",
+        "interest_casts",
+        "interest_messages",
+        "suppressed_messages",
+        "events",
+        "event_receivers",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.broadcasts = 0
+        self.broadcast_messages = 0
+        self.interest_casts = 0
+        self.interest_messages = 0
+        self.suppressed_messages = 0
+        self.events = 0
+        self.event_receivers = 0
+
+    def record_event(self, receivers: int) -> None:
+        self.events += 1
+        self.event_receivers += receivers
+
+    def merge(self, other: "RoutingStats") -> None:
+        for name in self.__slots__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+def broadcast(
+    send: Callable[[Message], None],
+    registered: Collection[str],
+    kind: str,
+    payload: Mapping[str, Any],
+    *,
+    sender: str = SERVER_ID,
+    exclude: Tuple[str, ...] = (),
+    audience: Optional[Iterable[str]] = None,
+    stats: Optional[RoutingStats] = None,
+) -> int:
+    """Deliver *payload* to *registered* instances, optionally scoped.
+
+    With ``audience=None`` every registered instance outside *exclude*
+    gets a copy (full broadcast).  With an *audience*, only registered
+    audience members get one, and the difference to the full population is
+    recorded as suppressed traffic.  Returns the number of messages sent.
+    """
+    if audience is None:
+        recipients = [i for i in registered if i not in exclude]
+    else:
+        membership = (
+            registered if isinstance(registered, (set, frozenset, dict))
+            else set(registered)
+        )
+        recipients = sorted(
+            i
+            for i in set(audience)
+            if i in membership and i not in exclude
+        )
+    for instance_id in recipients:
+        send(
+            Message(kind=kind, sender=sender, to=instance_id, payload=payload)
+        )
+    if stats is not None:
+        if audience is None:
+            stats.broadcasts += 1
+            stats.broadcast_messages += len(recipients)
+        else:
+            stats.interest_casts += 1
+            stats.interest_messages += len(recipients)
+            population = len(registered) - sum(
+                1 for i in exclude if i in registered
+            )
+            stats.suppressed_messages += max(0, population - len(recipients))
+    return len(recipients)

@@ -58,6 +58,11 @@ from repro.server.permissions import (
     PermissionRule,
 )
 from repro.server.registry import RegistrationRecord, Registry
+from repro.server.routing import (
+    RoutingStats,
+    broadcast,
+    validate_couple_scope,
+)
 
 # SERVER_ID historically lived here; it is now defined once in
 # ``repro.net.transport`` (the wire layer also needs it) and re-exported
@@ -89,6 +94,7 @@ class CosoftServer:
         admin_users: Tuple[str, ...] = (),
         floor_lease: float = 30.0,
         ack_release: bool = True,
+        couple_scope: str = "all",
     ):
         self.clock: Clock = clock if clock is not None else SimClock()
         self.registry = Registry()
@@ -106,6 +112,12 @@ class CosoftServer:
         #: kept only for the ablation benchmark, which shows that mode
         #: diverges under contention.
         self.ack_release = ack_release
+        #: COUPLE_UPDATE delivery policy: ``"all"`` replicates coupling
+        #: info to the whole population (paper-literal), ``"group"``
+        #: restricts it to the affected couple group's audience.
+        self.couple_scope = validate_couple_scope(couple_scope)
+        #: Delivery decisions of the interest-aware routing layer.
+        self.routing = RoutingStats()
         #: token-keyed record of what each granted floor currently locks.
         self._floors: Dict[Tuple[str, int], Tuple[GlobalId, ...]] = {}
         #: when each floor was granted (for lease expiry).
@@ -130,18 +142,39 @@ class CosoftServer:
         self._transport.send(message)
 
     def _broadcast(
-        self, kind: str, payload: Mapping[str, Any], *, exclude: Tuple[str, ...] = ()
+        self,
+        kind: str,
+        payload: Mapping[str, Any],
+        *,
+        exclude: Tuple[str, ...] = (),
+        audience: Optional[Iterable[str]] = None,
     ) -> int:
-        """Send *payload* to every registered instance except *exclude*."""
-        count = 0
-        for instance_id in self.registry.instance_ids():
-            if instance_id in exclude:
-                continue
-            self._send(
-                Message(kind=kind, sender=SERVER_ID, to=instance_id, payload=payload)
-            )
-            count += 1
-        return count
+        """Send *payload* to every registered instance except *exclude*.
+
+        With *audience* (instance ids from the couple table's interest
+        index) the delivery is scoped to registered audience members —
+        see :mod:`repro.server.routing`, shared with the cluster router.
+        """
+        return broadcast(
+            self._send,
+            self.registry.instance_ids(),
+            kind,
+            payload,
+            exclude=exclude,
+            audience=audience,
+            stats=self.routing,
+        )
+
+    def _couple_audience(self, obj: GlobalId) -> Optional[Iterable[str]]:
+        """The COUPLE_UPDATE audience for *obj* under the current scope.
+
+        ``None`` (scope "all") means full broadcast.  Must be computed
+        *before* removals: the pre-removal component is who must learn
+        about a decouple.
+        """
+        if self.couple_scope == "all":
+            return None
+        return self.couples.group_instances(obj)
 
     # ------------------------------------------------------------------
     # Message dispatch
@@ -162,6 +195,7 @@ class CosoftServer:
         kinds.STATE_REPLY: "_on_state_reply",
         kinds.PUSH_STATE: "_on_push_state",
         kinds.REMOTE_COPY: "_on_remote_copy",
+        kinds.RESYNC_REQUEST: "_on_resync_request",
         kinds.HISTORY_PUSH: "_on_history_push",
         kinds.UNDO_REQUEST: "_on_undo_request",
         kinds.COMMAND: "_on_command",
@@ -245,6 +279,13 @@ class CosoftServer:
         self._require_registered(instance_id)
         # "The decoupling algorithm is applied automatically when ... an
         # application instance terminates" (§3.2).
+        unregister_audience: Optional[set] = None
+        if self.couple_scope != "all":
+            unregister_audience = set()
+            for coupled in self.couples.objects_of_instance(instance_id):
+                unregister_audience.update(
+                    self.couples.group_instances(coupled)
+                )
         removed = self.couples.remove_instance(instance_id)
         self.locks.release_instance(instance_id)
         self.history.forget_instance(instance_id)
@@ -282,6 +323,7 @@ class CosoftServer:
             self._broadcast(
                 kinds.COUPLE_UPDATE,
                 {"action": "remove", "link": link.to_wire(), "cause": "unregister"},
+                audience=unregister_audience,
             )
         self._broadcast(
             kinds.INSTANCE_LIST,
@@ -322,27 +364,57 @@ class CosoftServer:
             "group": [gid_to_wire(g) for g in sorted(self.couples.group_of(source))],
             "already_existed": not added,
         }
+        audience = self._couple_audience(source)
+        if audience is not None:
+            # Interest-scoped delivery: instances joining the merged group
+            # have never seen its pre-existing internal links — ship them
+            # along so every member's replica converges on the same group.
+            update["links"] = [
+                l.to_wire() for l in self.couples.links_of_group(source)
+            ]
         # Direct reply to the requester (correlated), broadcast to the rest.
         self._send(message.reply(kinds.COUPLE_UPDATE, SERVER_ID, **update))
-        self._broadcast(kinds.COUPLE_UPDATE, update, exclude=(message.sender,))
+        self._broadcast(
+            kinds.COUPLE_UPDATE,
+            update,
+            exclude=(message.sender,),
+            audience=audience,
+        )
 
     def _on_decouple(self, message: Message) -> None:
         payload = message.payload
         self._require_registered(message.sender)
+        audience: Optional[set] = None
         if "object" in payload:
             # Subtree decouple: widget destroyed or whole object withdrawn.
             obj = gid_from_wire(payload["object"])
+            if self.couple_scope != "all":
+                audience = set()
+                for coupled in self.couples.objects_of_instance(obj[0]):
+                    if coupled[1] == obj[1] or coupled[1].startswith(
+                        obj[1].rstrip("/") + "/"
+                    ):
+                        audience.update(self.couples.group_instances(coupled))
             removed = self.couples.remove_subtree(obj[0], obj[1])
             if not removed and payload.get("strict", False):
                 raise NoSuchCoupleError(f"no couple links under {obj}")
         else:
             source = gid_from_wire(payload["source"])
             target = gid_from_wire(payload["target"])
+            if self.couple_scope != "all":
+                # Pre-removal component: who must learn about the split.
+                audience = set(self.couples.group_instances(source))
+                audience.update(self.couples.group_instances(target))
             removed = self.couples.remove_link(source, target)
         for link in removed:
             update = {"action": "remove", "link": link.to_wire(), "cause": "decouple"}
             self._send(message.reply(kinds.COUPLE_UPDATE, SERVER_ID, **update))
-            self._broadcast(kinds.COUPLE_UPDATE, update, exclude=(message.sender,))
+            self._broadcast(
+                kinds.COUPLE_UPDATE,
+                update,
+                exclude=(message.sender,),
+                audience=audience,
+            )
         if not removed:
             # Nothing to remove: still confirm so the requester unblocks.
             self._send(
@@ -423,15 +495,19 @@ class CosoftServer:
         )
         owner = LockOwner(message.sender, token)
         locked = self._floors.get((owner.instance_id, owner.token))
-        if locked is not None:
-            group = frozenset(locked)
-        else:
-            group = self.couples.group_of(source)
         # Group the coupled objects by owning instance and broadcast one
         # message per instance, listing the local target pathnames.
         targets_by_instance: Dict[str, List[str]] = {}
-        for gid in sorted(group - {source}):
-            targets_by_instance.setdefault(gid[0], []).append(gid[1])
+        if locked is not None:
+            for gid in sorted(frozenset(locked) - {source}):
+                targets_by_instance.setdefault(gid[0], []).append(gid[1])
+        else:
+            # Interest index lookup: O(audience), cached per component.
+            audience = self.couples.audience_of(source)
+            for instance_id in sorted(audience):
+                paths = [p for p in audience[instance_id] if (instance_id, p) != source]
+                if paths:
+                    targets_by_instance[instance_id] = paths
         key = (owner.instance_id, owner.token)
         receivers = [
             instance_id
@@ -451,6 +527,7 @@ class CosoftServer:
                     },
                 )
             )
+        self.routing.record_event(len(receivers))
         if release and locked is not None:
             if receivers and self.ack_release:
                 # "They are unlocked when the processing of this event is
@@ -588,6 +665,36 @@ class CosoftServer:
         )
         self._send(
             message.reply(kinds.STATE_REPLY, SERVER_ID, status="pushed")
+        )
+
+    def _on_resync_request(self, message: Message) -> None:
+        """A delta receiver lost continuity; relay to the object's owner.
+
+        One-way: the owner answers with a fresh full-snapshot PUSH_STATE
+        through the normal CopyTo path (docs/PERF.md, resync fallback).
+        """
+        payload = message.payload
+        self._require_registered(message.sender)
+        obj = gid_from_wire(payload["object"])
+        target = gid_from_wire(payload["target"])
+        if obj[0] not in self.registry:
+            self._send(
+                message.error_reply(
+                    SERVER_ID, f"instance {obj[0]!r} is not registered"
+                )
+            )
+            return
+        self._send(
+            Message(
+                kind=kinds.RESYNC_REQUEST,
+                sender=SERVER_ID,
+                to=obj[0],
+                payload={
+                    "object": gid_to_wire(obj),
+                    "target": gid_to_wire(target),
+                    "requester": message.sender,
+                },
+            )
         )
 
     def _on_remote_copy(self, message: Message) -> None:
@@ -873,4 +980,6 @@ class CosoftServer:
             },
             "history_entries": len(self.history),
             "processed": dict(self.processed),
+            "routing": self.routing.snapshot(),
+            "closure": dict(self.couples.stats),
         }

@@ -93,6 +93,13 @@ class SessionConfig:
     default_allow: bool = True
     admin_users: Tuple[str, ...] = ()
     ack_release: bool = True
+    #: COUPLE_UPDATE delivery: "all" replicates coupling info to every
+    #: registered instance (the paper's literal semantics), "group"
+    #: scopes it to the affected couple group (docs/PERF.md).
+    couple_scope: str = "all"
+    #: Incremental CopyTo: send only attributes changed since the last
+    #: acknowledged transfer to the same target (docs/PERF.md).
+    delta_sync: bool = True
     correspondences: Optional[CorrespondenceRegistry] = None
     vnodes: int = 64
 
@@ -129,6 +136,7 @@ def _build_server(config: SessionConfig, clock=None) -> ServerLike:
             default_allow=config.default_allow,
             admin_users=config.admin_users,
             ack_release=config.ack_release,
+            couple_scope=config.couple_scope,
         )
         if clock is not None:
             kwargs["clock"] = clock
@@ -138,6 +146,7 @@ def _build_server(config: SessionConfig, clock=None) -> ServerLike:
         access=AccessControl(default_allow=config.default_allow),
         admin_users=config.admin_users,
         ack_release=config.ack_release,
+        couple_scope=config.couple_scope,
     )
     if clock is not None:
         kwargs["clock"] = clock
@@ -218,6 +227,7 @@ class _MemoryBackend(_BackendBase):
         lock_timeout: float = 5.0,
         request_timeout: float = 5.0,
         replica_fast_path: bool = True,
+        delta_sync: Optional[bool] = None,
     ) -> ApplicationInstance:
         instance = ApplicationInstance(
             instance_id,
@@ -227,6 +237,9 @@ class _MemoryBackend(_BackendBase):
             lock_timeout=lock_timeout,
             request_timeout=request_timeout,
             replica_fast_path=replica_fast_path,
+            delta_sync=(
+                self.config.delta_sync if delta_sync is None else delta_sync
+            ),
         ).connect(self.network)
         self.instances[instance_id] = instance
         if register:
@@ -266,6 +279,7 @@ class _SocketBackendBase(_BackendBase):
         lock_timeout: float = 5.0,
         request_timeout: float = 5.0,
         replica_fast_path: bool = True,
+        delta_sync: Optional[bool] = None,
     ) -> ApplicationInstance:
         instance = self._connect(
             ApplicationInstance(
@@ -276,6 +290,9 @@ class _SocketBackendBase(_BackendBase):
                 lock_timeout=lock_timeout,
                 request_timeout=request_timeout,
                 replica_fast_path=replica_fast_path,
+                delta_sync=(
+                    self.config.delta_sync if delta_sync is None else delta_sync
+                ),
             )
         )
         self.instances[instance_id] = instance

@@ -78,6 +78,30 @@ def subtree_state(root: UIObject, *, relevant_only: bool = True) -> Dict[str, Di
     return result
 
 
+def subtree_state_since(
+    root: UIObject, baseline: int, *, relevant_only: bool = True
+) -> Dict[str, Dict[str, Any]]:
+    """The delta counterpart of :func:`subtree_state`.
+
+    Includes only attributes written after global state clock *baseline*
+    (see :func:`repro.toolkit.widget.state_clock`); widgets with no such
+    writes are omitted entirely, so an idle subtree yields ``{}``.
+    """
+    result: Dict[str, Dict[str, Any]] = {}
+    for rel, widget in subtree_widgets(root):
+        changed = widget.changed_since(baseline)
+        if relevant_only and changed:
+            relevant = type(widget).ATTRIBUTES.relevant_names()
+            changed = {
+                name: value
+                for name, value in changed.items()
+                if name in relevant
+            }
+        if changed:
+            result[rel] = changed
+    return result
+
+
 def apply_subtree_state(
     root: UIObject,
     state: Mapping[str, Mapping[str, Any]],

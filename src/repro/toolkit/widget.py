@@ -46,6 +46,66 @@ from repro.toolkit.events import (
 
 PATH_SEPARATOR = "/"
 
+#: Global monotonic attribute-write counter.  Every attribute write on any
+#: widget advances it; delta state sync (docs/PERF.md) remembers the clock
+#: value of the last acknowledged transfer and later ships only attributes
+#: written after that baseline.
+_STATE_CLOCK = 0
+
+
+def state_clock() -> int:
+    """The current value of the global attribute-write counter."""
+    return _STATE_CLOCK
+
+
+def _tick() -> int:
+    global _STATE_CLOCK
+    _STATE_CLOCK += 1
+    return _STATE_CLOCK
+
+
+class _VersionedState(dict):
+    """A widget's state dict, stamping a clock version on every write.
+
+    All write paths funnel through ``__setitem__`` — :meth:`UIObject.set`,
+    bulk ``set_state``, widget types' built-in feedback assigning
+    ``self._state[...]`` directly, and :meth:`UndoRecord.rollback` — so
+    dirty tracking cannot miss a mutation.
+    """
+
+    __slots__ = ("versions",)
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        stamp = _tick()
+        #: attribute name -> clock value of its last write.
+        self.versions: Dict[str, int] = {name: stamp for name in self}
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        super().__setitem__(key, value)
+        self.versions[key] = _tick()
+
+    def __delitem__(self, key: str) -> None:
+        super().__delitem__(key)
+        self.versions.pop(key, None)
+
+    def update(self, *args: Any, **kwargs: Any) -> None:  # type: ignore[override]
+        for key, value in dict(*args, **kwargs).items():
+            self[key] = value
+
+    def setdefault(self, key: str, default: Any = None) -> Any:
+        if key not in self:
+            self[key] = default
+        return self[key]
+
+    def pop(self, key: str, *default: Any) -> Any:
+        self.versions.pop(key, None)
+        return super().pop(key, *default)
+
+    def clear(self) -> None:
+        super().clear()
+        self.versions.clear()
+
 #: Attributes shared by every widget type.  Geometry and cosmetics are not
 #: relevant for coupling (§3.1: objects may differ in size and fonts yet
 #: "share the same content").
@@ -151,7 +211,9 @@ class UIObject:
                 f"widget name must be non-empty and contain no '/': {name!r}"
             )
         self.name = name
-        self._state: Dict[str, Any] = type(self).ATTRIBUTES.defaults()
+        self._state: _VersionedState = _VersionedState(
+            type(self).ATTRIBUTES.defaults()
+        )
         self._parent: Optional[UIObject] = None
         self._children: Dict[str, UIObject] = {}
         self._callbacks = CallbackRegistry()
@@ -342,6 +404,23 @@ class UIObject:
         """Bulk-apply attribute values (used by synchronization by state)."""
         for name, value in values.items():
             self.set(name, value, quiet=quiet)
+
+    def attribute_version(self, name: str) -> int:
+        """The global clock value of *name*'s last write (0 if never)."""
+        return self._state.versions.get(name, 0)
+
+    def changed_since(self, baseline: int) -> Dict[str, Any]:
+        """Attribute values written after global clock *baseline*.
+
+        The delta sync protocol calls this with the clock value of the
+        last acknowledged transfer; an unchanged widget returns ``{}``.
+        """
+        versions = self._state.versions
+        return {
+            name: self._state[name]
+            for name, version in versions.items()
+            if version > baseline
+        }
 
     @property
     def is_interactive(self) -> bool:

@@ -1,0 +1,209 @@
+"""Property tests pitting the incremental closure against brute force.
+
+The couple table maintains its transitive closure with a union–find
+forest, pair-indexed links and component-confined rebuilds.  These tests
+drive it with random scripts over the *full* mutation surface — including
+bulk removals (object / subtree / instance) and parallel arcs between the
+same pair — and compare every derived view (groups, audience index,
+group links) against a from-scratch BFS over the surviving link set.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NoSuchCoupleError
+from repro.server.couples import CoupleLink, CoupleTable, global_id
+
+INSTANCES = ["a", "b", "c"]
+PATHS = ["/x", "/x/left", "/x/right", "/y"]
+
+objects = st.tuples(
+    st.sampled_from(INSTANCES), st.sampled_from(PATHS)
+).map(lambda t: global_id(*t))
+
+link_pairs = st.tuples(objects, objects).filter(lambda p: p[0] != p[1])
+
+
+@st.composite
+def scripts(draw):
+    """Random mutation scripts, including bulk removals and dup arcs."""
+    ops = []
+    for _ in range(draw(st.integers(min_value=0, max_value=30))):
+        action = draw(
+            st.sampled_from(
+                [
+                    "add",
+                    "add",  # bias toward growth so groups actually form
+                    "add_reverse",
+                    "remove_link",
+                    "remove_object",
+                    "remove_subtree",
+                    "remove_instance",
+                ]
+            )
+        )
+        if action == "remove_instance":
+            ops.append((action, draw(st.sampled_from(INSTANCES)), None))
+        elif action == "remove_subtree":
+            ops.append(
+                (
+                    action,
+                    draw(st.sampled_from(INSTANCES)),
+                    draw(st.sampled_from(PATHS)),
+                )
+            )
+        elif action == "remove_object":
+            ops.append((action, draw(objects), None))
+        else:
+            source, target = draw(link_pairs)
+            ops.append((action, source, target))
+    return ops
+
+
+def run_script(ops):
+    """Apply *ops* to a table and to a plain mirror set of links."""
+    table = CoupleTable()
+    mirror = set()
+    for action, first, second in ops:
+        if action == "add":
+            table.add_link(CoupleLink(source=first, target=second))
+            mirror.add(CoupleLink(source=first, target=second))
+        elif action == "add_reverse":
+            # A second arc between the same pair, opposite direction.
+            table.add_link(CoupleLink(source=second, target=first))
+            mirror.add(CoupleLink(source=second, target=first))
+        elif action == "remove_link":
+            try:
+                table.remove_link(first, second)
+            except NoSuchCoupleError:
+                pass
+            mirror -= {
+                l
+                for l in mirror
+                if {l.source, l.target} == {first, second}
+            }
+        elif action == "remove_object":
+            table.remove_object(first)
+            mirror -= {l for l in mirror if first in l.endpoints}
+        elif action == "remove_subtree":
+            prefix = second.rstrip("/") + "/"
+
+            def below(gid):
+                return gid[0] == first and (
+                    gid[1] == second or gid[1].startswith(prefix)
+                )
+
+            table.remove_subtree(first, second)
+            mirror -= {
+                l for l in mirror if below(l.source) or below(l.target)
+            }
+        else:  # remove_instance
+            table.remove_instance(first)
+            mirror -= {
+                l
+                for l in mirror
+                if first in (l.source[0], l.target[0])
+            }
+    return table, mirror
+
+
+def bfs_components(links):
+    """Connected components of the undirected link graph, from scratch."""
+    adjacency = {}
+    for link in links:
+        adjacency.setdefault(link.source, set()).add(link.target)
+        adjacency.setdefault(link.target, set()).add(link.source)
+    components, seen = [], set()
+    for node in adjacency:
+        if node in seen:
+            continue
+        stack, comp = [node], set()
+        while stack:
+            current = stack.pop()
+            if current in comp:
+                continue
+            comp.add(current)
+            stack.extend(adjacency[current])
+        seen |= comp
+        components.append(frozenset(comp))
+    return components
+
+
+class TestIncrementalMatchesBruteForce:
+    @given(ops=scripts())
+    @settings(max_examples=200)
+    def test_links_match_mirror(self, ops):
+        table, mirror = run_script(ops)
+        assert set(table.links()) == mirror
+        assert len(table) == len(mirror)
+
+    @given(ops=scripts())
+    @settings(max_examples=200)
+    def test_groups_match_bfs(self, ops):
+        table, mirror = run_script(ops)
+        for component in bfs_components(mirror):
+            for member in component:
+                assert table.group_of(member) == component
+
+    @given(ops=scripts())
+    @settings(max_examples=150)
+    def test_audience_index_matches_groups(self, ops):
+        table, mirror = run_script(ops)
+        for component in bfs_components(mirror):
+            expected = {}
+            for instance_id, pathname in component:
+                expected.setdefault(instance_id, []).append(pathname)
+            expected = {
+                instance_id: tuple(sorted(paths))
+                for instance_id, paths in expected.items()
+            }
+            for member in component:
+                assert table.audience_of(member) == expected
+                assert table.group_instances(member) == frozenset(expected)
+
+    @given(obj=objects, ops=scripts())
+    @settings(max_examples=100)
+    def test_uncoupled_audience_is_self(self, obj, ops):
+        table, mirror = run_script(ops)
+        if any(obj in link.endpoints for link in mirror):
+            return
+        assert table.audience_of(obj) == {obj[0]: (obj[1],)}
+        assert table.links_of_group(obj) == []
+
+    @given(ops=scripts())
+    @settings(max_examples=150)
+    def test_group_links_are_exactly_internal_links(self, ops):
+        table, mirror = run_script(ops)
+        for component in bfs_components(mirror):
+            expected = {
+                l
+                for l in mirror
+                if l.source in component and l.target in component
+            }
+            member = next(iter(component))
+            group_links = table.links_of_group(member)
+            assert set(group_links) == expected
+            assert len(group_links) == len(expected)  # deduplicated
+
+    @given(ops=scripts())
+    @settings(max_examples=150)
+    def test_by_instance_index_consistent(self, ops):
+        table, mirror = run_script(ops)
+        expected = {}
+        for link in mirror:
+            for gid in link.endpoints:
+                expected.setdefault(gid[0], set()).add(gid)
+        for instance_id in INSTANCES:
+            assert table.objects_of_instance(instance_id) == expected.get(
+                instance_id, set()
+            )
+
+    @given(ops=scripts())
+    @settings(max_examples=100)
+    def test_rebuild_work_is_bounded_by_touched_components(self, ops):
+        """Removals never touch more members than ever existed."""
+        table, _ = run_script(ops)
+        universe = len(INSTANCES) * len(PATHS)
+        removals = sum(
+            1 for action, *_ in ops if action.startswith("remove")
+        )
+        assert table.stats["rebuild_members"] <= removals * universe

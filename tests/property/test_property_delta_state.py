@@ -1,0 +1,144 @@
+"""Property tests for the delta state sync invariant.
+
+The protocol's core claim: applying every incremental delta (attributes
+written since the last capture) in order leaves a replica in exactly the
+state a single full snapshot would.  These tests drive a random write
+workload through the dirty-attribute clock and check replica equality at
+every segment boundary.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.toolkit.tree import (
+    apply_subtree_state,
+    subtree_state,
+    subtree_state_since,
+)
+from repro.toolkit.widget import state_clock
+from repro.toolkit.widgets import Scale, Shell, TextField, ToggleButton
+
+#: (relative path, attribute, value strategy) — coupling-relevant
+#: attributes of the fixture tree below.
+WRITABLE = [
+    ("field", "value", st.text(max_size=8)),
+    ("zoom", "value", st.integers(min_value=0, max_value=100)),
+    ("flag", "set", st.booleans()),
+]
+
+
+def make_tree(name="app"):
+    root = Shell(name, title="delta")
+    TextField("field", parent=root)
+    Scale("zoom", parent=root, maximum=100)
+    ToggleButton("flag", parent=root)
+    return root
+
+
+@st.composite
+def write_segments(draw):
+    """A workload: segments of writes, one delta capture per segment."""
+    segments = []
+    for _ in range(draw(st.integers(min_value=1, max_value=5))):
+        writes = []
+        for _ in range(draw(st.integers(min_value=0, max_value=6))):
+            rel, attr, values = draw(st.sampled_from(WRITABLE))
+            writes.append((rel, attr, draw(values)))
+        segments.append(writes)
+    return segments
+
+
+class TestDeltaEqualsFull:
+    @given(segments=write_segments())
+    @settings(max_examples=150)
+    def test_applied_deltas_converge_to_full_snapshot(self, segments):
+        sender = make_tree("s")
+        delta_replica = make_tree("d")
+        full_replica = make_tree("f")
+        # First contact is always a full snapshot.
+        apply_subtree_state(delta_replica, subtree_state(sender))
+        baseline = state_clock()
+        for writes in segments:
+            for rel, attr, value in writes:
+                sender.find(rel).set(attr, value)
+            delta = subtree_state_since(sender, baseline)
+            baseline = state_clock()
+            apply_subtree_state(delta_replica, delta)
+            # Invariant at every segment boundary, not just the end.
+            assert subtree_state(delta_replica) == subtree_state(sender)
+        apply_subtree_state(full_replica, subtree_state(sender))
+        assert subtree_state(delta_replica) == subtree_state(full_replica)
+
+    @given(segments=write_segments())
+    @settings(max_examples=100)
+    def test_idle_segments_produce_empty_deltas(self, segments):
+        sender = make_tree("s")
+        for writes in segments:
+            for rel, attr, value in writes:
+                sender.find(rel).set(attr, value)
+        baseline = state_clock()
+        assert subtree_state_since(sender, baseline) == {}
+
+    @given(segments=write_segments())
+    @settings(max_examples=100)
+    def test_delta_contains_only_touched_widgets(self, segments):
+        sender = make_tree("s")
+        baseline = state_clock()
+        touched = set()
+        for writes in segments:
+            for rel, attr, value in writes:
+                sender.find(rel).set(attr, value)
+                touched.add(rel)
+        delta = subtree_state_since(sender, baseline)
+        assert set(delta) <= touched
+        for rel, values in delta.items():
+            current = sender.find(rel).relevant_state()
+            for attr, value in values.items():
+                assert current[attr] == value
+
+    @given(segments=write_segments())
+    @settings(max_examples=100)
+    def test_deltas_are_replayable_out_of_date_replica(self, segments):
+        """A replica that missed nothing can apply deltas cumulatively."""
+        sender = make_tree("s")
+        replica = make_tree("r")
+        apply_subtree_state(replica, subtree_state(sender))
+        baseline = state_clock()
+        cumulative_baseline = baseline
+        for writes in segments:
+            for rel, attr, value in writes:
+                sender.find(rel).set(attr, value)
+        # One cumulative delta covering all segments equals the sum of
+        # per-segment deltas: versions are monotonic, never reset.
+        delta = subtree_state_since(sender, cumulative_baseline)
+        apply_subtree_state(replica, delta)
+        assert subtree_state(replica) == subtree_state(sender)
+
+
+class TestAttributeClock:
+    @given(values=st.lists(st.text(max_size=5), min_size=1, max_size=6))
+    @settings(max_examples=100)
+    def test_last_write_wins_in_changed_since(self, values):
+        tree = make_tree("s")
+        field = tree.find("field")
+        baseline = state_clock()
+        for value in values:
+            field.set("value", value)
+        changed = field.changed_since(baseline)
+        # set() skips no-op writes, so the attribute is dirty iff some
+        # write actually changed the value; when dirty, the recorded value
+        # is the current (last effective) one.
+        assert field.get("value") == values[-1]
+        if "value" in changed:
+            assert changed["value"] == values[-1]
+        if values[-1] != "":
+            assert "value" in changed
+
+    def test_versions_strictly_increase(self):
+        tree = make_tree("s")
+        field = tree.find("field")
+        first = field.attribute_version("value")
+        field.set("value", "x")
+        second = field.attribute_version("value")
+        field.set("value", "y")
+        third = field.attribute_version("value")
+        assert first < second < third

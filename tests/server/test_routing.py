@@ -1,0 +1,344 @@
+"""Tests for the interest-aware routing layer (docs/PERF.md).
+
+Covers the shared broadcast helper, the RoutingStats counters, the
+``couple_scope`` server knob (scoped COUPLE_UPDATE delivery with
+merged-group link reconciliation) and the RESYNC_REQUEST forward path.
+"""
+
+import pytest
+
+from repro.net import kinds
+from repro.net.clock import SimClock
+from repro.net.message import Message
+from repro.server.couples import gid_to_wire, global_id
+from repro.server.routing import (
+    COUPLE_SCOPES,
+    RoutingStats,
+    broadcast,
+    validate_couple_scope,
+)
+from repro.server.server import SERVER_ID, CosoftServer
+
+
+class FakeTransport:
+    def __init__(self):
+        self.sent = []
+        self.closed = False
+
+    @property
+    def local_id(self):
+        return SERVER_ID
+
+    def send(self, message):
+        self.sent.append(message)
+
+    def drive(self, predicate, timeout=5.0):
+        return predicate()
+
+    def close(self):
+        self.closed = True
+
+    def take(self):
+        out, self.sent = self.sent, []
+        return out
+
+
+def make_server(**kwargs):
+    srv = CosoftServer(clock=SimClock(), **kwargs)
+    transport = FakeTransport()
+    srv.bind(transport)
+    return srv, transport
+
+
+def register(srv, transport, instance_id):
+    srv.handle_message(
+        Message(
+            kind=kinds.REGISTER,
+            sender=instance_id,
+            payload={"user": instance_id},
+        )
+    )
+    return transport.take()
+
+
+def couple(srv, sender, source, target):
+    srv.handle_message(
+        Message(
+            kind=kinds.COUPLE,
+            sender=sender,
+            payload={
+                "source": gid_to_wire(source),
+                "target": gid_to_wire(target),
+            },
+        )
+    )
+
+
+A = global_id("a", "/app/x")
+B = global_id("b", "/app/x")
+C = global_id("c", "/app/x")
+
+
+class TestValidateScope:
+    def test_accepts_known_scopes(self):
+        for scope in COUPLE_SCOPES:
+            assert validate_couple_scope(scope) == scope
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            validate_couple_scope("galaxy")
+
+
+class TestRoutingStats:
+    def test_record_and_snapshot(self):
+        stats = RoutingStats()
+        stats.record_event(3)
+        stats.record_event(1)
+        snap = stats.snapshot()
+        assert snap["events"] == 2
+        assert snap["event_receivers"] == 4
+
+    def test_merge_adds_counters(self):
+        one, two = RoutingStats(), RoutingStats()
+        one.record_event(2)
+        two.record_event(5)
+        two.suppressed_messages = 7
+        one.merge(two)
+        assert one.events == 2
+        assert one.event_receivers == 7
+        assert one.suppressed_messages == 7
+
+    def test_reset(self):
+        stats = RoutingStats()
+        stats.record_event(9)
+        stats.reset()
+        assert stats.snapshot() == RoutingStats().snapshot()
+
+
+class TestBroadcastHelper:
+    def collect(self):
+        sent = []
+        return sent, sent.append
+
+    def test_full_broadcast_hits_everyone_but_excluded(self):
+        sent, send = self.collect()
+        stats = RoutingStats()
+        count = broadcast(
+            send, ["a", "b", "c"], kinds.INSTANCE_LIST, {},
+            exclude=("b",), stats=stats,
+        )
+        assert count == 2
+        assert sorted(m.to for m in sent) == ["a", "c"]
+        assert stats.broadcasts == 1
+        assert stats.broadcast_messages == 2
+        assert stats.suppressed_messages == 0
+
+    def test_audience_scopes_and_counts_suppressed(self):
+        sent, send = self.collect()
+        stats = RoutingStats()
+        count = broadcast(
+            send, ["a", "b", "c", "d"], kinds.COUPLE_UPDATE, {},
+            audience={"a", "c"}, stats=stats,
+        )
+        assert count == 2
+        assert [m.to for m in sent] == ["a", "c"]  # sorted, deterministic
+        assert stats.interest_casts == 1
+        assert stats.interest_messages == 2
+        assert stats.suppressed_messages == 2
+
+    def test_unregistered_audience_members_skipped(self):
+        sent, send = self.collect()
+        broadcast(
+            send, ["a", "b"], kinds.COUPLE_UPDATE, {},
+            audience={"a", "ghost"},
+        )
+        assert [m.to for m in sent] == ["a"]
+
+    def test_exclude_applies_inside_audience(self):
+        sent, send = self.collect()
+        stats = RoutingStats()
+        broadcast(
+            send, ["a", "b", "c"], kinds.COUPLE_UPDATE, {},
+            audience={"a", "b"}, exclude=("a",), stats=stats,
+        )
+        assert [m.to for m in sent] == ["b"]
+        # Population net of exclude is 2; one delivered, one suppressed.
+        assert stats.suppressed_messages == 1
+
+
+class TestCoupleScopeGroup:
+    def test_scoped_update_reaches_only_group_audience(self):
+        srv, transport = make_server(couple_scope="group")
+        for instance in ("a", "b", "c", "d"):
+            register(srv, transport, instance)
+        couple(srv, "a", A, B)
+        updates = [
+            m.to for m in transport.take() if m.kind == kinds.COUPLE_UPDATE
+        ]
+        assert sorted(updates) == ["a", "b"]
+        assert srv.routing.suppressed_messages >= 2
+
+    def test_default_scope_broadcasts_to_all(self):
+        srv, transport = make_server()
+        for instance in ("a", "b", "c", "d"):
+            register(srv, transport, instance)
+        couple(srv, "a", A, B)
+        updates = [
+            m.to for m in transport.take() if m.kind == kinds.COUPLE_UPDATE
+        ]
+        assert sorted(updates) == ["a", "b", "c", "d"]
+        assert srv.routing.suppressed_messages == 0
+
+    def test_scoped_add_carries_merged_group_links(self):
+        """A joiner must learn the group's pre-existing internal links."""
+        srv, transport = make_server(couple_scope="group")
+        for instance in ("a", "b", "c"):
+            register(srv, transport, instance)
+        couple(srv, "a", A, B)
+        transport.take()
+        couple(srv, "c", C, A)
+        updates = [
+            m for m in transport.take() if m.kind == kinds.COUPLE_UPDATE
+        ]
+        to_c = [m for m in updates if m.to == "c"]
+        assert to_c, "joining instance must receive the update"
+        wired = to_c[0].payload.get("links", [])
+        endpoints = {
+            (tuple(l["source"]), tuple(l["target"])) for l in wired
+        }
+        assert (tuple(A), tuple(B)) in endpoints
+
+    def test_decouple_audience_computed_before_removal(self):
+        """Departing members still hear about the link removal."""
+        srv, transport = make_server(couple_scope="group")
+        for instance in ("a", "b", "c"):
+            register(srv, transport, instance)
+        couple(srv, "a", A, B)
+        couple(srv, "b", B, C)
+        transport.take()
+        srv.handle_message(
+            Message(
+                kind=kinds.DECOUPLE,
+                sender="a",
+                payload={
+                    "source": gid_to_wire(A),
+                    "target": gid_to_wire(B),
+                },
+            )
+        )
+        removals = [
+            m.to
+            for m in transport.take()
+            if m.kind == kinds.COUPLE_UPDATE
+            and m.payload.get("action") == "remove"
+        ]
+        # 'a' leaves the group but is told; 'b' and 'c' remain.
+        assert sorted(set(removals)) == ["a", "b", "c"]
+
+    def test_stats_expose_routing_and_closure(self):
+        srv, transport = make_server(couple_scope="group")
+        register(srv, transport, "a")
+        register(srv, transport, "b")
+        couple(srv, "a", A, B)
+        stats = srv.stats()
+        assert "routing" in stats and "closure" in stats
+        assert stats["closure"]["unions"] >= 1
+
+
+class TestEventInterestRouting:
+    def _event(self, srv, source, seq=1):
+        srv.handle_message(
+            Message(
+                kind=kinds.EVENT,
+                sender=source[0],
+                payload={
+                    "event": {
+                        "seq": seq,
+                        "source_path": source[1],
+                        "instance_id": source[0],
+                        "kind": "value-changed",
+                        "params": {"value": "v"},
+                        "user": source[0],
+                    },
+                    "object": gid_to_wire(source),
+                },
+            )
+        )
+
+    def test_event_fans_out_to_group_only(self):
+        srv, transport = make_server()
+        for instance in ("a", "b", "c", "d"):
+            register(srv, transport, instance)
+        couple(srv, "a", A, B)
+        transport.take()
+        self._event(srv, A)
+        receivers = [
+            m.to for m in transport.take() if m.kind == kinds.EVENT_BROADCAST
+        ]
+        assert receivers == ["b"]
+        assert srv.routing.events == 1
+        assert srv.routing.event_receivers == 1
+
+    def test_uncoupled_event_reaches_no_one(self):
+        srv, transport = make_server()
+        register(srv, transport, "a")
+        register(srv, transport, "b")
+        self._event(srv, A)
+        receivers = [
+            m.to for m in transport.take() if m.kind == kinds.EVENT_BROADCAST
+        ]
+        assert receivers == []
+
+
+class TestResyncForward:
+    def test_forwarded_to_object_owner(self):
+        srv, transport = make_server()
+        register(srv, transport, "a")
+        register(srv, transport, "b")
+        srv.handle_message(
+            Message(
+                kind=kinds.RESYNC_REQUEST,
+                sender="b",
+                payload={
+                    "object": gid_to_wire(A),
+                    "target": gid_to_wire(B),
+                },
+            )
+        )
+        out = transport.take()
+        forwarded = [m for m in out if m.kind == kinds.RESYNC_REQUEST]
+        assert len(forwarded) == 1
+        assert forwarded[0].to == "a"
+        assert forwarded[0].payload["requester"] == "b"
+
+    def test_unknown_owner_rejected(self):
+        srv, transport = make_server()
+        register(srv, transport, "b")
+        srv.handle_message(
+            Message(
+                kind=kinds.RESYNC_REQUEST,
+                sender="b",
+                payload={
+                    "object": gid_to_wire(A),
+                    "target": gid_to_wire(B),
+                },
+            )
+        )
+        out = transport.take()
+        assert any(m.kind == kinds.ERROR for m in out)
+
+    def test_unregistered_sender_rejected(self):
+        srv, transport = make_server()
+        register(srv, transport, "a")
+        srv.handle_message(
+            Message(
+                kind=kinds.RESYNC_REQUEST,
+                sender="ghost",
+                payload={
+                    "object": gid_to_wire(A),
+                    "target": gid_to_wire(B),
+                },
+            )
+        )
+        out = transport.take()
+        assert any(m.kind == kinds.ERROR for m in out)
