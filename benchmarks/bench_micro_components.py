@@ -15,6 +15,7 @@ from repro.net import kinds
 from repro.net.codec import decode, encode
 from repro.net.message import Message
 from repro.server.couples import CoupleLink, CoupleTable, global_id
+from repro.session import Session
 from repro.toolkit.builder import build
 from repro.toolkit.events import VALUE_CHANGED, Event
 from repro.toolkit.widgets import Form, Shell, TextField
@@ -151,6 +152,59 @@ class TestCompatMappingCache:
         report = benchmark(warm)
         assert report.applied_paths
         assert DEFAULT_MAPPING_CACHE.hits > 0
+
+
+class TestObservabilityOverhead:
+    """Gate: enabling metrics must not regress the message economy.
+
+    Replays the E11 selective-pairs workload (bench_e11_population.py)
+    with observability off vs on and asserts msgs/op stays within 5%.
+    The registry is pull-based (collectors polled at snapshot time), so
+    the instrumented run should send the *same* messages — the trace
+    context rides existing frames, it never adds round trips.
+    """
+
+    USERS = 8
+    EVENTS_PER_USER = 5
+
+    def _replay(self, observability):
+        from repro.core.groups import CouplingGroup
+
+        session = Session(observability=observability)
+        trees = []
+        for i in range(self.USERS):
+            inst = session.create_instance(f"i{i}", user=f"u{i}")
+            root = Shell("ui")
+            TextField("field", parent=root)
+            inst.add_root(root)
+            trees.append(root)
+        coordinator = session.create_instance("coord", user="mod")
+        for i in range(0, self.USERS, 2):
+            pair = CouplingGroup(coordinator, f"pair-{i}", ["/ui/field"])
+            pair.add_member(f"i{i}")
+            pair.add_member(f"i{i + 1}")
+        session.pump()
+        session.network.stats.reset()
+        for round_no in range(self.EVENTS_PER_USER):
+            for i in range(self.USERS):
+                trees[i].find("/ui/field").commit(f"u{i}-r{round_no}")
+                session.pump()
+        stats = session.network.stats.snapshot()
+        session.close()
+        events = self.USERS * self.EVENTS_PER_USER
+        return stats["messages"] / events
+
+    def test_metrics_overhead_under_five_percent(self, benchmark):
+        def compare():
+            return self._replay(False), self._replay(True)
+
+        baseline, instrumented = benchmark.pedantic(
+            compare, rounds=1, iterations=1
+        )
+        assert instrumented <= baseline * 1.05, (
+            f"observability regressed msgs/op: "
+            f"{baseline:.2f} -> {instrumented:.2f}"
+        )
 
 
 class TestStateSyncThroughput:

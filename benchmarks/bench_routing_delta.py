@@ -193,6 +193,79 @@ class TestRoutingSweep:
         assert by_group[(64, "sparse")] <= SPARSE_GROUP_BASELINE
 
 
+def run_latency_histograms(n_edits=40):
+    """Instrumented coupled edits; returns per-segment histogram samples.
+
+    Observability stamps every hop of the multiple-execution path with a
+    span; :meth:`Observability.observe_span_latencies` folds the finished
+    durations into the ``repro_sync_latency_seconds`` histogram family
+    (log-scale buckets, 1 µs .. ~4 s), which this returns by segment.
+    """
+    session = Session(backend=BACKEND, observability=True)
+    a = session.create_instance("a", user="alice")
+    b = session.create_instance("b", user="bob")
+    tree_a = a.add_root(build_tree())
+    tree_b = b.add_root(build_tree())
+    a.couple(tree_a.find(FIELD), ("b", FIELD))
+    session.pump()
+    for n in range(n_edits):
+        tree_a.find(FIELD).commit(f"edit-{n}")
+        assert settle(
+            session,
+            lambda v=f"edit-{n}": tree_b.find(FIELD).value == v,
+        )
+    # Let the trailing acks close their spans before folding durations.
+    settle(session, lambda: session.obs.spans.stats()["open"] == 0)
+    session.obs.observe_span_latencies()
+    samples = {
+        dict(s.labels)["segment"]: s.value
+        for s in session.obs.registry.collect()
+        if s.name == "repro_sync_latency_seconds"
+    }
+    session.close()
+    return samples
+
+
+class TestSyncLatencyHistogram:
+    def test_segment_latency_baseline(self, benchmark):
+        samples = benchmark.pedantic(
+            run_latency_histograms, rounds=1, iterations=1
+        )
+        rows = []
+        for segment in sorted(samples):
+            hist = samples[segment]
+            count = hist["count"]
+            mean_ms = (hist["sum"] / count) * 1e3 if count else 0.0
+            # Smallest log bucket already covering every observation —
+            # a timing-stable shape indicator for the committed baseline.
+            ceiling = next(
+                (
+                    bound
+                    for bound, cumulative in hist["buckets"]
+                    if cumulative == count
+                ),
+                "+Inf",
+            )
+            rows.append([segment, count, round(mean_ms, 3), ceiling])
+        emit_table(
+            "obs_latency",
+            "Sync latency by segment (repro_sync_latency_seconds)",
+            ["segment", "count", "mean ms", "all <= (s)"],
+            rows,
+        )
+        segments = {row[0] for row in rows}
+        # The E2E root decomposes into at least lock, route and apply.
+        for required in ("e2e", "lock", "route", "apply", "floor_held"):
+            assert required in segments, f"segment {required} missing"
+        counts = {row[0]: row[1] for row in rows}
+        assert counts["e2e"] >= 40
+        assert counts["apply"] >= 40
+        # Every segment of one trace is shorter than its e2e root on
+        # average; spot-check the fast server-side hops.
+        means = {row[0]: row[2] for row in rows}
+        assert means["queue"] <= means["e2e"]
+
+
 class TestDeltaPayload:
     def test_delta_bytes_vs_full(self, benchmark):
         def sweep():

@@ -32,6 +32,7 @@ replica), so it can compute transitive closures without asking a shard.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import Counter
 from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
@@ -53,6 +54,8 @@ from repro.net.transport import (
     resolve_destination,
 )
 from repro.cluster.hashring import HashRing
+from repro.obs import NULL_OBS
+from repro.obs import tracing as obs_tracing
 from repro.server.couples import CoupleTable, GlobalId, gid_from_wire, gid_to_wire
 from repro.server.permissions import AccessControl
 from repro.server.registry import RegistrationRecord, Registry
@@ -197,6 +200,8 @@ class ShardedCosoftCluster:
         self.processed: Counter = Counter()
         self.migrations = 0
         self._transport: Optional[Transport] = None
+        #: Observability hooks (disabled stand-in by default).
+        self.obs = NULL_OBS
 
     # ------------------------------------------------------------------
     # Wiring (same contract as CosoftServer)
@@ -205,6 +210,21 @@ class ShardedCosoftCluster:
     def bind(self, transport: Transport) -> None:
         """Attach the outward transport the cluster answers clients through."""
         self._transport = transport
+
+    def configure_observability(self, obs) -> None:
+        """Enable metrics/tracing on the router and every shard.
+
+        The router's own routing stats and each shard's stats register
+        with per-shard labels, so one registry snapshot shows the whole
+        cluster broken down by shard.
+        """
+        self.obs = obs
+        if obs.enabled and obs.registry.enabled:
+            self.routing.register_into(obs.registry, endpoint="router")
+            for shard_id, stats in self._shard_stats.items():
+                stats.register_into(obs.registry, shard=shard_id)
+        for shard_id, shard in self.shards.items():
+            shard.configure_observability(obs, shard=shard_id)
 
     def _emit(self, message: Message) -> None:
         if self._transport is None:
@@ -507,6 +527,28 @@ class ShardedCosoftCluster:
     ) -> None:
         self._shard_stats[shard_id].record(message, wire_size(message), shard_id)
         self._model_service(shard_id)
+        obs = self.obs
+        if obs.tracing and message.trace is not None:
+            # One routing hop per traced message, regardless of shard
+            # count — parity tests rely on the trees being identical for
+            # 1, 2 or 4 shards.  Re-stamp so the shard's receive span
+            # nests under the routing hop.
+            span = obs.spans.start(
+                obs_tracing.CLUSTER_ROUTE,
+                trace_id=message.trace[0],
+                parent_id=message.trace[1],
+                endpoint=ROUTER_ID,
+                shard=shard_id,
+                kind=message.kind,
+            )
+            message = dataclasses.replace(
+                message, trace=(message.trace[0], span.span_id)
+            )
+            try:
+                self._call_shard(shard_id, message, suppress=suppress)
+            finally:
+                obs.spans.finish(span)
+            return
         self._call_shard(shard_id, message, suppress=suppress)
 
     def _call_shard(

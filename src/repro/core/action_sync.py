@@ -39,6 +39,8 @@ from typing import Any, List, Mapping, Optional, Sequence, Tuple
 
 from repro.net import kinds
 from repro.net.message import Message
+from repro.obs import NULL_OBS
+from repro.obs import tracing as obs_tracing
 from repro.server.couples import GlobalId, gid_from_wire, gid_to_wire
 from repro.toolkit.events import Event
 from repro.toolkit.widget import UIObject, UndoRecord
@@ -63,21 +65,49 @@ class ExecutionResult:
     local_only: bool = False
 
 
-def request_floor(instance: Any, source: GlobalId, timeout: float) -> Optional[FloorGrant]:
+def request_floor(
+    instance: Any,
+    source: GlobalId,
+    timeout: float,
+    *,
+    trace: Optional[Tuple[str, str]] = None,
+) -> Optional[FloorGrant]:
     """Ask the server to lock the couple group of *source*.
 
     Returns the grant, or ``None`` when the floor was denied or the request
     timed out (a timeout is treated as a denial: the caller rolls back, the
     server's floor record — if the grant raced the timeout — is reclaimed
     by the eventual unlock of a later floor or by instance cleanup).
+
+    *trace* is the caller's span context; the blocking round trip is
+    recorded as a ``client.lock_wait`` span and the context travels on
+    the LOCK_REQUEST so the server's handling joins the same trace.
     """
     token = instance.next_token()
+    obs = getattr(instance, "obs", NULL_OBS)
+    span = None
+    if trace is not None and obs.tracing:
+        span = obs.spans.start(
+            obs_tracing.CLIENT_LOCK_WAIT,
+            trace_id=trace[0],
+            parent_id=trace[1],
+            endpoint=instance.instance_id,
+        )
+        trace = (trace[0], span.span_id)
     request = Message(
         kind=kinds.LOCK_REQUEST,
         sender=instance.instance_id,
         payload={"source": gid_to_wire(source), "token": token},
+        trace=trace,
     )
     reply = instance.request(request, timeout=timeout)
+    if span is not None:
+        granted = bool(
+            reply is not None
+            and reply.kind == kinds.LOCK_REPLY
+            and reply.payload.get("granted", False)
+        )
+        obs.spans.finish(span, granted=granted)
     if reply is None or reply.kind != kinds.LOCK_REPLY:
         return None
     if not reply.payload.get("granted", False):
@@ -114,11 +144,26 @@ def run_multiple_execution(
     widget echoed the user action.
     """
     source: GlobalId = (instance.instance_id, widget.pathname)
-    grant = request_floor(instance, source, timeout)
+    obs = getattr(instance, "obs", NULL_OBS)
+    root = None
+    trace = None
+    if obs.tracing:
+        # Root span of the whole synchronization: user action enters the
+        # toolkit here, and the trace context rides every message.
+        root = obs.spans.start(
+            obs_tracing.CLIENT_EMIT,
+            endpoint=instance.instance_id,
+            event=event.type,
+            source=widget.pathname,
+        )
+        trace = (root.trace_id, root.span_id)
+    grant = request_floor(instance, source, timeout, trace=trace)
     if grant is None:
         # "undo syntactic built-in feedback of the event e" (§3.2)
         undo.rollback()
         instance.stats["lock_denials"] += 1
+        if root is not None:
+            obs.spans.finish(root, outcome="lock_denied")
         return ExecutionResult(executed=False, lock_denied=True)
 
     # Disable the locally owned members of the group while the floor is
@@ -140,6 +185,7 @@ def run_multiple_execution(
                     "token": grant.token,
                     "release": True,
                 },
+                trace=trace,
             )
         )
         # The group may include other local objects (two objects coupled
@@ -152,22 +198,45 @@ def run_multiple_execution(
         for member in local_members:
             member.floor_unlock()
     instance.stats["events_coupled"] += 1
+    if root is not None:
+        obs.spans.finish(root, outcome="executed")
     return ExecutionResult(executed=True, group=grant.group)
 
 
-def apply_remote_event(instance: Any, payload: Mapping[str, Any]) -> int:
+def apply_remote_event(
+    instance: Any,
+    payload: Mapping[str, Any],
+    *,
+    trace: Optional[Tuple[str, str]] = None,
+) -> int:
     """Re-execute a broadcast event on this instance's coupled objects.
 
     Returns the number of objects the event was executed on (objects that
     disappeared since the broadcast are skipped — their decoupling is
     already in flight).
+
+    *trace* is the EVENT_BROADCAST's trace context: the re-execution is
+    recorded as a ``remote.apply`` span and the EVENT_ACK carries the
+    context back so the server's floor release joins the trace.
     """
+    obs = getattr(instance, "obs", NULL_OBS)
+    span = None
+    if trace is not None and obs.tracing:
+        span = obs.spans.start(
+            obs_tracing.REMOTE_APPLY,
+            trace_id=trace[0],
+            parent_id=trace[1],
+            endpoint=instance.instance_id,
+        )
+        trace = (trace[0], span.span_id)
     event = Event.from_wire(dict(payload["event"]))
     if not instance.accept_remote_event(event):
         # Duplicate delivery (at-least-once transport): the event was
         # already executed here.  Still acknowledge, so a floor waiting on
         # this receiver can never wedge on a duplicate.
-        _ack(instance, payload)
+        _ack(instance, payload, trace=trace)
+        if span is not None:
+            obs.spans.finish(span, duplicate=True)
         return 0
     executed = 0
     for path in payload.get("targets", ()):
@@ -184,11 +253,18 @@ def apply_remote_event(instance: Any, payload: Mapping[str, Any]) -> int:
     instance.trace_remote_event(event)
     # Confirm completion so the server can release the floor — the group
     # stays locked "until the processing of this event is completed".
-    _ack(instance, payload)
+    _ack(instance, payload, trace=trace)
+    if span is not None:
+        obs.spans.finish(span, executed=executed)
     return executed
 
 
-def _ack(instance: Any, payload: Mapping[str, Any]) -> None:
+def _ack(
+    instance: Any,
+    payload: Mapping[str, Any],
+    *,
+    trace: Optional[Tuple[str, str]] = None,
+) -> None:
     owner = payload.get("owner")
     if owner is not None:
         instance.send(
@@ -196,6 +272,7 @@ def _ack(instance: Any, payload: Mapping[str, Any]) -> None:
                 kind=kinds.EVENT_ACK,
                 sender=instance.instance_id,
                 payload={"owner": [str(owner[0]), int(owner[1])]},
+                trace=trace,
             )
         )
 

@@ -164,6 +164,28 @@ class MappingCache:
     def snapshot(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
 
+    def register_into(self, registry, **labels: str) -> None:
+        """Expose hit/miss/size counters through an obs metrics registry."""
+        from repro.obs.metrics import Sample
+
+        base = tuple(sorted(labels.items()))
+
+        def collect():
+            yield Sample(
+                "repro_compat_cache_hits_total", "counter",
+                "Mapping cache hits", base, self.hits,
+            )
+            yield Sample(
+                "repro_compat_cache_misses_total", "counter",
+                "Mapping cache misses", base, self.misses,
+            )
+            yield Sample(
+                "repro_compat_cache_size", "gauge",
+                "Mappings currently cached", base, len(self._entries),
+            )
+
+        registry.register_collector(collect)
+
 
 #: Process-wide default mapping cache, shared by every instance that does
 #: not carry its own (mirrors DEFAULT_CORRESPONDENCES).
@@ -317,9 +339,46 @@ class MatchStats:
 
     nodes_compared: int = 0
     backtracks: int = 0
+    #: Completed matching computations folded in (aggregate use only).
+    matches: int = 0
 
     def bump(self) -> None:
         self.nodes_compared += 1
+
+    def merge(self, other: "MatchStats") -> "MatchStats":
+        self.nodes_compared += other.nodes_compared
+        self.backtracks += other.backtracks
+        self.matches += other.matches or 1
+        return self
+
+    def register_into(self, registry, **labels: str) -> None:
+        """Expose these counters through an obs metrics registry."""
+        from repro.obs.metrics import Sample
+
+        base = tuple(sorted(labels.items()))
+
+        def collect():
+            yield Sample(
+                "repro_compat_matches_total", "counter",
+                "Structural-compatibility computations", base, self.matches,
+            )
+            yield Sample(
+                "repro_compat_nodes_compared_total", "counter",
+                "Pairwise node comparisons", base, self.nodes_compared,
+            )
+            yield Sample(
+                "repro_compat_backtracks_total", "counter",
+                "Matcher backtracks", base, self.backtracks,
+            )
+
+        registry.register_collector(collect)
+
+
+#: Process-wide aggregate of every matching computation, so enabling
+#: observability surfaces compat cost without threading a registry into
+#: the matchers.  :func:`structurally_compatible` folds each per-call
+#: :class:`MatchStats` in here.
+GLOBAL_MATCH_STATS = MatchStats()
 
 
 @dataclass
@@ -361,12 +420,14 @@ def structurally_compatible(
         if predefined is None:
             raise ValueError("PREDEFINED strategy requires a predefined mapping")
         ok = _verify_predefined(spec_a, spec_b, predefined, correspondences, stats)
+        GLOBAL_MATCH_STATS.merge(stats)
         return MatchResult(dict(predefined) if ok else None, stats)
     mapping: ComponentMapping = {}
     matcher = _match_exhaustive if strategy == EXHAUSTIVE else _match_heuristic
     ok = matcher(
         spec_a, spec_b, "", "", mapping, correspondences, stats, node_budget
     )
+    GLOBAL_MATCH_STATS.merge(stats)
     return MatchResult(mapping if ok else None, stats)
 
 

@@ -48,6 +48,7 @@ from repro.net.memory import MemoryNetwork
 from repro.net.message import Message
 from repro.net.tcp import TcpClientTransport
 from repro.net.transport import Transport
+from repro.obs import NULL_OBS
 from repro.server.couples import CoupleTable, GlobalId, gid_from_wire, gid_to_wire
 from repro.server.permissions import PermissionRule
 from repro.server.registry import RegistrationRecord
@@ -106,6 +107,8 @@ class ApplicationInstance:
         request_timeout: float = 5.0,
         replica_fast_path: bool = True,
         delta_sync: bool = True,
+        observability=None,
+        trace_maxlen: Optional[int] = None,
     ):
         if not instance_id or instance_id in ("server", "router"):
             # Both endpoint names are reserved: "server" is the central
@@ -135,7 +138,14 @@ class ApplicationInstance:
         self.roster: Dict[str, RegistrationRecord] = {}
         self.semantics = SemanticHookRegistry()
         self.commands = CommandRegistry()
-        self.trace = EventTrace()
+        self.trace = (
+            EventTrace(maxlen=trace_maxlen)
+            if trace_maxlen is not None
+            else EventTrace()
+        )
+        #: Observability hooks shared with the deployment (the disabled
+        #: stand-in unless the Session wires a live one in).
+        self.obs = observability if observability is not None else NULL_OBS
         self.stats: Counter = Counter()
         self.registered = False
         self.last_execution: Optional[ExecutionResult] = None
@@ -818,7 +828,9 @@ class ApplicationInstance:
         elif message.kind == kinds.INSTANCE_LIST:
             self._apply_roster(message.payload.get("roster", []))
         elif message.kind == kinds.EVENT_BROADCAST:
-            action_sync.apply_remote_event(self, message.payload)
+            action_sync.apply_remote_event(
+                self, message.payload, trace=message.trace
+            )
         elif message.kind == kinds.FETCH_STATE:
             self._on_fetch_state(message)
         elif message.kind == kinds.PUSH_STATE:

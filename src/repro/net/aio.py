@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import logging
 import socket
 import threading
 from dataclasses import dataclass
@@ -53,6 +54,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 from repro.errors import DeliveryError, TransportClosedError
 from repro.net.codec import StreamDecoder, encode
 from repro.net.message import Message
+from repro.obs.log import get_logger, log_event
 from repro.net.tcp import TcpTransportBase
 from repro.net.transport import (
     DROP_BACKPRESSURE,
@@ -65,6 +67,8 @@ from repro.net.transport import (
 
 #: Valid overflow policies for a bounded send queue.
 BACKPRESSURE_POLICIES = ("drop", "block", "disconnect")
+
+_log = get_logger("net.aio")
 
 #: Kernel write-buffer size past which the inline end-of-burst flush
 #: defers to a writer task (which awaits ``drain()``), so a slow
@@ -479,8 +483,14 @@ class AioHostTransport(Transport):
                             self._kick_writer(conn.peer_id)
                         self._handler(message)
                     self._cond.notify_all()
-        except (ConnectionError, OSError, asyncio.IncompleteReadError):
-            pass
+        except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
+            log_event(
+                _log,
+                logging.WARNING,
+                "connection_error",
+                peer=conn.peer_id,
+                error=type(exc).__name__,
+            )
         except asyncio.CancelledError:
             pass
         finally:
@@ -488,6 +498,9 @@ class AioHostTransport(Transport):
                 self._reader_tasks.discard(task)
             if conn.peer_id is not None and self._conns.get(conn.peer_id) is conn:
                 del self._conns[conn.peer_id]
+                log_event(
+                    _log, logging.DEBUG, "connection_closed", peer=conn.peer_id
+                )
             with contextlib.suppress(Exception):
                 writer.close()
 
@@ -561,9 +574,17 @@ class AioHostTransport(Transport):
                 payload, items = queue.pop_batch()
                 try:
                     conn.writer.write(payload)
-                except (ConnectionError, OSError):
+                except (ConnectionError, OSError) as exc:
                     queue.requeue_front(items, payload)
                     self._kick_writer(dest)
+                    log_event(
+                        _log,
+                        logging.INFO,
+                        "write_failed",
+                        destination=dest,
+                        batch=len(items),
+                        error=type(exc).__name__,
+                    )
                     break
                 for message, size in items:
                     self._stats.record(message, size, dest)
@@ -582,23 +603,47 @@ class AioHostTransport(Transport):
             self._stats.record_drop(
                 message, len(frame), reason=DROP_BACKPRESSURE
             )
+            log_event(
+                _log,
+                logging.WARNING,
+                "send_queue_overflow",
+                destination=queue.destination,
+                policy=policy,
+                kind=message.kind,
+            )
         elif policy == "block":
             # Keep the message, throttle intake until the queue drains.
             queue.force_push(message, frame, self._now())
             self._read_gate.clear()
             self._kick_writer(queue.destination)
+            log_event(
+                _log,
+                logging.INFO,
+                "read_gate_closed",
+                destination=queue.destination,
+                queued=len(queue),
+            )
         else:  # disconnect: evict the slow consumer
             self._stats.record_drop(
                 message, len(frame), reason=DROP_DISCONNECTED
             )
+            dropped_count = 1
             for dropped, size in queue.drain_all():
                 self._stats.record_drop(
                     dropped, size, reason=DROP_DISCONNECTED
                 )
+                dropped_count += 1
             conn = self._conns.pop(queue.destination, None)
             if conn is not None:
                 with contextlib.suppress(Exception):
                     conn.writer.close()
+            log_event(
+                _log,
+                logging.WARNING,
+                "slow_consumer_evicted",
+                destination=queue.destination,
+                dropped=dropped_count,
+            )
 
     def _kick_writer(self, dest: str) -> None:
         """Ensure a writer task is draining *dest*'s queue."""
@@ -653,10 +698,18 @@ class AioHostTransport(Transport):
                 try:
                     conn.writer.write(payload)
                     await conn.writer.drain()
-                except (ConnectionError, OSError):
+                except (ConnectionError, OSError) as exc:
                     # The write may have partially left: retrying can
                     # duplicate delivery, which idempotent msg ids make
                     # safe.  Put the batch back and back off.
+                    log_event(
+                        _log,
+                        logging.INFO,
+                        "write_failed",
+                        destination=dest,
+                        batch=len(items),
+                        error=type(exc).__name__,
+                    )
                     queue.requeue_front(items, payload)
                     if not await self._backoff_or_drop(queue):
                         continue
@@ -685,14 +738,32 @@ class AioHostTransport(Transport):
         queue.attempts += 1
         delay = self._retry.delay(queue.attempts)
         if delay is None:
+            dropped = 0
             for message, size in queue.drain_all():
                 self._stats.record_drop(
                     message, size, reason=DROP_UNDELIVERABLE
                 )
+                dropped += 1
             if not self._read_gate.is_set():
                 self._read_gate.set()
+            log_event(
+                _log,
+                logging.WARNING,
+                "batch_undeliverable",
+                destination=queue.destination,
+                dropped=dropped,
+                attempts=queue.attempts,
+            )
             return True
         self._stats.record_retry()
+        log_event(
+            _log,
+            logging.DEBUG,
+            "delivery_retry",
+            destination=queue.destination,
+            attempt=queue.attempts,
+            delay=delay,
+        )
         await asyncio.sleep(delay)
         return False
 
@@ -830,8 +901,15 @@ class AioClientTransport(TcpTransportBase):
                     for message in messages:
                         self._handler(message)
                     self._cond.notify_all()
-        except (ConnectionError, OSError, asyncio.IncompleteReadError):
-            pass
+        except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
+            if not self._closed:
+                log_event(
+                    _log,
+                    logging.WARNING,
+                    "client_connection_lost",
+                    local_id=self._local_id,
+                    error=type(exc).__name__,
+                )
         except asyncio.CancelledError:
             pass
         finally:

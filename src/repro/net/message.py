@@ -16,7 +16,7 @@ from __future__ import annotations
 import itertools
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.errors import CodecError
 
@@ -186,6 +186,12 @@ class Message:
         Unique id for request/reply correlation.
     reply_to:
         The ``msg_id`` this message answers, or ``None``.
+    trace:
+        Optional causal-trace context ``(trace_id, parent_span_id)``
+        stamped by an observability-enabled endpoint (see
+        :mod:`repro.obs.tracing`).  ``None`` — the default — is never
+        serialized, so uninstrumented traffic is byte-identical to a
+        build without tracing.
     """
 
     kind: str
@@ -194,6 +200,7 @@ class Message:
     to: str = ""
     msg_id: int = field(default_factory=_next_msg_id)
     reply_to: Optional[int] = None
+    trace: Optional[Tuple[str, str]] = None
     #: Payload pre-serialized at validation time; ``None`` until the
     #: first (lazy) serialization for wire-deserialized messages.
     _payload_json: Optional[str] = field(
@@ -209,6 +216,10 @@ class Message:
     def __post_init__(self) -> None:
         if self.kind not in ALL_KINDS:
             raise CodecError(f"unknown message kind {self.kind!r}")
+        trace = self.trace
+        if trace is not None and type(trace) is not tuple:
+            # Normalize list-form wire data so equality/hashing work.
+            object.__setattr__(self, "trace", tuple(trace))
         payload = self.payload
         if type(payload) is not dict:
             payload = dict(payload)
@@ -244,13 +255,22 @@ class Message:
             payload_json = _dumps(dict(self.payload))
             object.__setattr__(self, "_payload_json", payload_json)
         reply_to = self.reply_to
+        trace = self.trace
+        # "to" < "trace" in the sorted key order, so the optional trace
+        # context appends after "to" without disturbing byte-for-byte
+        # parity with ``_dumps(self.to_wire())``.
+        trace_part = (
+            ""
+            if trace is None
+            else f',"trace":[{_wire_id(trace[0])},{_wire_id(trace[1])}]'
+        )
         return (
             f'{{"kind":{_WIRE_KINDS[self.kind]}'
             f',"msg_id":{self.msg_id:d}'
             f',"payload":{payload_json}'
             f',"reply_to":{"null" if reply_to is None else f"{reply_to:d}"}'
             f',"sender":{_wire_id(self.sender)}'
-            f',"to":{_wire_id(self.to)}}}'
+            f',"to":{_wire_id(self.to)}{trace_part}}}'
         )
 
     def reply(self, kind: str, sender: str, **payload: Any) -> "Message":
@@ -276,7 +296,7 @@ class Message:
         )
 
     def to_wire(self) -> Dict[str, Any]:
-        return {
+        wire = {
             "kind": self.kind,
             "sender": self.sender,
             "to": self.to,
@@ -284,6 +304,9 @@ class Message:
             "msg_id": self.msg_id,
             "reply_to": self.reply_to,
         }
+        if self.trace is not None:
+            wire["trace"] = list(self.trace)
+        return wire
 
     @classmethod
     def from_wire(cls, data: Mapping[str, Any]) -> "Message":
@@ -296,6 +319,7 @@ class Message:
             # on the decode path the dict is fresh out of ``json.loads``
             # (and ``to_wire`` hands out copies anyway).
             _remember(payload, None)
+            trace = data.get("trace")
             return cls(
                 kind=data["kind"],
                 sender=data["sender"],
@@ -303,6 +327,7 @@ class Message:
                 payload=payload,
                 msg_id=int(data["msg_id"]),
                 reply_to=data.get("reply_to"),
+                trace=tuple(trace) if trace else None,
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise CodecError(f"malformed wire message: {exc}") from exc

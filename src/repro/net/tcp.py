@@ -20,6 +20,7 @@ Threading model
 from __future__ import annotations
 
 import contextlib
+import logging
 import socket
 import threading
 import time
@@ -29,6 +30,9 @@ from repro.errors import DeliveryError, TransportClosedError
 from repro.net.codec import StreamDecoder, encode
 from repro.net.message import Message
 from repro.net.transport import MessageHandler, TrafficStats, Transport
+from repro.obs.log import get_logger, log_event
+
+_log = get_logger("net.tcp")
 
 
 class TcpTransportBase(Transport):
@@ -177,13 +181,21 @@ class TcpHostTransport(TcpTransportBase):
                         with self._cond:
                             self._conns[peer_id] = sock
                     self.recv(message)
-        except OSError:
-            pass
+        except OSError as exc:
+            if not self._closed:
+                log_event(
+                    _log,
+                    logging.WARNING,
+                    "connection_error",
+                    peer=peer_id,
+                    error=type(exc).__name__,
+                )
         finally:
             if peer_id is not None:
                 with self._cond:
                     if self._conns.get(peer_id) is sock:
                         del self._conns[peer_id]
+                log_event(_log, logging.DEBUG, "connection_closed", peer=peer_id)
             with contextlib.suppress(OSError):
                 sock.close()
 
@@ -241,8 +253,15 @@ class TcpClientTransport(TcpTransportBase):
                     break
                 for message in decoder.feed(data):
                     self.recv(message)
-        except OSError:
-            pass
+        except OSError as exc:
+            if not self._closed:
+                log_event(
+                    _log,
+                    logging.WARNING,
+                    "client_connection_lost",
+                    local_id=self._local_id,
+                    error=type(exc).__name__,
+                )
         finally:
             with self._cond:
                 self._cond.notify_all()

@@ -161,6 +161,55 @@ class TrafficStats:
             "retries": self.retries,
         }
 
+    def register_into(self, registry, **labels: str) -> None:
+        """Expose these counters through an obs metrics registry.
+
+        Registers a pull-time collector (see
+        :meth:`repro.obs.metrics.MetricsRegistry.register_collector`) so
+        the live values appear in every ``collect()`` without adding any
+        work to :meth:`record` on the hot path.  *labels* distinguish
+        several transports in one deployment (e.g. ``shard="shard-0"``).
+        """
+        from repro.obs.metrics import Sample
+
+        base = tuple(sorted(labels.items()))
+
+        def collect():
+            yield Sample(
+                "repro_traffic_messages_total", "counter",
+                "Messages delivered by this transport", base, self.messages,
+            )
+            yield Sample(
+                "repro_traffic_bytes_total", "counter",
+                "Encoded bytes delivered", base, self.bytes,
+            )
+            yield Sample(
+                "repro_traffic_dropped_total", "counter",
+                "Messages dropped", base, self.dropped,
+            )
+            yield Sample(
+                "repro_traffic_batches_total", "counter",
+                "Outbound batch flushes", base, self.batches,
+            )
+            yield Sample(
+                "repro_traffic_retries_total", "counter",
+                "Per-hop delivery retries", base, self.retries,
+            )
+            for kind, n in sorted(self.by_kind.items()):
+                yield Sample(
+                    "repro_traffic_messages_by_kind_total", "counter",
+                    "Messages delivered, by protocol kind",
+                    base + (("kind", kind),), n,
+                )
+            for reason, n in sorted(self.drops_by_reason.items()):
+                yield Sample(
+                    "repro_traffic_drops_by_reason_total", "counter",
+                    "Messages dropped, by reason",
+                    base + (("reason", reason),), n,
+                )
+
+        registry.register_collector(collect)
+
     def reset(self) -> None:
         self.messages = 0
         self.bytes = 0

@@ -1,0 +1,120 @@
+"""Exporters: Prometheus text and JSON views of metrics and spans."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.metrics import Sample
+from repro.obs.tracing import SpanRecorder
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _labels_text(labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in labels
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def render_prometheus(samples: Iterable[Sample]) -> str:
+    """Prometheus text exposition format (version 0.0.4) of *samples*.
+
+    Samples of the same family share one ``# HELP`` / ``# TYPE`` header;
+    histograms expand into ``_bucket{le=...}`` / ``_sum`` / ``_count``
+    series.
+    """
+    lines: List[str] = []
+    seen_header = set()
+    for sample in samples:
+        if sample.name not in seen_header:
+            seen_header.add(sample.name)
+            if sample.help:
+                lines.append(f"# HELP {sample.name} {sample.help}")
+            lines.append(f"# TYPE {sample.name} {sample.kind}")
+        if sample.kind == "histogram":
+            hist = sample.value
+            for bound, cumulative in hist["buckets"]:
+                labels = sample.labels + (("le", bound),)
+                lines.append(
+                    f"{sample.name}_bucket{_labels_text(labels)} {cumulative}"
+                )
+            base = _labels_text(sample.labels)
+            lines.append(
+                f"{sample.name}_sum{base} {_format_value(hist['sum'])}"
+            )
+            lines.append(f"{sample.name}_count{base} {hist['count']}")
+        else:
+            lines.append(
+                f"{sample.name}{_labels_text(sample.labels)} "
+                f"{_format_value(sample.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_json(
+    samples: Iterable[Sample],
+    spans: Optional[SpanRecorder] = None,
+    *,
+    indent: Optional[int] = 2,
+) -> str:
+    """One JSON document holding every metric (and optionally spans)."""
+    doc: Dict[str, Any] = {"metrics": []}
+    for sample in samples:
+        doc["metrics"].append(
+            {
+                "name": sample.name,
+                "kind": sample.kind,
+                "help": sample.help,
+                "labels": dict(sample.labels),
+                "value": sample.value,
+            }
+        )
+    if spans is not None:
+        doc["spans"] = spans_to_dicts(spans)
+        doc["span_stats"] = spans.stats()
+    return json.dumps(doc, indent=indent, sort_keys=True, default=str)
+
+
+def spans_to_dicts(recorder: SpanRecorder) -> List[Dict[str, Any]]:
+    return [span.to_dict() for span in recorder.spans()]
+
+
+def render_span_dump(recorder: SpanRecorder) -> str:
+    """Human-readable indented dump of every buffered trace tree."""
+    lines: List[str] = []
+
+    def walk(node: Dict[str, Any], depth: int) -> None:
+        duration = node["duration"]
+        took = f" {duration * 1e3:.3f}ms" if duration is not None else " (open)"
+        attrs = node["attrs"]
+        extra = (
+            " " + " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            if attrs
+            else ""
+        )
+        lines.append(
+            f"{'  ' * depth}{node['name']} [{node['span_id']}"
+            f"@{node['endpoint']}]{took}{extra}"
+        )
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    for trace_id in recorder.trace_ids():
+        lines.append(f"trace {trace_id}")
+        for root in recorder.tree(trace_id):
+            walk(root, 1)
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,329 @@
+"""The metrics registry: counters, gauges and log-scale histograms.
+
+One deployment accumulates operational numbers in several ad-hoc stats
+classes (:class:`~repro.net.transport.TrafficStats`,
+:class:`~repro.server.routing.RoutingStats`,
+:class:`~repro.server.locks.LockTableStats`,
+:class:`~repro.core.compat.MatchStats`).  The registry unifies them:
+metric *families* (:class:`Counter`, :class:`Gauge`, :class:`Histogram`)
+are created once and updated on the hot path, while the legacy stats
+objects register *collectors* — callables polled at snapshot time — so a
+single :meth:`MetricsRegistry.collect` captures the whole deployment
+without touching any hot path twice.
+
+Everything is pull-based and allocation-light; rendering to JSON or
+Prometheus text lives in :mod:`repro.obs.export`.  When observability is
+disabled, :data:`NULL_REGISTRY` supplies the same API as no-ops, so
+instrumented code pays one attribute load and a falsy check.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+
+class Sample(NamedTuple):
+    """One measured value of a metric family at collect time."""
+
+    name: str
+    kind: str                 # "counter" | "gauge" | "histogram"
+    help: str
+    labels: Tuple[Tuple[str, str], ...]
+    value: Any                # number, or a histogram snapshot dict
+
+
+def log_buckets(
+    start: float = 1e-6, factor: float = 4.0, count: int = 12
+) -> Tuple[float, ...]:
+    """Fixed log-scale histogram bounds: ``start * factor**i``.
+
+    The default spans 1 µs .. ~4 s — wide enough for both the simulated
+    network's sub-millisecond hops and real-socket round trips.
+    """
+    if start <= 0 or factor <= 1 or count <= 0:
+        raise ValueError("need start > 0, factor > 1, count > 0")
+    return tuple(start * factor ** i for i in range(count))
+
+
+#: Default bounds for latency histograms (seconds).
+DEFAULT_LATENCY_BUCKETS = log_buckets()
+
+
+def _label_key(
+    labelnames: Sequence[str], values: Sequence[str]
+) -> Tuple[Tuple[str, str], ...]:
+    if len(values) != len(labelnames):
+        raise ValueError(
+            f"expected labels {tuple(labelnames)}, got {len(values)} values"
+        )
+    return tuple(zip(labelnames, (str(v) for v in values)))
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+class _HistogramChild:
+    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, bounds: Tuple[float, ...]) -> None:
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +1 for +Inf
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        bounds = self.bounds
+        lo, hi = 0, len(bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.bucket_counts[lo] += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Cumulative buckets in exposition order plus count/sum."""
+        cumulative: List[Tuple[str, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            cumulative.append((repr(bound), running))
+        cumulative.append(("+Inf", self.count))
+        return {"buckets": cumulative, "count": self.count, "sum": self.sum}
+
+
+_CHILD_TYPES = {
+    "counter": _CounterChild,
+    "gauge": _GaugeChild,
+    "histogram": _HistogramChild,
+}
+
+
+class MetricFamily:
+    """A named metric with a fixed label schema and one child per label set."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.buckets = tuple(buckets)
+        self._children: Dict[Tuple[Tuple[str, str], ...], Any] = {}
+
+    def labels(self, *values: str) -> Any:
+        """The child tracking one concrete label-value combination."""
+        key = _label_key(self.labelnames, values)
+        child = self._children.get(key)
+        if child is None:
+            if self.kind == "histogram":
+                child = _HistogramChild(self.buckets)
+            else:
+                child = _CHILD_TYPES[self.kind]()
+            self._children[key] = child
+        return child
+
+    # Unlabeled conveniences (families with no labelnames) --------------
+
+    def inc(self, amount: float = 1) -> None:
+        self.labels().inc(amount)
+
+    def dec(self, amount: float = 1) -> None:
+        self.labels().dec(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    def samples(self) -> Iterable[Sample]:
+        for key, child in sorted(self._children.items()):
+            value = (
+                child.snapshot() if self.kind == "histogram" else child.value
+            )
+            yield Sample(self.name, self.kind, self.help, key, value)
+
+
+Collector = Callable[[], Iterable[Sample]]
+
+
+class MetricsRegistry:
+    """All metric families of one deployment, plus pull-time collectors."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+        self._collectors: List[Collector] = []
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            family = MetricFamily(name, kind, help, labelnames, buckets)
+            self._families[name] = family
+            return family
+        if family.kind != kind or family.labelnames != tuple(labelnames):
+            raise ValueError(
+                f"metric {name!r} re-registered with a different "
+                f"kind/label schema"
+            )
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "counter", help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "gauge", help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> MetricFamily:
+        return self._family(name, "histogram", help, labelnames, buckets)
+
+    def register_collector(self, collector: Collector) -> None:
+        """Add a pull-time source (e.g. a legacy stats object's view)."""
+        self._collectors.append(collector)
+
+    def collect(self) -> List[Sample]:
+        """Every sample the deployment currently exposes.
+
+        Family samples first, then collector output, sorted by metric
+        name and labels so renderings are deterministic.
+        """
+        samples: List[Sample] = []
+        for family in self._families.values():
+            samples.extend(family.samples())
+        for collector in self._collectors:
+            samples.extend(collector())
+        samples.sort(key=lambda s: (s.name, s.labels))
+        return samples
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict summary: ``{name: {label-string: value}}``."""
+        out: Dict[str, Any] = {}
+        for sample in self.collect():
+            label_str = ",".join(f"{k}={v}" for k, v in sample.labels)
+            out.setdefault(sample.name, {})[label_str] = sample.value
+        return out
+
+
+class _NullChild:
+    __slots__ = ()
+
+    value = 0
+    count = 0
+    sum = 0.0
+
+    def inc(self, amount: float = 1) -> None: ...
+    def dec(self, amount: float = 1) -> None: ...
+    def set(self, value: float) -> None: ...
+    def observe(self, value: float) -> None: ...
+
+
+_NULL_CHILD = _NullChild()
+
+
+class _NullFamily:
+    __slots__ = ()
+
+    def labels(self, *values: str) -> _NullChild:
+        return _NULL_CHILD
+
+    inc = _NullChild.inc
+    dec = _NullChild.dec
+    set = _NullChild.set
+    observe = _NullChild.observe
+
+    def samples(self) -> Tuple[Sample, ...]:
+        return ()
+
+
+_NULL_FAMILY = _NullFamily()
+
+
+class NullRegistry:
+    """The disabled registry: same shape, no work, no storage."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "", labelnames=()) -> _NullFamily:
+        return _NULL_FAMILY
+
+    gauge = counter
+
+    def histogram(
+        self, name: str, help: str = "", labelnames=(), buckets=()
+    ) -> _NullFamily:
+        return _NULL_FAMILY
+
+    def register_collector(self, collector: Collector) -> None: ...
+
+    def collect(self) -> Tuple[Sample, ...]:
+        return ()
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}
+
+
+#: Process-wide disabled registry (the default wiring everywhere).
+NULL_REGISTRY = NullRegistry()

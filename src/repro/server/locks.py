@@ -43,6 +43,32 @@ class LockTableStats:
         attempts = self.acquisitions + self.denials
         return self.denials / attempts if attempts else 0.0
 
+    def register_into(self, registry, **labels: str) -> None:
+        """Expose these counters through an obs metrics registry."""
+        from repro.obs.metrics import Sample
+
+        base = tuple(sorted(labels.items()))
+
+        def collect():
+            yield Sample(
+                "repro_locks_acquisitions_total", "counter",
+                "Group lock acquisitions granted", base, self.acquisitions,
+            )
+            yield Sample(
+                "repro_locks_denials_total", "counter",
+                "Group lock acquisitions denied", base, self.denials,
+            )
+            yield Sample(
+                "repro_locks_releases_total", "counter",
+                "Group lock releases", base, self.releases,
+            )
+            yield Sample(
+                "repro_locks_denial_rate", "gauge",
+                "Denied fraction of lock attempts", base, self.denial_rate,
+            )
+
+        registry.register_collector(collect)
+
 
 class LockTable:
     """Per-object locks with all-or-nothing group acquisition."""

@@ -87,6 +87,34 @@ class RoutingStats:
     def snapshot(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
 
+    def register_into(self, registry, **labels: str) -> None:
+        """Expose these counters through an obs metrics registry.
+
+        Pull-time collector: no cost is added to the routing hot path.
+        """
+        from repro.obs.metrics import Sample
+
+        base = tuple(sorted(labels.items()))
+        help_of = {
+            "broadcasts": "Full-population broadcast sends",
+            "broadcast_messages": "Messages delivered by full broadcasts",
+            "interest_casts": "Audience-scoped (interest) sends",
+            "interest_messages": "Messages delivered by interest casts",
+            "suppressed_messages":
+                "Copies a full broadcast would have added (savings)",
+            "events": "EVENT fan-outs performed",
+            "event_receivers": "Total EVENT_BROADCAST receivers",
+        }
+
+        def collect():
+            for name in self.__slots__:
+                yield Sample(
+                    f"repro_routing_{name}_total", "counter",
+                    help_of[name], base, getattr(self, name),
+                )
+
+        registry.register_collector(collect)
+
 
 def broadcast(
     send: Callable[[Message], None],

@@ -29,12 +29,16 @@ Example::
 from __future__ import annotations
 
 import asyncio
+import logging
 import threading
 from typing import Any, Awaitable, Dict, Optional, Tuple, TypeVar
 
 from repro.net.aio import AioHostTransport, BatchConfig
+from repro.obs.log import get_logger, log_event
 
 T = TypeVar("T")
+
+_log = get_logger("server.runtime")
 
 
 class EventLoopThread:
@@ -111,6 +115,16 @@ class AsyncServerRuntime:
         )
         endpoint.bind(self.transport)
         self._closed = False
+        addr = self.transport.address
+        log_event(
+            _log,
+            logging.INFO,
+            "runtime_started",
+            host=addr[0],
+            port=addr[1],
+            endpoint=type(endpoint).__name__,
+            backpressure=self.config.backpressure,
+        )
 
     # ------------------------------------------------------------------
 
@@ -148,8 +162,12 @@ class AsyncServerRuntime:
         if self._closed:
             return
         self._closed = True
+        connections = len(self.transport.connections())
         self.transport.close()
         self._loop_thread.stop()
+        log_event(
+            _log, logging.INFO, "runtime_stopped", connections=connections
+        )
 
     def __enter__(self) -> "AsyncServerRuntime":
         return self

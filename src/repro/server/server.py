@@ -41,6 +41,8 @@ from repro.net import kinds
 from repro.net.clock import Clock, SimClock
 from repro.net.message import Message
 from repro.net.transport import ROUTER_ID, SERVER_ID, Transport
+from repro.obs import NULL_OBS
+from repro.obs import tracing as obs_tracing
 from repro.server.couples import (
     CoupleLink,
     CoupleTable,
@@ -127,6 +129,13 @@ class CosoftServer:
         self._pending: Dict[int, _PendingRoute] = {}
         self.processed: Counter = Counter()
         self._transport: Optional[Transport] = None
+        #: Observability hooks (disabled stand-in by default; see
+        #: :meth:`configure_observability`).
+        self.obs = NULL_OBS
+        #: Span of the message currently being handled (tracing only).
+        self._active_span = None
+        #: Open ``server.floor_held`` spans, keyed like ``_floors``.
+        self._floor_spans: Dict[Tuple[str, int], Any] = {}
 
     # ------------------------------------------------------------------
     # Wiring
@@ -135,6 +144,47 @@ class CosoftServer:
     def bind(self, transport: Transport) -> None:
         """Attach the transport this server sends through."""
         self._transport = transport
+
+    def configure_observability(self, obs, **labels: str) -> None:
+        """Enable metrics/tracing for this server.
+
+        Registers the routing and lock-table stats as pull-time
+        collectors of *obs*'s registry (labelled, so a sharded cluster
+        can distinguish its shards) and arms span recording in
+        :meth:`handle_message`.
+        """
+        self.obs = obs
+        if obs.enabled and obs.registry.enabled:
+            self.routing.register_into(obs.registry, **labels)
+            self.locks.stats.register_into(obs.registry, **labels)
+            registry = obs.registry
+            base = tuple(sorted(labels.items()))
+
+            def collect():
+                from repro.obs.metrics import Sample
+
+                yield Sample(
+                    "repro_server_registered_instances", "gauge",
+                    "Instances currently registered", base,
+                    len(self.registry),
+                )
+                yield Sample(
+                    "repro_server_locks_held", "gauge",
+                    "Objects currently locked", base,
+                    len(self.locks.locked_objects()),
+                )
+                yield Sample(
+                    "repro_server_floors_held", "gauge",
+                    "Floors currently granted", base, len(self._floors),
+                )
+                for kind, n in sorted(self.processed.items()):
+                    yield Sample(
+                        "repro_server_processed_total", "counter",
+                        "Messages processed, by kind",
+                        base + (("kind", kind),), n,
+                    )
+
+            registry.register_collector(collect)
 
     def _send(self, message: Message) -> None:
         if self._transport is None:
@@ -212,30 +262,60 @@ class CosoftServer:
     _MALFORMED = (ReproError, KeyError, ValueError, TypeError, AttributeError,
                   IndexError)
 
+    #: Span name for a traced inbound message, by kind (tracing).
+    _RECEIVE_SPANS: Dict[str, str] = {
+        kinds.LOCK_REQUEST: obs_tracing.SERVER_LOCK,
+        kinds.EVENT: obs_tracing.SERVER_RECEIVE,
+        kinds.EVENT_ACK: obs_tracing.SERVER_ACK,
+    }
+
     def handle_message(self, message: Message) -> None:
         """Process one inbound message; errors become ERROR replies.
 
         The server must survive any payload a (buggy or malicious) client
         sends: handler failures on malformed data are answered with an
         ERROR reply and counted, never raised.
+
+        A message carrying trace context opens a receive span for the
+        duration of its handler; :meth:`_on_event` hangs the broadcast
+        span off it (see :mod:`repro.obs.tracing`).
         """
         self.processed[message.kind] += 1
-        handler_name = self._HANDLERS.get(message.kind)
-        if handler_name is None:
-            self._send(message.error_reply(SERVER_ID, "unsupported message kind"))
-            return
+        obs = self.obs
+        span = None
+        if obs.tracing and message.trace is not None:
+            span = obs.spans.start(
+                self._RECEIVE_SPANS.get(message.kind, "server.receive"),
+                trace_id=message.trace[0],
+                parent_id=message.trace[1],
+                endpoint=SERVER_ID,
+                kind=message.kind,
+                sender=message.sender,
+            )
+            self._active_span = span
         try:
-            getattr(self, handler_name)(message)
-        except self._MALFORMED as exc:
-            self.processed["__rejected__"] += 1
-            try:
+            handler_name = self._HANDLERS.get(message.kind)
+            if handler_name is None:
                 self._send(
-                    message.error_reply(
-                        SERVER_ID, f"{type(exc).__name__}: {exc}"
-                    )
+                    message.error_reply(SERVER_ID, "unsupported message kind")
                 )
-            except ReproError:
-                pass  # no transport bound / sender unreachable
+                return
+            try:
+                getattr(self, handler_name)(message)
+            except self._MALFORMED as exc:
+                self.processed["__rejected__"] += 1
+                try:
+                    self._send(
+                        message.error_reply(
+                            SERVER_ID, f"{type(exc).__name__}: {exc}"
+                        )
+                    )
+                except ReproError:
+                    pass  # no transport bound / sender unreachable
+        finally:
+            if span is not None:
+                obs.spans.finish(span)
+                self._active_span = None
 
     # ------------------------------------------------------------------
     # Registration
@@ -433,6 +513,9 @@ class CosoftServer:
         self._floor_granted_at.pop(key, None)
         self._pending_acks.pop(key, None)
         self.locks.release_all(objects, LockOwner(key[0], key[1]))
+        floor_span = self._floor_spans.pop(key, None)
+        if floor_span is not None:
+            self.obs.spans.finish(floor_span)
 
     def _expire_stale_floors(self) -> None:
         """Lease expiry: reclaim floors whose acks never arrived."""
@@ -458,6 +541,17 @@ class CosoftServer:
             key = (owner.instance_id, owner.token)
             self._floors[key] = tuple(sorted(group))
             self._floor_granted_at[key] = self.clock.now()
+            active = self._active_span
+            if active is not None:
+                # Floor lifetime span: grant .. release (ack or lease).
+                self._floor_spans[key] = self.obs.spans.start(
+                    obs_tracing.SERVER_FLOOR,
+                    trace_id=active.trace_id,
+                    parent_id=active.span_id,
+                    endpoint=SERVER_ID,
+                    owner=owner.instance_id,
+                    objects=len(group),
+                )
         self._send(
             message.reply(
                 kinds.LOCK_REPLY,
@@ -514,6 +608,20 @@ class CosoftServer:
             for instance_id in targets_by_instance
             if instance_id in self.registry and instance_id != message.sender
         ]
+        active = self._active_span
+        bcast_span = None
+        bcast_trace = None
+        if active is not None and receivers:
+            # Fan-out span; EVENT_BROADCASTs carry its id so each remote
+            # apply hangs off the broadcast in the trace tree.
+            bcast_span = self.obs.spans.start(
+                obs_tracing.SERVER_BROADCAST,
+                trace_id=active.trace_id,
+                parent_id=active.span_id,
+                endpoint=SERVER_ID,
+                receivers=len(receivers),
+            )
+            bcast_trace = (active.trace_id, bcast_span.span_id)
         for instance_id in receivers:
             self._send(
                 Message(
@@ -525,8 +633,11 @@ class CosoftServer:
                         "targets": targets_by_instance[instance_id],
                         "owner": [owner.instance_id, owner.token],
                     },
+                    trace=bcast_trace,
                 )
             )
+        if bcast_span is not None:
+            self.obs.spans.finish(bcast_span)
         self.routing.record_event(len(receivers))
         if release and locked is not None:
             if receivers and self.ack_release:
@@ -882,6 +993,11 @@ class CosoftServer:
             del self._floors[key]
             self._floor_granted_at.pop(key, None)
             self._pending_acks.pop(key, None)
+            floor_span = self._floor_spans.pop(key, None)
+            if floor_span is not None:
+                # The floor migrates to another shard; close its span
+                # here rather than leak an open one.
+                self.obs.spans.finish(floor_span, migrated=True)
         history = [
             [gid_to_wire(obj), self.history.export_object(obj)]
             for obj in sorted(objs)

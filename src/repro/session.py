@@ -45,10 +45,11 @@ removed in a future release.
 
 from __future__ import annotations
 
+import os
 import time
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.cluster import ShardedCosoftCluster
 from repro.core.compat import CorrespondenceRegistry
@@ -58,6 +59,11 @@ from repro.net.clock import SimClock
 from repro.net.memory import MemoryNetwork
 from repro.net.tcp import TcpHostTransport
 from repro.net.transport import TrafficStats
+from repro.obs import (
+    Observability,
+    ObservabilityConfig,
+    build_observability,
+)
 from repro.server.permissions import AccessControl
 from repro.server.runtime import AsyncServerRuntime
 from repro.server.server import SERVER_ID, CosoftServer
@@ -81,6 +87,17 @@ _BATCH_FIELDS = (
 )
 
 
+def _default_observability() -> Union[bool, None]:
+    """Default for ``SessionConfig.observability``: the environment knob.
+
+    ``REPRO_OBSERVABILITY=1`` enables the full layer for every Session
+    built without an explicit setting — how CI runs the whole tier-1
+    suite instrumented without touching any test.
+    """
+    value = os.environ.get("REPRO_OBSERVABILITY", "").strip().lower()
+    return value in ("1", "true", "yes", "on") or None
+
+
 @dataclass
 class SessionConfig:
     """Everything a :class:`Session` needs to build a deployment."""
@@ -102,6 +119,16 @@ class SessionConfig:
     delta_sync: bool = True
     correspondences: Optional[CorrespondenceRegistry] = None
     vnodes: int = 64
+    #: Observability: ``None``/``False`` (disabled, the default), ``True``
+    #: (enabled with defaults), an :class:`ObservabilityConfig`, or a
+    #: ready :class:`Observability` instance to share across sessions.
+    #: Defaults honour the ``REPRO_OBSERVABILITY`` environment variable.
+    observability: Union[None, bool, ObservabilityConfig, Observability] = (
+        field(default_factory=_default_observability)
+    )
+    #: Ring-buffer capacity of each instance's :class:`EventTrace`
+    #: (``None`` keeps the class default of 100 000 events).
+    trace_maxlen: Optional[int] = None
 
     # Simulated network model (memory backend) ------------------------
     base_latency: float = 0.001
@@ -159,6 +186,33 @@ class _BackendBase:
     config: SessionConfig
     server: ServerLike
     instances: Dict[str, ApplicationInstance]
+    obs: Observability
+
+    def _init_observability(
+        self, transport_stats: Optional[TrafficStats] = None
+    ) -> None:
+        """Build the deployment's observability and wire the collectors.
+
+        Called by each backend once the central endpoint is bound.  With
+        observability disabled this installs the shared no-op instance
+        and registers nothing.
+        """
+        self.obs = build_observability(self.config.observability)
+        if not self.obs.enabled:
+            return
+        self.server.configure_observability(self.obs)
+        if self.obs.registry.enabled:
+            if transport_stats is not None:
+                transport_stats.register_into(
+                    self.obs.registry, transport=self.config.backend
+                )
+            from repro.core.compat import (
+                DEFAULT_MAPPING_CACHE,
+                GLOBAL_MATCH_STATS,
+            )
+
+            GLOBAL_MATCH_STATS.register_into(self.obs.registry)
+            DEFAULT_MAPPING_CACHE.register_into(self.obs.registry)
 
     @property
     def cluster(self) -> Optional[ShardedCosoftCluster]:
@@ -216,6 +270,7 @@ class _MemoryBackend(_BackendBase):
         self.server.bind(self.network.attach(SERVER_ID, self.server.handle_message))
         self.correspondences = config.correspondences
         self.instances: Dict[str, ApplicationInstance] = {}
+        self._init_observability(self.network.stats)
 
     def create_instance(
         self,
@@ -240,6 +295,8 @@ class _MemoryBackend(_BackendBase):
             delta_sync=(
                 self.config.delta_sync if delta_sync is None else delta_sync
             ),
+            observability=self.obs,
+            trace_maxlen=self.config.trace_maxlen,
         ).connect(self.network)
         self.instances[instance_id] = instance
         if register:
@@ -293,6 +350,8 @@ class _SocketBackendBase(_BackendBase):
                 delta_sync=(
                     self.config.delta_sync if delta_sync is None else delta_sync
                 ),
+                observability=self.obs,
+                trace_maxlen=self.config.trace_maxlen,
             )
         )
         self.instances[instance_id] = instance
@@ -355,6 +414,7 @@ class _TcpBackend(_SocketBackendBase):
         self.server.bind(self._host_transport)
         self.host, self.port = self._host_transport.address
         self.instances: Dict[str, ApplicationInstance] = {}
+        self._init_observability(self._host_transport.stats)
 
     def _server_stats(self) -> TrafficStats:
         return self._host_transport.stats
@@ -376,6 +436,7 @@ class _AioBackend(_SocketBackendBase):
         )
         self.host, self.port = self.runtime.address
         self.instances: Dict[str, ApplicationInstance] = {}
+        self._init_observability(self.runtime.transport.stats)
 
     def _connect(self, instance: ApplicationInstance) -> ApplicationInstance:
         # Instances join the runtime's own loop: the whole deployment —
@@ -492,6 +553,42 @@ class Session:
     def traffic(self) -> Dict[str, object]:
         """Traffic counters with the same fields on every backend."""
         return self._impl.traffic()
+
+    # ------------------------------------------------------------------
+    # Observability (see docs/OBSERVABILITY.md)
+    # ------------------------------------------------------------------
+
+    @property
+    def obs(self) -> Observability:
+        """This deployment's observability (the no-op one when disabled)."""
+        return self._impl.obs
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of every registered metric."""
+        return self._impl.obs.metrics_text()
+
+    def metrics_json(self, *, include_spans: bool = False) -> str:
+        """All metrics (and optionally spans) as one JSON document."""
+        return self._impl.obs.metrics_json(include_spans=include_spans)
+
+    def span_dump(self) -> str:
+        """Human-readable dump of every buffered trace tree."""
+        return self._impl.obs.span_dump()
+
+    def trace_stats(self) -> Dict[str, Any]:
+        """Occupancy of the bounded trace buffers.
+
+        Per-instance :class:`~repro.toolkit.events.EventTrace` counters
+        plus the shared span ring buffer — the operator's check that
+        nothing unbounded is growing in a long-running deployment.
+        """
+        return {
+            "instances": {
+                instance_id: instance.trace.stats()
+                for instance_id, instance in self.instances.items()
+            },
+            "spans": self._impl.obs.spans.stats(),
+        }
 
     def close(self) -> None:
         self._impl.close()

@@ -17,8 +17,19 @@ one widget.  Callbacks receive ``(widget, event)``.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from repro.toolkit.attributes import json_safe
 
@@ -185,22 +196,34 @@ class EventTrace:
     """A bounded in-memory log of events, used by tests and experiments.
 
     Application instances keep a trace of executed events so experiments can
-    assert ordering and measure replay cost (E6).
+    assert ordering and measure replay cost (E6).  The ring buffer holds
+    the most recent *capacity* events (``maxlen`` is an accepted alias,
+    matching :class:`collections.deque`); older entries are evicted and
+    counted in :attr:`dropped`, so long-running instances never grow the
+    trace without bound.
     """
 
-    def __init__(self, capacity: int = 100_000):
+    def __init__(
+        self, capacity: Optional[int] = None, *, maxlen: Optional[int] = None
+    ):
+        if capacity is not None and maxlen is not None:
+            raise ValueError("pass capacity or maxlen, not both")
+        if capacity is None:
+            capacity = maxlen if maxlen is not None else 100_000
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self._capacity = capacity
-        self._events: List[Event] = []
+        self._events: Deque[Event] = deque(maxlen=capacity)
         self._dropped = 0
 
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
     def record(self, event: Event) -> None:
+        if len(self._events) == self._capacity:
+            self._dropped += 1
         self._events.append(event)
-        if len(self._events) > self._capacity:
-            overflow = len(self._events) - self._capacity
-            del self._events[:overflow]
-            self._dropped += overflow
 
     def events(self, event_type: Optional[str] = None) -> List[Event]:
         if event_type is None:
@@ -211,6 +234,14 @@ class EventTrace:
     def dropped(self) -> int:
         """Number of events discarded due to the capacity bound."""
         return self._dropped
+
+    def stats(self) -> Dict[str, int]:
+        """Occupancy summary for ``Session.trace_stats()``."""
+        return {
+            "events": len(self._events),
+            "capacity": self._capacity,
+            "dropped": self._dropped,
+        }
 
     def clear(self) -> None:
         self._events.clear()

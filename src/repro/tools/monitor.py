@@ -17,7 +17,21 @@ from __future__ import annotations
 from typing import Any, Dict, List
 
 from repro.cluster.router import ShardedCosoftCluster
+from repro.net import kinds
 from repro.server.server import CosoftServer
+
+
+def _delta_sync_counters(processed: Dict[str, int]) -> Dict[str, int]:
+    """Delta-state-sync continuity counters from a processed-kind map.
+
+    ``push_state`` counts every state transfer (full or delta);
+    ``resync_requests`` counts continuity losses — a receiver whose
+    baseline didn't match asked the owner for a fresh full snapshot.
+    """
+    return {
+        "push_state": processed.get(kinds.PUSH_STATE, 0),
+        "resync_requests": processed.get(kinds.RESYNC_REQUEST, 0),
+    }
 
 
 def snapshot(server: CosoftServer) -> Dict[str, Any]:
@@ -66,6 +80,8 @@ def snapshot(server: CosoftServer) -> Dict[str, Any]:
         "histories": histories,
         "permission_rules": len(server.access.rules()),
         "processed": dict(server.processed),
+        "routing": server.routing.snapshot(),
+        "delta_sync": _delta_sync_counters(server.processed),
     }
 
 
@@ -109,12 +125,56 @@ def format_dashboard(server: CosoftServer, *, width: int = 72) -> str:
         f"{stats['denials']} denied (rate {stats['denial_rate']})"
     )
     lines.append(thin)
+    routing = snap["routing"]
+    lines.append(
+        f" Routing: {routing['events']} events -> "
+        f"{routing['event_receivers']} receivers   "
+        f"interest-scoped: {routing['interest_messages']} "
+        f"broadcast: {routing['broadcast_messages']} "
+        f"suppressed: {routing['suppressed_messages']}"
+    )
+    delta = snap["delta_sync"]
+    lines.append(
+        f" Delta sync: {delta['push_state']} state pushes, "
+        f"{delta['resync_requests']} resyncs (continuity losses)"
+    )
+    lines.append(thin)
     if snap["histories"]:
         lines.append(" Historical UI states:")
         for obj, (undo, redo) in sorted(snap["histories"].items()):
             lines.append(f"   {obj:<34} undo={undo} redo={redo}")
     else:
         lines.append(" Historical UI states: none")
+    lines.append(bar)
+    return "\n".join(lines)
+
+
+def format_observability(obs: Any, *, width: int = 72) -> str:
+    """Render a :class:`repro.obs.Observability` as a dashboard section.
+
+    Appends the metric families (Prometheus text exposition) and the span
+    ring-buffer statistics beneath the state dashboard; pair with
+    :func:`format_dashboard` for a complete operator view::
+
+        print(format_dashboard(server))
+        print(format_observability(session.obs))
+    """
+    bar = "=" * width
+    lines: List[str] = [bar, " Observability", bar]
+    if not obs.enabled:
+        lines.append(" disabled (enable with SessionConfig(observability=True))")
+        lines.append(bar)
+        return "\n".join(lines)
+    stats = obs.spans.stats()
+    lines.append(
+        f" Spans: {stats['spans']} recorded ({stats['open']} open, "
+        f"{stats['evicted']} evicted, ring size {stats['maxlen']}), "
+        f"{stats['traces']} traces"
+    )
+    text = obs.metrics_text().rstrip()
+    if text:
+        lines.append("-" * width)
+        lines.extend(" " + line for line in text.splitlines())
     lines.append(bar)
     return "\n".join(lines)
 
@@ -141,6 +201,8 @@ def cluster_snapshot(cluster: ShardedCosoftCluster) -> Dict[str, Any]:
         },
         "processed": dict(cluster.processed),
         "traffic": traffic.snapshot(),
+        "routing": cluster.routing.snapshot(),
+        "delta_sync": _delta_sync_counters(cluster.processed),
         "per_shard": per_shard,
     }
 
@@ -162,6 +224,11 @@ def format_cluster_dashboard(
         f"({snap['couple_links']} links)",
         f" Shard traffic: {snap['traffic']['messages']} messages, "
         f"{snap['traffic']['bytes']} bytes",
+        f" Routing: interest-scoped {snap['routing']['interest_messages']} "
+        f"broadcast {snap['routing']['broadcast_messages']} "
+        f"suppressed {snap['routing']['suppressed_messages']}",
+        f" Delta sync: {snap['delta_sync']['push_state']} pushes, "
+        f"{snap['delta_sync']['resync_requests']} resyncs",
         thin,
     ]
     for shard_id in sorted(snap["per_shard"]):

@@ -1,0 +1,99 @@
+"""Unit tests for the exporters (repro.obs.export)."""
+
+import json
+
+from repro.obs.export import (
+    render_json,
+    render_prometheus,
+    render_span_dump,
+    spans_to_dicts,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import CLIENT_EMIT, SERVER_RECEIVE, SpanRecorder
+
+
+def make_registry():
+    reg = MetricsRegistry()
+    reg.counter("repro_a_total", "A counter").inc(3)
+    fam = reg.counter("repro_kinds_total", "by kind", labelnames=("kind",))
+    fam.labels("event").inc(2)
+    reg.gauge("repro_g", "A gauge").set(1.5)
+    reg.histogram("repro_h_seconds", "h", buckets=(0.5, 2.0)).observe(1.0)
+    return reg
+
+
+def test_prometheus_headers_and_values():
+    text = render_prometheus(make_registry().collect())
+    lines = text.splitlines()
+    assert "# HELP repro_a_total A counter" in lines
+    assert "# TYPE repro_a_total counter" in lines
+    assert "repro_a_total 3" in lines
+    assert 'repro_kinds_total{kind="event"} 2' in lines
+    assert "# TYPE repro_g gauge" in lines
+    assert "repro_g 1.5" in lines
+
+
+def test_prometheus_histogram_expansion():
+    lines = render_prometheus(make_registry().collect()).splitlines()
+    assert 'repro_h_seconds_bucket{le="0.5"} 0' in lines
+    assert 'repro_h_seconds_bucket{le="2.0"} 1' in lines
+    assert 'repro_h_seconds_bucket{le="+Inf"} 1' in lines
+    assert "repro_h_seconds_sum 1.0" in lines
+    assert "repro_h_seconds_count 1" in lines
+
+
+def test_prometheus_one_header_per_family():
+    text = render_prometheus(make_registry().collect())
+    assert text.count("# TYPE repro_kinds_total") == 1
+
+
+def test_prometheus_label_escaping():
+    reg = MetricsRegistry()
+    fam = reg.counter("repro_esc_total", labelnames=("path",))
+    fam.labels('a"b\\c').inc()
+    text = render_prometheus(reg.collect())
+    assert 'repro_esc_total{path="a\\"b\\\\c"} 1' in text
+
+
+def test_render_json_roundtrips():
+    rec = SpanRecorder()
+    span = rec.start(CLIENT_EMIT, endpoint="a")
+    rec.finish(span)
+    doc = json.loads(render_json(make_registry().collect(), rec))
+    names = {m["name"] for m in doc["metrics"]}
+    assert "repro_a_total" in names
+    assert doc["span_stats"]["spans"] == 1
+    assert doc["spans"][0]["name"] == CLIENT_EMIT
+    assert doc["spans"][0]["duration"] is not None
+
+
+def test_spans_to_dicts():
+    rec = SpanRecorder()
+    rec.finish(rec.start(CLIENT_EMIT))
+    dicts = spans_to_dicts(rec)
+    assert len(dicts) == 1
+    assert dicts[0]["span_id"] == "s1"
+
+
+def test_span_dump_indentation():
+    rec = SpanRecorder()
+    root = rec.start(CLIENT_EMIT, endpoint="a")
+    child = rec.start(
+        SERVER_RECEIVE,
+        trace_id=root.trace_id,
+        parent_id=root.span_id,
+        endpoint="server",
+    )
+    rec.finish(child)
+    rec.finish(root, outcome="executed")
+    dump = render_span_dump(rec)
+    lines = dump.splitlines()
+    assert lines[0] == "trace t1"
+    assert lines[1].startswith("  client.emit [s1@a]")
+    assert "outcome=executed" in lines[1]
+    assert lines[2].startswith("    server.receive [s2@server]")
+
+
+def test_empty_renders():
+    assert render_prometheus([]) == ""
+    assert render_span_dump(SpanRecorder()) == ""

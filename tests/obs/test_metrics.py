@@ -1,0 +1,122 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    Sample,
+    log_buckets,
+)
+
+
+def test_counter_inc_and_snapshot():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_test_total", "A test counter")
+    c.inc()
+    c.inc(4)
+    samples = reg.collect()
+    assert samples == [
+        Sample("repro_test_total", "counter", "A test counter", (), 5)
+    ]
+
+
+def test_counter_rejects_negative_increment():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_neg_total", "nope")
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    reg = MetricsRegistry()
+    g = reg.gauge("repro_gauge", "A test gauge")
+    g.set(10)
+    g.inc(2)
+    g.dec(5)
+    assert reg.snapshot()["repro_gauge"][""] == 7
+
+
+def test_labeled_family_children_are_cached():
+    reg = MetricsRegistry()
+    fam = reg.counter("repro_kinds_total", "by kind", labelnames=("kind",))
+    fam.labels("event").inc()
+    fam.labels("event").inc()
+    fam.labels("unlock").inc()
+    by_labels = {s.labels: s.value for s in reg.collect()}
+    assert by_labels[(("kind", "event"),)] == 2
+    assert by_labels[(("kind", "unlock"),)] == 1
+
+
+def test_labels_arity_checked():
+    reg = MetricsRegistry()
+    fam = reg.counter("repro_l_total", "l", labelnames=("a", "b"))
+    with pytest.raises(ValueError):
+        fam.labels("only-one")
+
+
+def test_get_or_create_conflicts_rejected():
+    reg = MetricsRegistry()
+    reg.counter("repro_x_total", "x")
+    # Same name + kind is a get, not a create.
+    assert reg.counter("repro_x_total", "x") is reg.counter("repro_x_total", "x")
+    with pytest.raises(ValueError):
+        reg.gauge("repro_x_total", "x")
+    with pytest.raises(ValueError):
+        reg.counter("repro_x_total", "x", labelnames=("kind",))
+
+
+def test_histogram_buckets_cumulative():
+    reg = MetricsRegistry()
+    h = reg.histogram("repro_h_seconds", "h", buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        h.observe(value)
+    samples = [s for s in reg.collect() if s.name == "repro_h_seconds"]
+    hist = samples[0].value
+    assert hist["count"] == 5
+    assert hist["sum"] == pytest.approx(56.05)
+    buckets = dict(hist["buckets"])
+    assert buckets["0.1"] == 1
+    assert buckets["1.0"] == 3
+    assert buckets["10.0"] == 4
+    assert buckets["+Inf"] == 5
+
+
+def test_log_buckets_shape():
+    buckets = log_buckets(start=1e-6, factor=4.0, count=12)
+    assert buckets == DEFAULT_LATENCY_BUCKETS
+    assert len(buckets) == 12
+    assert buckets[0] == pytest.approx(1e-6)
+    for lo, hi in zip(buckets, buckets[1:]):
+        assert hi == pytest.approx(lo * 4.0)
+
+
+def test_register_collector_pull_time():
+    reg = MetricsRegistry()
+    state = {"n": 0}
+
+    def collect():
+        yield Sample("repro_pull_total", "counter", "pull", (), state["n"])
+
+    reg.register_collector(collect)
+    state["n"] = 7
+    assert reg.snapshot()["repro_pull_total"][""] == 7
+    state["n"] = 9
+    assert reg.snapshot()["repro_pull_total"][""] == 9
+
+
+def test_collect_is_sorted():
+    reg = MetricsRegistry()
+    reg.counter("repro_b_total", "b").inc()
+    reg.counter("repro_a_total", "a").inc()
+    names = [s.name for s in reg.collect()]
+    assert names == sorted(names)
+
+
+def test_null_registry_is_inert():
+    NULL_REGISTRY.counter("repro_void_total", "void").inc(100)
+    NULL_REGISTRY.gauge("repro_void", "void").set(5)
+    NULL_REGISTRY.histogram("repro_void_seconds", "void").observe(1.0)
+    assert list(NULL_REGISTRY.collect()) == []
+    assert not NULL_REGISTRY.enabled

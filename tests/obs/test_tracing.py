@@ -1,0 +1,130 @@
+"""Unit tests for the span recorder (repro.obs.tracing)."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import (
+    CLIENT_EMIT,
+    REMOTE_APPLY,
+    SERVER_BROADCAST,
+    SERVER_RECEIVE,
+    SpanRecorder,
+    observe_latencies,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 0.001
+        return self.now
+
+
+def test_start_finish_duration():
+    clock = FakeClock()
+    rec = SpanRecorder(clock=clock)
+    span = rec.start(CLIENT_EMIT, endpoint="a")
+    assert not span.finished and span.duration is None
+    rec.finish(span, outcome="executed")
+    assert span.finished
+    assert span.duration == pytest.approx(0.001)
+    assert span.attrs["outcome"] == "executed"
+
+
+def test_ids_are_deterministic():
+    rec = SpanRecorder()
+    s1 = rec.start(CLIENT_EMIT)
+    s2 = rec.start(SERVER_RECEIVE, trace_id=s1.trace_id, parent_id=s1.span_id)
+    assert s1.trace_id == "t1"
+    assert (s1.span_id, s2.span_id) == ("s1", "s2")
+    rec2 = SpanRecorder()
+    assert rec2.start(CLIENT_EMIT).span_id == "s1"
+
+
+def test_ring_buffer_bound_and_eviction_counter():
+    rec = SpanRecorder(maxlen=3)
+    spans = [rec.start(CLIENT_EMIT) for _ in range(5)]
+    assert len(rec) == 3
+    assert rec.evicted == 2
+    kept = {s.span_id for s in rec.spans()}
+    assert kept == {"s3", "s4", "s5"}
+    assert rec.stats()["evicted"] == 2
+
+
+def test_maxlen_must_be_positive():
+    with pytest.raises(ValueError):
+        SpanRecorder(maxlen=0)
+
+
+def test_tree_and_canonical_tree():
+    rec = SpanRecorder()
+    root = rec.start(CLIENT_EMIT, endpoint="a")
+    recv = rec.start(
+        SERVER_RECEIVE, trace_id=root.trace_id, parent_id=root.span_id
+    )
+    bcast = rec.start(
+        SERVER_BROADCAST, trace_id=root.trace_id, parent_id=recv.span_id
+    )
+    apply_ = rec.start(
+        REMOTE_APPLY, trace_id=root.trace_id, parent_id=bcast.span_id
+    )
+    for span in (apply_, bcast, recv, root):
+        rec.finish(span)
+    trees = rec.tree(root.trace_id)
+    assert len(trees) == 1
+    assert trees[0]["name"] == CLIENT_EMIT
+    assert trees[0]["children"][0]["name"] == SERVER_RECEIVE
+    canonical = rec.canonical_tree(root.trace_id)
+    assert canonical == (
+        (
+            CLIENT_EMIT,
+            ((SERVER_RECEIVE, ((SERVER_BROADCAST, ((REMOTE_APPLY, ()),)),)),),
+        ),
+    )
+
+
+def test_stats_counts_open_spans():
+    rec = SpanRecorder()
+    a = rec.start(CLIENT_EMIT)
+    rec.start(SERVER_RECEIVE, trace_id=a.trace_id, parent_id=a.span_id)
+    rec.finish(a)
+    stats = rec.stats()
+    assert stats == {
+        "spans": 2,
+        "maxlen": 4096,
+        "evicted": 0,
+        "open": 1,
+        "traces": 1,
+    }
+
+
+def test_observe_latencies_segments():
+    clock = FakeClock()
+    rec = SpanRecorder(clock=clock)
+    root = rec.start(CLIENT_EMIT)
+    rec.finish(root)
+    open_span = rec.start(SERVER_RECEIVE, trace_id=root.trace_id)
+    reg = MetricsRegistry()
+    observed = observe_latencies(rec, reg)
+    assert observed == 1  # open spans are skipped
+    samples = {
+        s.labels: s.value
+        for s in reg.collect()
+        if s.name == "repro_sync_latency_seconds"
+    }
+    hist = samples[(("segment", "e2e"),)]
+    assert hist["count"] == 1
+    assert hist["sum"] == pytest.approx(0.001)
+
+
+def test_clear_resets():
+    rec = SpanRecorder(maxlen=1)
+    rec.start(CLIENT_EMIT)
+    rec.start(CLIENT_EMIT)
+    assert rec.evicted == 1
+    rec.clear()
+    assert len(rec) == 0
+    assert rec.evicted == 0
+    assert rec.trace_ids() == []
