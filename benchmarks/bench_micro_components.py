@@ -207,6 +207,68 @@ class TestObservabilityOverhead:
         )
 
 
+class TestPersistenceOverhead:
+    """Gate: journaling must never add wire traffic.
+
+    Replays the same selective-pairs workload with the op log off vs on
+    (memory-backed journal — the fsync cost is the disk's, not the
+    protocol's).  The journal hangs off ``handle_message`` *after* the
+    handler ran; it appends locally and sends nothing, so msgs/op with
+    persistence enabled must equal the baseline exactly, and the
+    enabled run must stay within 5% even counting the local appends.
+    """
+
+    USERS = 8
+    EVENTS_PER_USER = 5
+
+    def _replay(self, persistence):
+        from repro.core.groups import CouplingGroup
+        from repro.persist import PersistenceConfig
+
+        config = (
+            PersistenceConfig(directory=None) if persistence else None
+        )
+        session = Session(persistence=config)
+        trees = []
+        for i in range(self.USERS):
+            inst = session.create_instance(f"i{i}", user=f"u{i}")
+            root = Shell("ui")
+            TextField("field", parent=root)
+            inst.add_root(root)
+            trees.append(root)
+        coordinator = session.create_instance("coord", user="mod")
+        for i in range(0, self.USERS, 2):
+            pair = CouplingGroup(coordinator, f"pair-{i}", ["/ui/field"])
+            pair.add_member(f"i{i}")
+            pair.add_member(f"i{i + 1}")
+        session.pump()
+        session.network.stats.reset()
+        for round_no in range(self.EVENTS_PER_USER):
+            for i in range(self.USERS):
+                trees[i].find("/ui/field").commit(f"u{i}-r{round_no}")
+                session.pump()
+        stats = session.network.stats.snapshot()
+        journaled = session.persistence
+        appends = journaled.appends if journaled is not None else 0
+        session.close()
+        events = self.USERS * self.EVENTS_PER_USER
+        return stats["messages"] / events, appends
+
+    def test_journal_adds_no_wire_traffic(self, benchmark):
+        def compare():
+            return self._replay(False), self._replay(True)
+
+        (baseline, _), (journaled, appends) = benchmark.pedantic(
+            compare, rounds=1, iterations=1
+        )
+        assert journaled == baseline, (
+            f"persistence changed the wire: "
+            f"{baseline:.2f} -> {journaled:.2f} msgs/op"
+        )
+        assert appends > 0, "journal recorded nothing"
+        assert journaled <= baseline * 1.05
+
+
 class TestStateSyncThroughput:
     def test_build_payload(self, benchmark):
         root = build(standard_form_spec())

@@ -139,6 +139,7 @@ class ShardedCosoftCluster:
         history_depth: int = 100,
         floor_lease: float = 30.0,
         couple_scope: str = "all",
+        persistence: Optional[Any] = None,
     ):
         if shards <= 0:
             raise ValueError("a cluster needs at least one shard")
@@ -157,6 +158,12 @@ class ShardedCosoftCluster:
         #: the same ``TrafficStats`` object a single server reports — and
         #: is aggregated with :meth:`TrafficStats.merge`.
         self._shard_stats: Dict[str, TrafficStats] = {}
+        #: Per-shard journals (docs/PERSISTENCE.md): each shard gets its
+        #: own op log + snapshot store under a shard-named subdirectory,
+        #: so a group migration's MIGRATE_IMPORT — journaled like any
+        #: other state change — ships the group's snapshot through the
+        #: target shard's log automatically.
+        self.persistence_config = persistence
         for shard_id in self.shard_ids:
             shard = CosoftServer(
                 clock=self.clock,
@@ -166,6 +173,11 @@ class ShardedCosoftCluster:
                 floor_lease=floor_lease,
                 ack_release=ack_release,
                 couple_scope=couple_scope,
+                persistence=(
+                    persistence.for_shard(shard_id).build()
+                    if persistence is not None
+                    else None
+                ),
             )
             transport = _ShardTransport(self, shard_id)
             shard.bind(transport)
@@ -312,6 +324,8 @@ class ShardedCosoftCluster:
             self._on_couple(message)
         elif kind in (kinds.DECOUPLE, kinds.REMOTE_DECOUPLE):
             self._on_decouple(message)
+        elif kind == kinds.CATCHUP_REQUEST:
+            self._on_catchup(message)
         elif kind in self._ROUTED:
             shard_id = self._route(message)
             if shard_id is not None:
@@ -386,6 +400,17 @@ class ShardedCosoftCluster:
         self._forward(self.shard_ids[0], message)
         for shard_id in self.shard_ids[1:]:
             self._forward(shard_id, message, suppress=_SECONDARY_SUPPRESS)
+
+    def _on_catchup(self, message: Message) -> None:
+        """Route a late joiner's catch-up to the shard whose log it wants.
+
+        Shards journal independently, so a catch-up position is
+        per-shard; the payload names the shard (default: the first).
+        """
+        shard_id = str(message.payload.get("shard", "")) or self.shard_ids[0]
+        if shard_id not in self.shards:
+            raise ValueError(f"unknown shard {shard_id!r}")
+        self._forward(shard_id, message)
 
     # ------------------------------------------------------------------
     # Couple links: the only operations that can move a group
@@ -642,6 +667,13 @@ class ShardedCosoftCluster:
                     self._lock_routes[key] = to_shard
                 if key in self._floor_routes:
                     self._floor_routes[key] = to_shard
+            # Both journals observed the move (EXPORT on the source,
+            # IMPORT on the target); stamp the new routing epoch so
+            # their next snapshots record which era they belong to.
+            for shard_id in (from_shard, to_shard):
+                persist = self.shards[shard_id].persistence
+                if persist is not None:
+                    persist.epoch = self.migrations
         finally:
             self._frozen.difference_update(moving)
             self._drain_buffer()
@@ -760,6 +792,11 @@ class ShardedCosoftCluster:
                 "locks_held": len(shard.locks),
                 "history_entries": len(shard.history),
                 "processed": dict(shard.processed),
+                "persistence": (
+                    shard.persistence.stats()
+                    if shard.persistence is not None
+                    else None
+                ),
             }
             for shard_id, shard in self.shards.items()
         }

@@ -123,6 +123,10 @@ class HistoryError(ServerError):
     """Undo/redo was requested but no matching historical UI state exists."""
 
 
+class PersistenceError(ServerError):
+    """The durable op log or snapshot store is unreadable or corrupt."""
+
+
 # ---------------------------------------------------------------------------
 # Coupling / core errors
 # ---------------------------------------------------------------------------

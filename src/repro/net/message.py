@@ -77,11 +77,21 @@ MIGRATE_STATE = "migrate_state"    # shard -> router: the group's state
 MIGRATE_IMPORT = "migrate_import"  # router -> shard: install a couple group
 MIGRATE_ACK = "migrate_ack"        # shard -> router: import complete
 
+# Late-join catch-up (event-sourced persistence; docs/PERSISTENCE.md).
+# A joiner that already holds state at log position N asks for the op-log
+# suffix after N instead of a full PUSH_STATE; the reply carries the
+# server's current state fingerprint, the suffix entries, and — when
+# compaction dropped the requested range — the newest snapshot.
+CATCHUP_REQUEST = "catchup_request"  # client/standby -> server
+CATCHUP_REPLY = "catchup_reply"      # server -> requester
+
 # Errors
 ERROR = "error"                    # server -> client: request failed
 
 ALL_KINDS = frozenset(
     {
+        CATCHUP_REQUEST,
+        CATCHUP_REPLY,
         MIGRATE_EXPORT,
         MIGRATE_STATE,
         MIGRATE_IMPORT,

@@ -13,7 +13,7 @@ state current at undo time goes onto the redo stack.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import HistoryError
 from repro.server.couples import GlobalId
@@ -59,6 +59,11 @@ class HistoryStore:
         self._max_depth = max_depth
         self._undo: Dict[GlobalId, List[HistoricalState]] = {}
         self._redo: Dict[GlobalId, List[HistoricalState]] = {}
+        #: Instances whose history was dropped by :meth:`forget_instance`.
+        #: An export taken before the forget must not resurface through
+        #: :meth:`import_object` (e.g. a migration in flight while the
+        #: instance terminated); cleared when the instance re-registers.
+        self._forgotten: Set[str] = set()
 
     def push(self, entry: HistoricalState) -> None:
         """Record an overwritten state; clears the object's redo stack."""
@@ -141,7 +146,15 @@ class HistoryStore:
         }
 
     def import_object(self, obj: GlobalId, data: Mapping[str, Any]) -> None:
-        """Install stacks previously produced by :meth:`export_object`."""
+        """Install stacks previously produced by :meth:`export_object`.
+
+        Stacks of an instance forgotten since the export was taken are
+        dropped: the decoupling-on-terminate contract (§3.2) says a dead
+        instance's history is gone, and a migration or state import in
+        flight across that moment must not resurrect it.
+        """
+        if obj[0] in self._forgotten:
+            return
         undo = [HistoricalState.from_wire(dict(e)) for e in data.get("undo", ())]
         redo = [HistoricalState.from_wire(dict(e)) for e in data.get("redo", ())]
         if undo:
@@ -152,13 +165,67 @@ class HistoryStore:
             del self._redo[obj][:-self._max_depth]
 
     def forget_instance(self, instance_id: str) -> int:
-        """Drop all history of a terminated instance; returns entry count."""
+        """Drop all history of a terminated instance; returns entry count.
+
+        The instance is also tombstoned so exports taken before the
+        forget cannot resurface through :meth:`import_object`.
+        """
         dropped = 0
         for table in (self._undo, self._redo):
             for obj in [o for o in table if o[0] == instance_id]:
                 dropped += len(table[obj])
                 del table[obj]
+        self._forgotten.add(instance_id)
         return dropped
+
+    def revive_instance(self, instance_id: str) -> None:
+        """Clear the tombstone of a re-registering instance."""
+        self._forgotten.discard(instance_id)
+
+    def forgotten_instances(self) -> List[str]:
+        """Currently tombstoned instance ids (persistence snapshots)."""
+        return sorted(self._forgotten)
+
+    # ------------------------------------------------------------------
+    # Whole-store export (persistence snapshots; non-destructive)
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> Dict[str, Any]:
+        """All stacks plus tombstones in wire form, leaving the store as is."""
+        objects = sorted(set(self._undo) | set(self._redo))
+        return {
+            "objects": [
+                [
+                    [obj[0], obj[1]],
+                    {
+                        "undo": [e.to_wire() for e in self._undo.get(obj, ())],
+                        "redo": [e.to_wire() for e in self._redo.get(obj, ())],
+                    },
+                ]
+                for obj in objects
+            ],
+            "forgotten": self.forgotten_instances(),
+        }
+
+    def import_state(self, data: Mapping[str, Any]) -> None:
+        """Replace the store's contents with an :meth:`export_state` dump."""
+        self._undo.clear()
+        self._redo.clear()
+        self._forgotten = {str(i) for i in data.get("forgotten", ())}
+        for obj_wire, stacks in data.get("objects", ()):
+            obj = (str(obj_wire[0]), str(obj_wire[1]))
+            undo = [
+                HistoricalState.from_wire(dict(e))
+                for e in stacks.get("undo", ())
+            ]
+            redo = [
+                HistoricalState.from_wire(dict(e))
+                for e in stacks.get("redo", ())
+            ]
+            if undo:
+                self._undo[obj] = undo[-self._max_depth:]
+            if redo:
+                self._redo[obj] = redo[-self._max_depth:]
 
     def objects(self) -> List[GlobalId]:
         return list(self._undo)

@@ -155,5 +155,20 @@ class AccessControl:
         self._rules = [r for r in self._rules if r.instance_id != instance_id]
         return before - len(self._rules)
 
+    def export_state(self) -> Dict[str, object]:
+        """The full table in wire form (persistence snapshots)."""
+        return {
+            "default_allow": self.default_allow,
+            "rules": [r.to_wire() for r in self._rules],
+        }
+
+    def import_state(self, data: Dict[str, object]) -> None:
+        """Replace the table with an :meth:`export_state` dump."""
+        self.default_allow = bool(data.get("default_allow", self.default_allow))
+        self._rules = [
+            PermissionRule.from_wire(dict(r))  # type: ignore[arg-type]
+            for r in data.get("rules", ())  # type: ignore[union-attr]
+        ]
+
     def __len__(self) -> int:
         return len(self._rules)

@@ -97,6 +97,7 @@ class CosoftServer:
         floor_lease: float = 30.0,
         ack_release: bool = True,
         couple_scope: str = "all",
+        persistence: Optional[Any] = None,
     ):
         self.clock: Clock = clock if clock is not None else SimClock()
         self.registry = Registry()
@@ -129,6 +130,10 @@ class CosoftServer:
         self._pending: Dict[int, _PendingRoute] = {}
         self.processed: Counter = Counter()
         self._transport: Optional[Transport] = None
+        #: Event-sourced journal (:class:`repro.persist.Persistence`), or
+        #: ``None`` — the default — which keeps the hot path at one
+        #: attribute check (docs/PERSISTENCE.md).
+        self.persistence = persistence
         #: Observability hooks (disabled stand-in by default; see
         #: :meth:`configure_observability`).
         self.obs = NULL_OBS
@@ -157,6 +162,8 @@ class CosoftServer:
         if obs.enabled and obs.registry.enabled:
             self.routing.register_into(obs.registry, **labels)
             self.locks.stats.register_into(obs.registry, **labels)
+            if self.persistence is not None:
+                self.persistence.register_into(obs.registry, **labels)
             registry = obs.registry
             base = tuple(sorted(labels.items()))
 
@@ -254,7 +261,32 @@ class CosoftServer:
         kinds.ERROR: "_on_client_error",
         kinds.MIGRATE_EXPORT: "_on_migrate_export",
         kinds.MIGRATE_IMPORT: "_on_migrate_import",
+        kinds.CATCHUP_REQUEST: "_on_catchup_request",
     }
+
+    #: Kinds that mutate the server database and therefore go to the op
+    #: log (when persistence is on).  Pure relays — FETCH_STATE,
+    #: PUSH_STATE, COMMAND, … — change nothing durable and stay out, so
+    #: replay is exactly "re-apply every state-changing operation".
+    _JOURNALED = frozenset(
+        {
+            kinds.REGISTER,
+            kinds.UNREGISTER,
+            kinds.COUPLE,
+            kinds.REMOTE_COUPLE,
+            kinds.DECOUPLE,
+            kinds.REMOTE_DECOUPLE,
+            kinds.LOCK_REQUEST,
+            kinds.UNLOCK,
+            kinds.EVENT,
+            kinds.EVENT_ACK,
+            kinds.HISTORY_PUSH,
+            kinds.UNDO_REQUEST,
+            kinds.PERMISSION_SET,
+            kinds.MIGRATE_EXPORT,
+            kinds.MIGRATE_IMPORT,
+        }
+    )
 
     #: Exception classes a malformed payload can trigger inside a handler;
     #: they become ERROR replies instead of killing the server.  Anything
@@ -312,6 +344,14 @@ class CosoftServer:
                     )
                 except ReproError:
                     pass  # no transport bound / sender unreachable
+            else:
+                # Journal the operation only after its handler succeeded:
+                # the log then holds exactly the messages that mutated
+                # the database, in application order, and a replay of
+                # the log is byte-for-byte the same handler sequence.
+                persist = self.persistence
+                if persist is not None and message.kind in self._JOURNALED:
+                    persist.record(self, message)
         finally:
             if span is not None:
                 obs.spans.finish(span)
@@ -337,6 +377,9 @@ class CosoftServer:
             registered_at=self.clock.now(),
         )
         self.registry.add(record)
+        # A returning instance starts a fresh history: lift the tombstone
+        # :meth:`HistoryStore.forget_instance` left at its termination.
+        self.history.revive_instance(record.instance_id)
         # Ack carries the roster and the full couple table, initializing the
         # newcomer's local replica of the coupling information (§3.2).
         self._send(
@@ -1059,6 +1102,28 @@ class CosoftServer:
         )
 
     # ------------------------------------------------------------------
+    # Late-join catch-up (event-sourced persistence; docs/PERSISTENCE.md)
+    # ------------------------------------------------------------------
+
+    def _on_catchup_request(self, message: Message) -> None:
+        """Serve a joiner the log suffix past its known sequence number.
+
+        Works for unregistered endpoints too — a warm standby catches up
+        before it ever registers.  Requires persistence; without a
+        journal there is no log to serve and the joiner falls back to
+        the full PUSH_STATE path.
+        """
+        persist = self.persistence
+        if persist is None:
+            self._send(
+                message.error_reply(SERVER_ID, "persistence is not enabled")
+            )
+            return
+        after_seq = int(message.payload.get("after_seq", 0))
+        payload = persist.catchup_payload(self, after_seq)
+        self._send(message.reply(kinds.CATCHUP_REPLY, SERVER_ID, **payload))
+
+    # ------------------------------------------------------------------
     # Misc
     # ------------------------------------------------------------------
 
@@ -1098,4 +1163,9 @@ class CosoftServer:
             "processed": dict(self.processed),
             "routing": self.routing.snapshot(),
             "closure": dict(self.couples.stats),
+            "persistence": (
+                self.persistence.stats()
+                if self.persistence is not None
+                else None
+            ),
         }

@@ -46,10 +46,12 @@ removed in a future release.
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 import time
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.cluster import ShardedCosoftCluster
 from repro.core.compat import CorrespondenceRegistry
@@ -64,6 +66,7 @@ from repro.obs import (
     ObservabilityConfig,
     build_observability,
 )
+from repro.persist import PersistenceConfig
 from repro.server.permissions import AccessControl
 from repro.server.runtime import AsyncServerRuntime
 from repro.server.server import SERVER_ID, CosoftServer
@@ -98,6 +101,41 @@ def _default_observability() -> Union[bool, None]:
     return value in ("1", "true", "yes", "on") or None
 
 
+def _default_persistence() -> Union[None, bool, str]:
+    """Default for ``SessionConfig.persistence``: the environment knob.
+
+    ``REPRO_PERSISTENCE=1`` journals every Session into an ephemeral
+    directory (removed at close) — how CI runs the integration suite as
+    a recovery-chaos pass without touching any test.  A path value
+    journals into that directory and keeps it.
+    """
+    value = os.environ.get("REPRO_PERSISTENCE", "").strip()
+    if not value or value.lower() in ("0", "false", "no", "off"):
+        return None
+    if value.lower() in ("1", "true", "yes", "on"):
+        return True
+    return value
+
+
+def _resolve_persistence(
+    setting: Union[None, bool, str, PersistenceConfig],
+) -> Tuple[Optional[PersistenceConfig], Optional[str]]:
+    """Normalize the persistence knob to ``(config, ephemeral_dir)``.
+
+    *ephemeral_dir* is a tempdir the session owns and removes at close —
+    only created for the bare ``True`` setting, where the caller asked
+    for journaling but named no place to keep it.
+    """
+    if setting is None or setting is False:
+        return None, None
+    if isinstance(setting, PersistenceConfig):
+        return setting, None
+    if setting is True:
+        ephemeral = tempfile.mkdtemp(prefix="repro-persist-")
+        return PersistenceConfig(directory=ephemeral), ephemeral
+    return PersistenceConfig(directory=str(setting)), None
+
+
 @dataclass
 class SessionConfig:
     """Everything a :class:`Session` needs to build a deployment."""
@@ -125,6 +163,14 @@ class SessionConfig:
     #: Defaults honour the ``REPRO_OBSERVABILITY`` environment variable.
     observability: Union[None, bool, ObservabilityConfig, Observability] = (
         field(default_factory=_default_observability)
+    )
+    #: Event-sourced persistence (docs/PERSISTENCE.md): ``None``/``False``
+    #: (off, the default — frames and hot paths stay byte-identical),
+    #: ``True`` (journal into an ephemeral directory removed at close), a
+    #: directory path, or a ready :class:`~repro.persist.PersistenceConfig`.
+    #: Defaults honour the ``REPRO_PERSISTENCE`` environment variable.
+    persistence: Union[None, bool, str, PersistenceConfig] = (
+        field(default_factory=_default_persistence)
     )
     #: Ring-buffer capacity of each instance's :class:`EventTrace`
     #: (``None`` keeps the class default of 100 000 events).
@@ -155,8 +201,16 @@ class SessionConfig:
             raise ValueError("shards must be >= 0")
 
 
-def _build_server(config: SessionConfig, clock=None) -> ServerLike:
-    """The central endpoint: one server, or a cluster when ``shards``."""
+def _build_server(
+    config: SessionConfig, clock=None
+) -> Tuple[ServerLike, Optional[str]]:
+    """The central endpoint: one server, or a cluster when ``shards``.
+
+    Returns ``(endpoint, ephemeral_persistence_dir)`` — the directory is
+    ``None`` unless the session must clean up a tempdir-backed journal
+    at close (the bare ``persistence=True`` setting).
+    """
+    persist_config, ephemeral = _resolve_persistence(config.persistence)
     if config.shards:
         kwargs = dict(
             vnodes=config.vnodes,
@@ -164,20 +218,24 @@ def _build_server(config: SessionConfig, clock=None) -> ServerLike:
             admin_users=config.admin_users,
             ack_release=config.ack_release,
             couple_scope=config.couple_scope,
+            persistence=persist_config,
         )
         if clock is not None:
             kwargs["clock"] = clock
             kwargs["service_time"] = config.service_time
-        return ShardedCosoftCluster(config.shards, **kwargs)
+        return ShardedCosoftCluster(config.shards, **kwargs), ephemeral
     kwargs = dict(
         access=AccessControl(default_allow=config.default_allow),
         admin_users=config.admin_users,
         ack_release=config.ack_release,
         couple_scope=config.couple_scope,
+        persistence=(
+            persist_config.build() if persist_config is not None else None
+        ),
     )
     if clock is not None:
         kwargs["clock"] = clock
-    return CosoftServer(**kwargs)
+    return CosoftServer(**kwargs), ephemeral
 
 
 class _BackendBase:
@@ -187,6 +245,8 @@ class _BackendBase:
     server: ServerLike
     instances: Dict[str, ApplicationInstance]
     obs: Observability
+    #: Tempdir backing an ephemeral journal (``persistence=True``), if any.
+    _persist_ephemeral: Optional[str] = None
 
     def _init_observability(
         self, transport_stats: Optional[TrafficStats] = None
@@ -219,6 +279,26 @@ class _BackendBase:
         """The sharded cluster, when this session runs one (else None)."""
         server = self.server
         return server if isinstance(server, ShardedCosoftCluster) else None
+
+    def _persistences(self) -> List[Any]:
+        """Every live journal of this deployment (one per shard)."""
+        server = self.server
+        if isinstance(server, ShardedCosoftCluster):
+            found = [shard.persistence for shard in server.shards.values()]
+        else:
+            found = [getattr(server, "persistence", None)]
+        return [p for p in found if p is not None]
+
+    def _close_persistence(self) -> None:
+        """Flush and close the journals; drop an ephemeral directory."""
+        for persist in self._persistences():
+            try:
+                persist.close()
+            except Exception:
+                pass
+        if self._persist_ephemeral is not None:
+            shutil.rmtree(self._persist_ephemeral, ignore_errors=True)
+            self._persist_ephemeral = None
 
     def drop_instance(self, instance_id: str) -> None:
         """Close and forget one instance."""
@@ -266,7 +346,9 @@ class _MemoryBackend(_BackendBase):
             duplicate_rate=config.duplicate_rate,
             seed=config.seed,
         )
-        self.server: ServerLike = _build_server(config, clock=self.clock)
+        self.server, self._persist_ephemeral = _build_server(
+            config, clock=self.clock
+        )
         self.server.bind(self.network.attach(SERVER_ID, self.server.handle_message))
         self.correspondences = config.correspondences
         self.instances: Dict[str, ApplicationInstance] = {}
@@ -318,6 +400,7 @@ class _MemoryBackend(_BackendBase):
     def close(self) -> None:
         super().close()
         self.network.pump()
+        self._close_persistence()
 
 
 class _SocketBackendBase(_BackendBase):
@@ -407,7 +490,7 @@ class _TcpBackend(_SocketBackendBase):
 
     def __init__(self, config: SessionConfig):
         self.config = config
-        self.server: ServerLike = _build_server(config)
+        self.server, self._persist_ephemeral = _build_server(config)
         self._host_transport = TcpHostTransport(
             self.server.handle_message, host=config.host, port=config.port
         )
@@ -422,6 +505,7 @@ class _TcpBackend(_SocketBackendBase):
     def close(self) -> None:
         super().close()
         self._host_transport.close()
+        self._close_persistence()
 
 
 class _AioBackend(_SocketBackendBase):
@@ -430,7 +514,7 @@ class _AioBackend(_SocketBackendBase):
 
     def __init__(self, config: SessionConfig):
         self.config = config
-        self.server: ServerLike = _build_server(config)
+        self.server, self._persist_ephemeral = _build_server(config)
         self.runtime = AsyncServerRuntime(
             self.server, config.host, config.port, config=config.batch
         )
@@ -450,6 +534,7 @@ class _AioBackend(_SocketBackendBase):
     def close(self) -> None:
         super().close()
         self.runtime.close()
+        self._close_persistence()
 
 
 _BACKEND_CLASSES = {
@@ -530,6 +615,19 @@ class Session:
     @property
     def instances(self) -> Dict[str, ApplicationInstance]:
         return self._impl.instances
+
+    @property
+    def persistence(self):
+        """The journal: one object (single server), per-shard dict
+        (cluster), or ``None``/empty when persistence is off."""
+        server = self._impl.server
+        if isinstance(server, ShardedCosoftCluster):
+            return {
+                shard_id: shard.persistence
+                for shard_id, shard in server.shards.items()
+                if shard.persistence is not None
+            }
+        return server.persistence
 
     @property
     def now(self) -> float:

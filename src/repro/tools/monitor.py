@@ -82,6 +82,11 @@ def snapshot(server: CosoftServer) -> Dict[str, Any]:
         "processed": dict(server.processed),
         "routing": server.routing.snapshot(),
         "delta_sync": _delta_sync_counters(server.processed),
+        "persistence": (
+            server.persistence.stats()
+            if server.persistence is not None
+            else None
+        ),
     }
 
 
@@ -145,6 +150,14 @@ def format_dashboard(server: CosoftServer, *, width: int = 72) -> str:
             lines.append(f"   {obj:<34} undo={undo} redo={redo}")
     else:
         lines.append(" Historical UI states: none")
+    persist = snap["persistence"]
+    if persist is not None:
+        lines.append(thin)
+        lines.append(
+            f" Journal: seq {persist['last_seq']}, "
+            f"{persist['appends']} appends ({persist['append_bytes']} B), "
+            f"{persist['fsyncs']} fsyncs, {persist['snapshots']} snapshots"
+        )
     lines.append(bar)
     return "\n".join(lines)
 

@@ -1,0 +1,170 @@
+"""Operator CLI for event-sourced persistence directories.
+
+Mirrors :mod:`repro.tools.metrics`: a small argparse front end over the
+library (``python -m repro.tools.persist <command> <directory>``).
+
+Commands
+--------
+``inspect``
+    Summarize a journal: segments, sequence range, per-kind operation
+    counts, stored snapshots with their fingerprints.
+``verify-crc``
+    CRC-check every op-log segment and snapshot file; exit 1 when
+    anything is corrupt (the check crash recovery runs implicitly,
+    runnable on a cold directory).
+``compact``
+    Drop whole op-log segments below the newest snapshot's sequence
+    number (or an explicit ``--upto-seq``).  Compaction trades
+    time-travel depth for disk: replay can no longer reach below the
+    compaction point, which is why it is a manual command and not
+    something the journal does behind the operator's back.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from collections import Counter
+from typing import Any, Dict, List, Optional
+
+from repro.errors import PersistenceError
+from repro.persist import OpLog, SnapshotStore
+
+
+def _open(directory: str) -> tuple:
+    import os
+
+    return (
+        OpLog(os.path.join(directory, "oplog")),
+        SnapshotStore(os.path.join(directory, "snapshots")),
+    )
+
+
+def inspect_dir(directory: str) -> Dict[str, Any]:
+    """JSON-safe summary of one persistence directory."""
+    log, snaps = _open(directory)
+    try:
+        report = log.verify()
+        kinds: Counter = Counter()
+        for entry in log.read():
+            kinds[str(entry.get("msg", {}).get("kind", "?"))] += 1
+        snapshots: List[Dict[str, Any]] = []
+        for seq in snaps.seqs():
+            try:
+                snap = snaps.load(seq)
+                snapshots.append(
+                    {
+                        "seq": seq,
+                        "epoch": snap.get("epoch", 0),
+                        "clock": snap.get("clock", 0.0),
+                        "fingerprint": snap.get("fingerprint", ""),
+                    }
+                )
+            except PersistenceError as exc:
+                snapshots.append({"seq": seq, "error": str(exc)})
+        return {
+            "directory": directory,
+            "segments": report["segments"],
+            "entries": report["entries"],
+            "first_seq": report["first_seq"],
+            "last_seq": report["last_seq"],
+            "kinds": dict(sorted(kinds.items())),
+            "snapshots": snapshots,
+        }
+    finally:
+        log.close()
+
+
+def verify_dir(directory: str) -> Dict[str, Any]:
+    """CRC-check everything; ``{"ok": bool, "problems": [...]}``."""
+    log, snaps = _open(directory)
+    try:
+        problems: List[str] = []
+        report = log.verify()
+        for segment in report["segments"]:
+            if segment["problem"] is not None:
+                problems.append(f"{segment['path']}: {segment['problem']}")
+        for seq in snaps.seqs():
+            try:
+                snaps.load(seq)
+            except PersistenceError as exc:
+                problems.append(str(exc))
+        return {
+            "directory": directory,
+            "entries": report["entries"],
+            "snapshots": len(snaps.seqs()),
+            "ok": not problems,
+            "problems": problems,
+        }
+    finally:
+        log.close()
+
+
+def compact_dir(
+    directory: str, upto_seq: Optional[int] = None
+) -> Dict[str, Any]:
+    """Drop op-log segments fully below the compaction point."""
+    log, snaps = _open(directory)
+    try:
+        if upto_seq is None:
+            latest = snaps.load_latest()
+            if latest is None:
+                raise PersistenceError(
+                    "no snapshot to compact below; pass --upto-seq to force"
+                )
+            upto_seq = int(latest["seq"])
+        removed = log.compact(upto_seq)
+        return {
+            "directory": directory,
+            "upto_seq": upto_seq,
+            "segments_removed": removed,
+            "first_seq": log.first_seq,
+            "last_seq": log.last_seq,
+        }
+    finally:
+        log.close()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.persist",
+        description="Inspect, verify and compact op-log directories.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_inspect = sub.add_parser("inspect", help="summarize a journal")
+    p_inspect.add_argument("directory")
+
+    p_verify = sub.add_parser(
+        "verify-crc", help="CRC-check segments and snapshots"
+    )
+    p_verify.add_argument("directory")
+
+    p_compact = sub.add_parser(
+        "compact", help="drop segments below the newest snapshot"
+    )
+    p_compact.add_argument("directory")
+    p_compact.add_argument(
+        "--upto-seq", type=int, default=None,
+        help="compact below this seq instead of the newest snapshot's",
+    )
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "inspect":
+            result = inspect_dir(args.directory)
+        elif args.command == "verify-crc":
+            result = verify_dir(args.directory)
+        else:
+            result = compact_dir(args.directory, upto_seq=args.upto_seq)
+    except PersistenceError as exc:
+        print(json.dumps({"error": str(exc)}, indent=2))
+        return 1
+    print(json.dumps(result, indent=2, sort_keys=True))
+    if args.command == "verify-crc" and not result["ok"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -115,3 +115,52 @@ class TestIsolationAndCleanup:
         wire = entry({"v": 1}, reason="copy_from").to_wire()
         assert wire["obj"] == ["a", "/app/form"]
         assert wire["reason"] == "copy_from"
+
+
+class TestForgetImportAsymmetry:
+    """Regression: an export taken before ``forget_instance`` must not
+    resurrect the dead instance's history through ``import_object``
+    (e.g. a shard migration in flight while the instance terminated)."""
+
+    def test_stale_import_after_forget_is_dropped(self):
+        store = HistoryStore()
+        store.push(entry({"v": 1}))
+        exported = store.export_object(OBJ)   # migration takes the stacks
+        store.forget_instance("a")            # ... instance dies meanwhile
+        store.import_object(OBJ, exported)    # ... migration lands late
+        assert store.depth(OBJ) == (0, 0)
+        assert store.objects() == []
+
+    def test_forget_tombstones_even_without_entries(self):
+        store = HistoryStore()
+        store.forget_instance("a")
+        assert store.forgotten_instances() == ["a"]
+        store.import_object(OBJ, {"undo": [entry({"v": 1}).to_wire()]})
+        assert store.depth(OBJ) == (0, 0)
+
+    def test_revive_lifts_the_tombstone(self):
+        store = HistoryStore()
+        store.push(entry({"v": 1}))
+        exported = store.export_object(OBJ)
+        store.forget_instance("a")
+        store.revive_instance("a")            # the instance re-registered
+        store.import_object(OBJ, exported)
+        assert store.depth(OBJ) == (1, 0)
+
+    def test_other_instances_unaffected(self):
+        store = HistoryStore()
+        store.push(HistoricalState(obj=OTHER, state={"w": 1}))
+        exported = store.export_object(OTHER)
+        store.forget_instance("a")
+        store.import_object(OTHER, exported)
+        assert store.depth(OTHER) == (1, 0)
+
+    def test_tombstones_round_trip_through_export_state(self):
+        store = HistoryStore()
+        store.push(entry({"v": 1}))
+        store.forget_instance("a")
+        twin = HistoryStore()
+        twin.import_state(store.export_state())
+        assert twin.forgotten_instances() == ["a"]
+        twin.import_object(OBJ, {"undo": [entry({"v": 1}).to_wire()]})
+        assert twin.depth(OBJ) == (0, 0)

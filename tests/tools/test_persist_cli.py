@@ -1,0 +1,117 @@
+"""Smoke tests for the persistence operator CLI and journal time travel."""
+
+import json
+import os
+
+import pytest
+
+import importlib
+
+from repro.persist import PersistenceConfig
+from repro.session import Session
+from repro.tools import persist as persist_cli
+
+# ``repro.tools`` re-exports the ``replay`` *function*, which shadows the
+# submodule on a ``from repro.tools import replay``.
+replay_cli = importlib.import_module("repro.tools.replay")
+
+from conftest import make_demo_tree
+
+FIELD = "/app/form/name"
+
+
+@pytest.fixture
+def journal_dir(tmp_path):
+    """A populated persistence directory: tiny segments, frequent snaps."""
+    config = PersistenceConfig(
+        directory=str(tmp_path), segment_bytes=64, snapshot_every=5
+    )
+    session = Session(persistence=config)
+    a = session.create_instance("a", user="alice")
+    b = session.create_instance("b", user="bob")
+    ta = a.add_root(make_demo_tree())
+    b.add_root(make_demo_tree())
+    a.couple(ta.find(FIELD), ("b", FIELD))
+    session.pump()
+    for round_no in range(4):
+        ta.find(FIELD).commit(f"v{round_no}")
+        session.pump()
+    session.close()
+    return str(tmp_path)
+
+
+class TestInspect:
+    def test_reports_segments_kinds_snapshots(self, journal_dir, capsys):
+        assert persist_cli.main(["inspect", journal_dir]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["entries"] > 0
+        assert report["last_seq"] == report["entries"]
+        assert len(report["segments"]) > 1
+        assert "register" in report["kinds"]
+        assert report["snapshots"], "snapshot_every=5 should have fired"
+        assert all("fingerprint" in s for s in report["snapshots"])
+
+
+class TestVerify:
+    def test_clean_directory_passes(self, journal_dir, capsys):
+        assert persist_cli.main(["verify-crc", journal_dir]) == 0
+        assert json.loads(capsys.readouterr().out)["ok"] is True
+
+    def test_corruption_fails_with_exit_1(self, journal_dir, capsys):
+        oplog_dir = os.path.join(journal_dir, "oplog")
+        segment = sorted(os.listdir(oplog_dir))[0]
+        path = os.path.join(oplog_dir, segment)
+        data = bytearray(open(path, "rb").read())
+        data[-1] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        assert persist_cli.main(["verify-crc", journal_dir]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        assert report["problems"]
+
+
+class TestCompact:
+    def test_compacts_below_newest_snapshot(self, journal_dir, capsys):
+        before = len(os.listdir(os.path.join(journal_dir, "oplog")))
+        assert persist_cli.main(["compact", journal_dir]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["segments_removed"] > 0
+        after = len(os.listdir(os.path.join(journal_dir, "oplog")))
+        assert after == before - report["segments_removed"]
+        # The directory still verifies and still recovers.
+        assert persist_cli.main(["verify-crc", journal_dir]) == 0
+
+    def test_refuses_without_snapshot_or_explicit_seq(self, tmp_path, capsys):
+        config = PersistenceConfig(directory=str(tmp_path))
+        session = Session(persistence=config)
+        session.create_instance("a", user="alice")
+        session.pump()
+        session.close()
+        assert persist_cli.main(["compact", str(tmp_path)]) == 1
+        assert "error" in json.loads(capsys.readouterr().out)
+
+
+class TestReplayTimeTravel:
+    def test_state_at_present_and_past(self, journal_dir):
+        # The fixture closed its session, so the present holds zero
+        # registrations — but the journal remembers when it held two.
+        now = replay_cli.state_at(journal_dir)
+        assert now["stats"]["registered"] == 0
+        past = replay_cli.state_at(journal_dir, at_seq=1)
+        assert past["stats"]["registered"] == 1
+        assert past["seq"] == 1
+        assert past["last_seq"] == now["last_seq"]
+        both = replay_cli.state_at(journal_dir, at_seq=2)
+        assert both["stats"]["registered"] == 2
+
+    def test_cli_prints_summary(self, journal_dir, capsys):
+        assert (
+            replay_cli.main(["--log-dir", journal_dir, "--at-seq", "2"]) == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["seq"] == 2
+        assert "state" not in report  # summary unless --full
+        assert (
+            replay_cli.main(["--log-dir", journal_dir, "--full"]) == 0
+        )
+        assert "state" in json.loads(capsys.readouterr().out)
