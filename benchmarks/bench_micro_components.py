@@ -286,3 +286,102 @@ class TestStateSyncThroughput:
 
         report = benchmark(apply)
         assert report.applied_paths
+
+
+def e11_message_mix(receivers=8):
+    """The E11 population-workload wire mix: one coupled edit's full
+    message complement (lock cycle, event, per-receiver broadcast and
+    acks) plus the session-lifecycle kinds that ride along."""
+    from repro.net.message import Message
+    from repro.toolkit.events import Event
+
+    event_wire = Event(
+        type=VALUE_CHANGED,
+        source_path="/app/board/canvas",
+        params={"value": "stroke 182 204 17 44", "seq": 913},
+        user="u3",
+        instance_id="i3",
+    ).to_wire()
+    mix = [
+        Message(kind=kinds.LOCK_REQUEST, sender="i3",
+                payload={"source": ["i3", "/app/board/canvas"], "token": 77}),
+        Message(kind=kinds.LOCK_REPLY, sender="server", to="i3", reply_to=1,
+                payload={"granted": True, "conflicts": [],
+                         "group": [["i3", "/app/board/canvas"],
+                                   ["i5", "/app/board/canvas"]]}),
+        Message(kind=kinds.EVENT, sender="i3",
+                payload={"event": event_wire, "token": 77, "release": True}),
+        Message(kind=kinds.COUPLE_UPDATE, sender="server", to="",
+                payload={"action": "add",
+                         "link": {"source": ["i3", "/app/board/canvas"],
+                                  "target": ["i5", "/app/board/canvas"],
+                                  "creator": "i3"},
+                         "group": [["i3", "/app/board/canvas"],
+                                   ["i5", "/app/board/canvas"]],
+                         "cause": "couple"}),
+    ]
+    for r in range(receivers):
+        mix.append(
+            Message(kind=kinds.EVENT_BROADCAST, sender="server", to=f"i{r}",
+                    payload={"event": event_wire,
+                             "targets": [f"/app/board/canvas"],
+                             "owner": ["i3", 77]},
+                    trace=("a3f9" * 8, f"span{r:04d}"))
+        )
+        mix.append(
+            Message(kind=kinds.EVENT_ACK, sender=f"i{r}",
+                    payload={"owner": ["i3", 77]})
+        )
+    return mix
+
+
+class TestCodecFrameSize:
+    #: The binary codec must keep frames >= 30% smaller than JSON on the
+    #: E11 fan-out mix — the wire-efficiency claim behind codec="binary".
+    MAX_BINARY_RATIO = 0.70
+
+    def test_binary_frames_beat_json_on_e11_mix(self, benchmark):
+        from repro.net.binary import BINARY_CODEC
+        from repro.net.codec import JSON_CODEC
+
+        def measure():
+            mix = e11_message_mix()
+            json_bytes = sum(JSON_CODEC.wire_size(m) for m in mix)
+            binary_bytes = sum(BINARY_CODEC.wire_size(m) for m in mix)
+            return json_bytes, binary_bytes
+
+        json_bytes, binary_bytes = benchmark.pedantic(
+            measure, rounds=1, iterations=1
+        )
+        ratio = binary_bytes / json_bytes
+        assert ratio <= self.MAX_BINARY_RATIO, (
+            f"binary frames are only {(1 - ratio) * 100:.1f}% smaller than "
+            f"JSON on the E11 mix ({binary_bytes} vs {json_bytes} bytes); "
+            f"the codec promises >= 30%"
+        )
+
+
+class TestBinaryCodecThroughput:
+    def test_encode(self, benchmark):
+        from repro.net.binary import BINARY_CODEC
+
+        mix = e11_message_mix()
+
+        def encode_all():
+            for m in mix:
+                object.__setattr__(m, "_frames", None)
+            return [BINARY_CODEC.encode(m) for m in mix]
+
+        frames = benchmark(encode_all)
+        assert all(frames)
+
+    def test_decode(self, benchmark):
+        from repro.net.binary import BINARY_CODEC
+
+        frames = [BINARY_CODEC.encode(m) for m in e11_message_mix()]
+
+        def decode_all():
+            return [decode(f) for f in frames]
+
+        out = benchmark(decode_all)
+        assert len(out) == len(frames)

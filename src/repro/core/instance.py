@@ -179,25 +179,39 @@ class ApplicationInstance:
         self.bind(network.attach(self.instance_id, self.handle_message))
         return self
 
-    def connect_tcp(self, host: str, port: int) -> "ApplicationInstance":
-        """Connect to a TCP server; returns self for chaining."""
+    def connect_tcp(
+        self, host: str, port: int, *, codec: object = "json"
+    ) -> "ApplicationInstance":
+        """Connect to a TCP server; returns self for chaining.
+
+        *codec* names the outbound wire codec (``"json"``/``"binary"``);
+        the server detects it per connection and answers in kind.
+        """
         self.bind(
-            TcpClientTransport(self.instance_id, self.handle_message, host, port)
+            TcpClientTransport(
+                self.instance_id, self.handle_message, host, port, codec=codec
+            )
         )
         return self
 
     def connect_aio(
-        self, host: str, port: int, *, loop=None
+        self, host: str, port: int, *, loop=None, codec: object = "json"
     ) -> "ApplicationInstance":
         """Connect through a shared event loop; returns self for chaining.
 
         With ``loop=None`` the transport starts a private loop thread;
         passing a running loop (e.g. the aio runtime's) lets any number
-        of instances share one thread for all their connections.
+        of instances share one thread for all their connections.  *codec*
+        selects the outbound wire codec, as in :meth:`connect_tcp`.
         """
         self.bind(
             AioClientTransport(
-                self.instance_id, self.handle_message, host, port, loop=loop
+                self.instance_id,
+                self.handle_message,
+                host,
+                port,
+                loop=loop,
+                codec=codec,
             )
         )
         return self

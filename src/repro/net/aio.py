@@ -52,7 +52,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import DeliveryError, TransportClosedError
-from repro.net.codec import StreamDecoder, encode
+from repro.net.codec import Codec, StreamDecoder, get_codec
 from repro.net.message import Message
 from repro.obs.log import get_logger, log_event
 from repro.net.tcp import TcpTransportBase
@@ -306,9 +306,14 @@ class AioHostTransport(Transport):
         local_id: str = "server",
         config: Optional[BatchConfig] = None,
         loop: Optional[asyncio.AbstractEventLoop] = None,
+        codec: object = "json",
     ):
         self._local_id = local_id
         self._handler = handler
+        self._codec: Codec = get_codec(codec)
+        #: Per-peer codec negotiation: each peer is answered in the codec
+        #: of its own frames (detected by its connection's StreamDecoder).
+        self._peer_codecs: Dict[str, Codec] = {}
         self.config = config if config is not None else BatchConfig()
         self._retry = RetryPolicy(self.config)
         self._stats = TrafficStats()
@@ -396,7 +401,8 @@ class AioHostTransport(Transport):
         """
         if self._closed:
             raise TransportClosedError("aio host transport is closed")
-        frame = encode(message)
+        codec = self._peer_codecs.get(message.to)
+        frame = (codec if codec is not None else self._codec).encode(message)
         if self._on_loop():
             self._enqueue(message, frame)
         else:
@@ -458,6 +464,7 @@ class AioHostTransport(Transport):
         if task is not None:
             self._reader_tasks.add(task)
         decoder = StreamDecoder()
+        codec_name: Optional[str] = None
         try:
             while not self._closed:
                 # Backpressure policy "block": stop reading while any
@@ -476,11 +483,15 @@ class AioHostTransport(Transport):
                 with self._cond:
                     if self._closed:
                         break
+                    if conn.peer_id is None:
+                        conn.peer_id = messages[0].sender
+                        self._conns[conn.peer_id] = conn
+                        self._kick_writer(conn.peer_id)
+                    if decoder.last_codec != codec_name:
+                        # Negotiation: answer the peer in its own codec.
+                        codec_name = decoder.last_codec
+                        self._peer_codecs[conn.peer_id] = get_codec(codec_name)
                     for message in messages:
-                        if conn.peer_id is None:
-                            conn.peer_id = message.sender
-                            self._conns[conn.peer_id] = conn
-                            self._kick_writer(conn.peer_id)
                         self._handler(message)
                     self._cond.notify_all()
         except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
@@ -498,6 +509,7 @@ class AioHostTransport(Transport):
                 self._reader_tasks.discard(task)
             if conn.peer_id is not None and self._conns.get(conn.peer_id) is conn:
                 del self._conns[conn.peer_id]
+                self._peer_codecs.pop(conn.peer_id, None)
                 log_event(
                     _log, logging.DEBUG, "connection_closed", peer=conn.peer_id
                 )
@@ -813,8 +825,9 @@ class AioClientTransport(TcpTransportBase):
         *,
         loop: Optional[asyncio.AbstractEventLoop] = None,
         connect_timeout: float = 5.0,
+        codec: object = "json",
     ):
-        super().__init__(local_id, handler)
+        super().__init__(local_id, handler, codec=codec)
         self._owns_loop = loop is None
         if loop is None:
             self._loop = asyncio.new_event_loop()
@@ -847,7 +860,7 @@ class AioClientTransport(TcpTransportBase):
             raise TransportClosedError(
                 f"client transport {self._local_id!r} is closed"
             )
-        frame = encode(message)
+        frame = self._codec.encode(message)
         try:
             self._loop.call_soon_threadsafe(self._write_frame, frame)
         except RuntimeError as exc:  # loop shut down underneath us

@@ -1,16 +1,44 @@
-"""Length-prefixed JSON codec for protocol messages.
+"""Wire codecs for protocol messages: framing, the :class:`Codec`
+contract, and the codec registry.
 
-The wire format is a 4-byte big-endian length header followed by a UTF-8
-JSON document.  The same codec serves the TCP transport (real framing) and
-the in-memory transport's byte accounting (message sizes feed the latency
-model and the traffic statistics the benchmarks report).
+Every frame on every transport is a 4-byte big-endian length header
+followed by one message *body*.  Two body encodings ship with the
+package, selected per :class:`~repro.session.Session` via
+``SessionConfig(codec=...)`` / ``REPRO_CODEC`` (docs/PROTOCOL.md):
+
+``"json"``
+    A UTF-8 JSON document — the debugging-friendly fallback and the
+    historical wire format.  :class:`JsonCodec`.
+``"binary"``
+    A struct-packed envelope with interned kind/attribute names and
+    varint lengths (:mod:`repro.net.binary`) — markedly smaller and the
+    default target for high fan-out deployments.
+
+The first body byte discriminates the encoding (``{`` opens a JSON
+document; :data:`repro.net.binary.MAGIC` opens a binary envelope, and is
+deliberately a UTF-8 continuation byte no JSON body can start with), so
+**decoding is codec-agnostic**: :class:`StreamDecoder` and :func:`decode`
+accept any mix of frames on one connection.  That is the whole version
+negotiation — a receiver understands every codec it knows, and the host
+transports answer each peer in the codec of the peer's own frames, so
+mixed fleets and rolling upgrades need no handshake round-trip.
+
+Third-party codecs implement the :class:`Codec` protocol and register
+with :func:`register_codec`; transports resolve names through
+:func:`get_codec`.
+
+The module-level :func:`encode` / :func:`wire_size` helpers remain the
+plain-JSON entry points (the byte-accounting baseline of the committed
+benchmarks); :func:`decode` accepts frames from any registered codec.
 """
 
 from __future__ import annotations
 
+import importlib
 import json
+import os
 import struct
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Protocol, runtime_checkable
 
 from repro.errors import CodecError
 from repro.net.message import Message
@@ -21,31 +49,192 @@ HEADER_SIZE = _HEADER.size
 #: Upper bound on one frame; protects the decoder from corrupt headers.
 MAX_FRAME_SIZE = 16 * 1024 * 1024
 
+#: Environment knob naming the codec every Session defaults to.
+CODEC_ENV = "REPRO_CODEC"
+
+
+@runtime_checkable
+class Codec(Protocol):
+    """The contract a wire codec implements.
+
+    A codec owns one *body* encoding; the 4-byte length framing is shared
+    by all of them (so :class:`StreamDecoder` can split any stream).  The
+    first body byte must unambiguously identify the codec — see
+    :func:`decode_body` for the dispatch rule.
+    """
+
+    #: Registry name (``SessionConfig(codec=<name>)``).
+    name: str
+
+    def encode(self, message: Message) -> bytes:
+        """Serialize *message* into one complete length-prefixed frame."""
+        ...
+
+    def decode_body(self, body: bytes) -> Message:
+        """Inverse of :meth:`encode` for one frame body (header stripped)."""
+        ...
+
+    def wire_size(self, message: Message) -> int:
+        """Bytes :meth:`encode` would produce (used for byte accounting)."""
+        ...
+
+
+class JsonCodec:
+    """Length-prefixed UTF-8 JSON — the debugging-friendly fallback.
+
+    The frame body is the compact, sorted-key document
+    :meth:`Message.wire_body` produces; the frame is cached on the
+    (immutable) message keyed by codec name, so retries, replays and
+    broadcasts of the same object serialize once per codec.
+    """
+
+    name = "json"
+
+    def encode(self, message: Message) -> bytes:
+        frames = message._frames
+        if frames is None:
+            frames = {}
+            object.__setattr__(message, "_frames", frames)
+        else:
+            cached = frames.get("json")
+            if cached is not None:
+                return cached
+        try:
+            body = message.wire_body().encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"cannot encode message: {exc}") from exc
+        if len(body) > MAX_FRAME_SIZE:
+            raise CodecError(
+                f"message of {len(body)} bytes exceeds MAX_FRAME_SIZE"
+            )
+        frame = _HEADER.pack(len(body)) + body
+        frames["json"] = frame
+        return frame
+
+    def decode_body(self, body: bytes) -> Message:
+        try:
+            data = json.loads(
+                body.decode("utf-8")
+                if isinstance(body, (bytes, bytearray))
+                else body
+            )
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CodecError(f"cannot decode message body: {exc}") from exc
+        if not isinstance(data, dict):
+            raise CodecError("message body is not a JSON object")
+        return Message.from_wire(data)
+
+    def wire_size(self, message: Message) -> int:
+        return len(self.encode(message))
+
+
+#: The process-wide codec registry.  Built-ins register here at import;
+#: third-party codecs add themselves with :func:`register_codec`.
+_CODECS: Dict[str, Codec] = {}
+
+#: Lazily-imported modules that self-register a codec on import, keyed by
+#: the codec name they provide (the binary codec stays un-imported until
+#: a binary frame or an explicit ``codec="binary"`` asks for it).
+_LAZY_CODECS: Dict[str, str] = {"binary": "repro.net.binary"}
+
+
+def register_codec(codec: Codec, *, replace: bool = False) -> None:
+    """Register *codec* under ``codec.name``.
+
+    Registering an already-known name raises unless *replace* — guarding
+    against two packages silently fighting over one name.
+    """
+    name = codec.name
+    if not replace and name in _CODECS and _CODECS[name] is not codec:
+        raise ValueError(f"codec {name!r} is already registered")
+    _CODECS[name] = codec
+
+
+def get_codec(name) -> Codec:
+    """Resolve a codec by registry name (or pass a ready codec through)."""
+    if not isinstance(name, str):
+        return name  # already a Codec instance
+    codec = _CODECS.get(name)
+    if codec is None:
+        lazy = _LAZY_CODECS.get(name)
+        if lazy is not None:
+            importlib.import_module(lazy)
+            codec = _CODECS.get(name)
+    if codec is None:
+        known = sorted(set(_CODECS) | set(_LAZY_CODECS))
+        raise CodecError(
+            f"unknown codec {name!r}; registered codecs: {known}"
+        )
+    return codec
+
+
+def codec_names() -> tuple:
+    """Every resolvable codec name (registered plus lazy built-ins)."""
+    return tuple(sorted(set(_CODECS) | set(_LAZY_CODECS)))
+
+
+def default_codec_name() -> str:
+    """The codec name Sessions default to: ``REPRO_CODEC`` or ``json``."""
+    value = os.environ.get(CODEC_ENV, "").strip().lower()
+    return value if value else "json"
+
+
+def default_codec() -> Codec:
+    """The resolved default codec (see :func:`default_codec_name`)."""
+    return get_codec(default_codec_name())
+
+
+JSON_CODEC = JsonCodec()
+register_codec(JSON_CODEC)
+
+
+# ---------------------------------------------------------------------------
+# Codec-agnostic decoding
+# ---------------------------------------------------------------------------
+
+#: First bytes a JSON body may start with (our encoder emits ``{``; the
+#: whitespace forms tolerate third-party pretty-printers).
+_JSON_OPENERS = frozenset(b"{ \t\r\n")
+
+
+def _codec_for_body(body) -> Codec:
+    """The codec whose body encoding *body* opens with."""
+    if not body:
+        raise CodecError("empty frame body")
+    first = body[0]
+    if first in _JSON_OPENERS:
+        return JSON_CODEC
+    from repro.net import binary  # self-registers on first import
+
+    if first == binary.MAGIC:
+        return _CODECS["binary"]
+    raise CodecError(
+        f"unrecognized frame body (first byte 0x{first:02x}); "
+        f"known codecs: {codec_names()}"
+    )
+
+
+def decode_body(body: bytes) -> Message:
+    """Decode one frame body, dispatching on its leading byte."""
+    return _codec_for_body(body).decode_body(body)
+
+
+# ---------------------------------------------------------------------------
+# Module-level helpers (JSON entry points, kept for compatibility)
+# ---------------------------------------------------------------------------
+
 
 def encode(message: Message) -> bytes:
-    """Serialize *message* into one length-prefixed frame.
-
-    The frame is cached on the (immutable) message, so retries and
-    replays of the same object serialize once.
-    """
-    frame = message._frame
-    if frame is not None:
-        return frame
-    try:
-        body = message.wire_body().encode("utf-8")
-    except (TypeError, ValueError) as exc:
-        raise CodecError(f"cannot encode message: {exc}") from exc
-    if len(body) > MAX_FRAME_SIZE:
-        raise CodecError(
-            f"message of {len(body)} bytes exceeds MAX_FRAME_SIZE"
-        )
-    frame = _HEADER.pack(len(body)) + body
-    object.__setattr__(message, "_frame", frame)
-    return frame
+    """Serialize *message* into one length-prefixed JSON frame."""
+    return JSON_CODEC.encode(message)
 
 
 def decode(frame: bytes) -> Message:
-    """Inverse of :func:`encode` for exactly one complete frame."""
+    """Inverse of :meth:`Codec.encode` for exactly one complete frame.
+
+    Accepts a frame from **any** registered codec — the body's first
+    byte picks the decoder.
+    """
     if len(frame) < HEADER_SIZE:
         raise CodecError("frame shorter than header")
     (length,) = _HEADER.unpack_from(frame)
@@ -54,34 +243,31 @@ def decode(frame: bytes) -> Message:
         raise CodecError(
             f"frame length mismatch: header says {length}, got {len(body)}"
         )
-    return _decode_body(body)
+    return decode_body(body)
 
 
 def wire_size(message: Message) -> int:
-    """Number of bytes :func:`encode` would produce for *message*."""
-    return len(encode(message))
-
-
-def _decode_body(body: bytes) -> Message:
-    try:
-        data = json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise CodecError(f"cannot decode message body: {exc}") from exc
-    if not isinstance(data, dict):
-        raise CodecError("message body is not a JSON object")
-    return Message.from_wire(data)
+    """Number of bytes the JSON codec would produce for *message*."""
+    return len(JSON_CODEC.encode(message))
 
 
 class StreamDecoder:
     """Incremental decoder for a byte stream of concatenated frames.
 
     Feed arbitrary chunks with :meth:`feed`; complete messages come out of
-    :meth:`messages`.  Used by the TCP transport, whose reads do not align
-    with frame boundaries.
+    :meth:`messages`.  Used by the socket transports, whose reads do not
+    align with frame boundaries.  Frames from different codecs may be
+    interleaved freely on one stream — each body is dispatched by its
+    leading byte — and :attr:`last_codec` names the codec of the most
+    recently decoded frame, which the host transports use to answer a
+    peer in its own encoding.
     """
 
     def __init__(self) -> None:
         self._buffer = bytearray()
+        #: Name of the codec that produced the last decoded frame (None
+        #: until the first complete frame arrives).
+        self.last_codec: Optional[str] = None
 
     def feed(self, data: bytes) -> List[Message]:
         """Append *data*; return all messages completed by it."""
@@ -102,7 +288,10 @@ class StreamDecoder:
             end = pos + HEADER_SIZE + length
             if end > size:
                 break
-            out.append(_decode_body(buffer[pos + HEADER_SIZE : end]))
+            body = buffer[pos + HEADER_SIZE : end]
+            codec = _codec_for_body(body)
+            out.append(codec.decode_body(body))
+            self.last_codec = codec.name
             pos = end
         if pos:
             del buffer[:pos]
@@ -115,5 +304,5 @@ class StreamDecoder:
 
 
 def encode_many(messages: Iterator[Message]) -> bytes:
-    """Concatenate the frames of several messages."""
+    """Concatenate the (JSON) frames of several messages."""
     return b"".join(encode(m) for m in messages)

@@ -27,7 +27,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import DeliveryError, TransportClosedError
 from repro.net.clock import SimClock
-from repro.net.codec import wire_size
+from repro.net.codec import Codec, get_codec
 from repro.net.message import Message
 from repro.net.transport import (
     DROP_DETACHED,
@@ -61,6 +61,11 @@ class MemoryNetwork:
         injection; the duplicate follows the original on the same link).
     seed:
         Seed for the jitter/loss/duplication random stream.
+    codec:
+        The wire codec (name or instance) the simulation accounts bytes
+        with.  No frames cross a real wire here, but byte counts and the
+        ``per_byte_latency`` model honour the codec's frame sizes, so a
+        ``codec="binary"`` deployment simulates its real wire cost.
     """
 
     def __init__(
@@ -73,6 +78,7 @@ class MemoryNetwork:
         loss_rate: float = 0.0,
         duplicate_rate: float = 0.0,
         seed: int = 0,
+        codec: object = "json",
     ):
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
@@ -81,6 +87,7 @@ class MemoryNetwork:
         if base_latency < 0 or per_byte_latency < 0 or jitter < 0:
             raise ValueError("latencies must be non-negative")
         self.clock = clock if clock is not None else SimClock()
+        self.codec: Codec = get_codec(codec)
         self.base_latency = base_latency
         self.per_byte_latency = per_byte_latency
         self.jitter = jitter
@@ -136,7 +143,7 @@ class MemoryNetwork:
     def submit(self, message: Message) -> None:
         """Schedule *message* for delivery (called by transport handles)."""
         receiver = resolve_destination(message)
-        size = wire_size(message)
+        size = self.codec.wire_size(message)
         if message.sender in self._partitioned or receiver in self._partitioned:
             self.stats.record_drop(message, size, reason=DROP_PARTITION)
             return
@@ -202,7 +209,7 @@ class MemoryNetwork:
             self.clock.advance_to(max(self.clock.now(), deliver_at))
             if receiver in self._partitioned:
                 self.stats.record_drop(
-                    message, wire_size(message), reason=DROP_PARTITION
+                    message, self.codec.wire_size(message), reason=DROP_PARTITION
                 )
                 continue
             transport = self._transports.get(receiver)
@@ -210,7 +217,7 @@ class MemoryNetwork:
                 # Receiver detached (instance terminated): drop silently,
                 # like a closed socket.
                 self.stats.record_drop(
-                    message, wire_size(message), reason=DROP_DETACHED
+                    message, self.codec.wire_size(message), reason=DROP_DETACHED
                 )
                 continue
             transport.recv(message)
@@ -257,7 +264,9 @@ class MemoryNetwork:
                 reason = (
                     DROP_PARTITION if receiver in self._partitioned else DROP_DETACHED
                 )
-                self.stats.record_drop(message, wire_size(message), reason=reason)
+                self.stats.record_drop(
+                    message, self.codec.wire_size(message), reason=reason
+                )
                 continue
             transport.recv(message)
             steps += 1

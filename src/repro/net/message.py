@@ -216,10 +216,13 @@ class Message:
     _payload_json: Optional[str] = field(
         init=False, repr=False, compare=False, default=None
     )
-    #: Full wire frame, cached by :func:`repro.net.codec.encode` on first
-    #: use — a message is immutable, so re-sends (retries, replays) skip
-    #: re-serialization entirely.
-    _frame: Optional[bytes] = field(
+    #: Wire frames cached by the codecs, **keyed by codec name** — a
+    #: message is immutable, so re-sends (retries, replays, broadcasts)
+    #: skip re-serialization entirely, and a frame cached under one codec
+    #: can never replay on a connection negotiated to another (a JSON
+    #: frame must not answer a binary peer).  ``None`` until the first
+    #: encode; codecs create the dict lazily.
+    _frames: Optional[Dict[str, bytes]] = field(
         init=False, repr=False, compare=False, default=None
     )
 

@@ -27,7 +27,7 @@ import time
 from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.errors import DeliveryError, TransportClosedError
-from repro.net.codec import StreamDecoder, encode
+from repro.net.codec import Codec, StreamDecoder, get_codec
 from repro.net.message import Message
 from repro.net.transport import MessageHandler, TrafficStats, Transport
 from repro.obs.log import get_logger, log_event
@@ -38,9 +38,16 @@ _log = get_logger("net.tcp")
 class TcpTransportBase(Transport):
     """Shared machinery of the host and client TCP transports."""
 
-    def __init__(self, local_id: str, handler: MessageHandler):
+    def __init__(
+        self,
+        local_id: str,
+        handler: MessageHandler,
+        *,
+        codec: object = "json",
+    ):
         self._local_id = local_id
         self._handler = handler
+        self._codec: Codec = get_codec(codec)
         self._cond = threading.Condition(threading.RLock())
         self._closed = False
         self._stats = TrafficStats()
@@ -81,9 +88,18 @@ class TcpTransportBase(Transport):
                 self._cond.wait(remaining)
             return True
 
-    @staticmethod
-    def _send_on(sock: socket.socket, message: Message) -> int:
-        frame = encode(message)
+    @property
+    def codec(self) -> Codec:
+        """This endpoint's outbound codec (inbound is auto-detected)."""
+        return self._codec
+
+    def _send_on(
+        self,
+        sock: socket.socket,
+        message: Message,
+        codec: Optional[Codec] = None,
+    ) -> int:
+        frame = (codec if codec is not None else self._codec).encode(message)
         sock.sendall(frame)
         return len(frame)
 
@@ -104,8 +120,13 @@ class TcpHostTransport(TcpTransportBase):
         *,
         local_id: str = "server",
         backlog: int = 32,
+        codec: object = "json",
     ):
-        super().__init__(local_id, handler)
+        super().__init__(local_id, handler, codec=codec)
+        #: Per-peer codec negotiation: each peer is answered in the codec
+        #: of its own frames (auto-detected by the StreamDecoder), so a
+        #: mixed fleet of JSON and binary clients shares one server.
+        self._peer_codecs: Dict[str, Codec] = {}
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -124,10 +145,11 @@ class TcpHostTransport(TcpTransportBase):
         target = message.to
         with self._cond:
             sock = self._conns.get(target)
+            codec = self._peer_codecs.get(target)
         if sock is None:
             raise DeliveryError(f"no connection for instance {target!r}")
         try:
-            size = self._send_on(sock, message)
+            size = self._send_on(sock, message, codec)
         except OSError as exc:
             raise DeliveryError(f"send to {target!r} failed: {exc}") from exc
         self.stats.record(message, size, target)
@@ -139,6 +161,7 @@ class TcpHostTransport(TcpTransportBase):
             self._closed = True
             conns = list(self._conns.values())
             self._conns.clear()
+            self._peer_codecs.clear()
         with contextlib.suppress(OSError):
             self._listener.close()
         for sock in conns:
@@ -170,16 +193,25 @@ class TcpHostTransport(TcpTransportBase):
     def _reader_loop(self, sock: socket.socket) -> None:
         decoder = StreamDecoder()
         peer_id: Optional[str] = None
+        codec_name: Optional[str] = None
         try:
             while not self._closed:
                 data = sock.recv(65536)
                 if not data:
                     break
-                for message in decoder.feed(data):
-                    if peer_id is None:
-                        peer_id = message.sender
-                        with self._cond:
-                            self._conns[peer_id] = sock
+                messages = decoder.feed(data)
+                if not messages:
+                    continue
+                if peer_id is None:
+                    peer_id = messages[0].sender
+                    with self._cond:
+                        self._conns[peer_id] = sock
+                if decoder.last_codec != codec_name:
+                    # Negotiation: answer this peer in its own codec.
+                    codec_name = decoder.last_codec
+                    with self._cond:
+                        self._peer_codecs[peer_id] = get_codec(codec_name)
+                for message in messages:
                     self.recv(message)
         except OSError as exc:
             if not self._closed:
@@ -195,6 +227,7 @@ class TcpHostTransport(TcpTransportBase):
                 with self._cond:
                     if self._conns.get(peer_id) is sock:
                         del self._conns[peer_id]
+                        self._peer_codecs.pop(peer_id, None)
                 log_event(_log, logging.DEBUG, "connection_closed", peer=peer_id)
             with contextlib.suppress(OSError):
                 sock.close()
@@ -211,8 +244,9 @@ class TcpClientTransport(TcpTransportBase):
         port: int,
         *,
         connect_timeout: float = 5.0,
+        codec: object = "json",
     ):
-        super().__init__(local_id, handler)
+        super().__init__(local_id, handler, codec=codec)
         self._sock = socket.create_connection((host, port), timeout=connect_timeout)
         self._sock.settimeout(None)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)

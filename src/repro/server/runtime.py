@@ -93,6 +93,10 @@ class AsyncServerRuntime:
         Listen address; port 0 picks a free port.
     config:
         Batching / backpressure / retry knobs (:class:`BatchConfig`).
+    codec:
+        The outbound wire codec (name or instance) for peers that have
+        not yet negotiated one; inbound frames are auto-detected and
+        each peer is answered in its own codec (docs/PROTOCOL.md).
     """
 
     def __init__(
@@ -102,6 +106,7 @@ class AsyncServerRuntime:
         port: int = 0,
         *,
         config: Optional[BatchConfig] = None,
+        codec: object = "json",
     ):
         self.endpoint = endpoint
         self.config = config if config is not None else BatchConfig()
@@ -112,6 +117,7 @@ class AsyncServerRuntime:
             port,
             config=self.config,
             loop=self._loop_thread.loop,
+            codec=codec,
         )
         endpoint.bind(self.transport)
         self._closed = False

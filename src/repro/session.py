@@ -58,7 +58,9 @@ from repro.core.compat import CorrespondenceRegistry
 from repro.core.instance import ApplicationInstance
 from repro.net.aio import BatchConfig
 from repro.net.clock import SimClock
+from repro.net.codec import default_codec_name, get_codec
 from repro.net.memory import MemoryNetwork
+from repro.net.registry import BACKENDS, get_communicator
 from repro.net.tcp import TcpHostTransport
 from repro.net.transport import TrafficStats
 from repro.obs import (
@@ -74,8 +76,10 @@ from repro.server.server import SERVER_ID, CosoftServer
 #: Either kind of central endpoint a session can front.
 ServerLike = Union[CosoftServer, ShardedCosoftCluster]
 
-#: The session backends :class:`Session` can build.
-BACKENDS = ("memory", "tcp", "aio")
+# ``BACKENDS`` (re-exported from :mod:`repro.net.registry`) is a *live*
+# view of the communicator registry: the built-in trio plus anything
+# registered via ``register_communicator`` or the ``repro.communicators``
+# entry-point group (docs/COMMUNICATORS.md).
 
 #: BatchConfig field names accepted as Session(...) keyword conveniences.
 _BATCH_FIELDS = (
@@ -143,6 +147,14 @@ class SessionConfig:
     backend: str = "memory"
     #: 0 = single server; N >= 1 = sharded cluster with N shards.
     shards: int = 0
+    #: Wire codec for every transport of the deployment: ``"json"`` (the
+    #: debugging-friendly historical format), ``"binary"`` (struct-packed
+    #: envelope, interned names, varint lengths — docs/PROTOCOL.md), any
+    #: registered codec name, or a ready :class:`~repro.net.codec.Codec`.
+    #: Codecs negotiate per connection, so sessions with different codecs
+    #: interoperate.  Defaults honour the ``REPRO_CODEC`` environment
+    #: variable.
+    codec: object = field(default_factory=default_codec_name)
 
     # Central endpoint ------------------------------------------------
     default_allow: bool = True
@@ -194,11 +206,12 @@ class SessionConfig:
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
-            raise ValueError(
-                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
-            )
+            from repro.errors import UnknownCommunicatorError
+
+            raise UnknownCommunicatorError(self.backend, tuple(BACKENDS))
         if self.shards < 0:
             raise ValueError("shards must be >= 0")
+        get_codec(self.codec)  # fail fast on an unknown codec name
 
 
 def _build_server(
@@ -219,6 +232,7 @@ def _build_server(
             ack_release=config.ack_release,
             couple_scope=config.couple_scope,
             persistence=persist_config,
+            codec=config.codec,
         )
         if clock is not None:
             kwargs["clock"] = clock
@@ -345,6 +359,7 @@ class _MemoryBackend(_BackendBase):
             loss_rate=config.loss_rate,
             duplicate_rate=config.duplicate_rate,
             seed=config.seed,
+            codec=config.codec,
         )
         self.server, self._persist_ephemeral = _build_server(
             config, clock=self.clock
@@ -443,7 +458,9 @@ class _SocketBackendBase(_BackendBase):
         return instance
 
     def _connect(self, instance: ApplicationInstance) -> ApplicationInstance:
-        return instance.connect_tcp(self.host, self.port)
+        return instance.connect_tcp(
+            self.host, self.port, codec=self.config.codec
+        )
 
     def _server_stats(self) -> TrafficStats:
         raise NotImplementedError
@@ -492,7 +509,10 @@ class _TcpBackend(_SocketBackendBase):
         self.config = config
         self.server, self._persist_ephemeral = _build_server(config)
         self._host_transport = TcpHostTransport(
-            self.server.handle_message, host=config.host, port=config.port
+            self.server.handle_message,
+            host=config.host,
+            port=config.port,
+            codec=config.codec,
         )
         self.server.bind(self._host_transport)
         self.host, self.port = self._host_transport.address
@@ -516,7 +536,11 @@ class _AioBackend(_SocketBackendBase):
         self.config = config
         self.server, self._persist_ephemeral = _build_server(config)
         self.runtime = AsyncServerRuntime(
-            self.server, config.host, config.port, config=config.batch
+            self.server,
+            config.host,
+            config.port,
+            config=config.batch,
+            codec=config.codec,
         )
         self.host, self.port = self.runtime.address
         self.instances: Dict[str, ApplicationInstance] = {}
@@ -526,7 +550,12 @@ class _AioBackend(_SocketBackendBase):
         # Instances join the runtime's own loop: the whole deployment —
         # host plus every client connection — is serviced by one thread
         # instead of a reader thread per endpoint.
-        return instance.connect_aio(self.host, self.port, loop=self.runtime.loop)
+        return instance.connect_aio(
+            self.host,
+            self.port,
+            loop=self.runtime.loop,
+            codec=self.config.codec,
+        )
 
     def _server_stats(self) -> TrafficStats:
         return self.runtime.transport.stats
@@ -535,13 +564,6 @@ class _AioBackend(_SocketBackendBase):
         super().close()
         self.runtime.close()
         self._close_persistence()
-
-
-_BACKEND_CLASSES = {
-    "memory": _MemoryBackend,
-    "tcp": _TcpBackend,
-    "aio": _AioBackend,
-}
 
 
 class Session:
@@ -593,7 +615,9 @@ class Session:
                 knobs["backend"] = backend
             config = SessionConfig(**knobs)  # type: ignore[arg-type]
         self.config = config
-        self._impl: _BackendBase = _BACKEND_CLASSES[config.backend](config)
+        # Resolve through the communicator registry: third-party backends
+        # registered under this name build here without any core edits.
+        self._impl: _BackendBase = get_communicator(config.backend)(config)
 
     # ------------------------------------------------------------------
     # The common facade
@@ -724,9 +748,11 @@ class Session:
 
 
 def _deprecated(old: str, new: str) -> None:
+    # FutureWarning (visible by default, unlike DeprecationWarning): the
+    # aliases are in their final release cycle before removal.
     warnings.warn(
-        f"{old} is deprecated; use {new}",
-        DeprecationWarning,
+        f"{old} is deprecated and will be removed; use {new}",
+        FutureWarning,
         stacklevel=3,
     )
 
@@ -755,3 +781,14 @@ class TcpSession(Session):
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *, shards: int = 0):
         _deprecated("TcpSession", 'Session(backend="tcp")')
         super().__init__(backend="tcp", host=host, port=port, shards=shards)
+
+
+#: The supported public surface of this module (README "Public API").
+#: The deprecated aliases stay importable until their announced removal
+#: but are deliberately not part of it.
+__all__ = [
+    "BACKENDS",
+    "ServerLike",
+    "Session",
+    "SessionConfig",
+]

@@ -1,0 +1,126 @@
+"""Property-based parity: the binary codec must agree with JSON.
+
+For arbitrary protocol messages — unicode payloads, trace fields,
+interned and non-interned strings, 64-bit floats, big ints — decoding a
+binary frame must yield exactly the message JSON decoding yields, and
+both must round-trip.  Mixed streams of the two codecs must reassemble
+through one :class:`StreamDecoder` regardless of chunk boundaries.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.binary import BINARY_CODEC, INTERN_TABLE
+from repro.net.codec import JSON_CODEC, StreamDecoder, decode
+from repro.net.message import ALL_KINDS, Message
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=40),
+    st.sampled_from(INTERN_TABLE),
+)
+
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+payloads = st.dictionaries(
+    st.one_of(
+        st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=10),
+        st.sampled_from(INTERN_TABLE),
+        st.text(max_size=6),
+    ),
+    json_values,
+    max_size=5,
+)
+
+ids = st.text(alphabet=string.ascii_lowercase + string.digits, max_size=12)
+
+traces = st.one_of(
+    st.none(),
+    st.tuples(st.text(max_size=32), st.text(max_size=16)),
+)
+
+messages = st.builds(
+    Message,
+    kind=st.sampled_from(sorted(ALL_KINDS)),
+    sender=st.text(min_size=1, max_size=12),
+    to=st.text(max_size=12),
+    payload=payloads,
+    reply_to=st.one_of(st.none(), st.integers(min_value=1, max_value=10**9)),
+    trace=traces,
+)
+
+
+class TestBinaryJsonParity:
+    @given(message=messages)
+    def test_binary_roundtrip(self, message):
+        assert decode(BINARY_CODEC.encode(message)) == message
+
+    @given(message=messages)
+    def test_binary_equals_json(self, message):
+        from_binary = decode(BINARY_CODEC.encode(message))
+        from_json = decode(JSON_CODEC.encode(message))
+        assert from_binary == from_json == message
+        assert from_binary.payload == from_json.payload
+        assert from_binary.trace == from_json.trace
+        assert from_binary.reply_to == from_json.reply_to
+
+    @given(message=messages)
+    def test_wire_size_matches_frame_length(self, message):
+        assert BINARY_CODEC.wire_size(message) == len(
+            BINARY_CODEC.encode(message)
+        )
+        assert JSON_CODEC.wire_size(message) == len(JSON_CODEC.encode(message))
+
+    @given(
+        batch=st.lists(
+            st.tuples(messages, st.booleans()), min_size=1, max_size=8
+        )
+    )
+    def test_mixed_codec_stream_reassembles(self, batch):
+        blob = b"".join(
+            (BINARY_CODEC if use_binary else JSON_CODEC).encode(m)
+            for m, use_binary in batch
+        )
+        decoder = StreamDecoder()
+        out = []
+        for i in range(0, len(blob), 7):
+            out.extend(decoder.feed(blob[i : i + 7]))
+        assert out == [m for m, _ in batch]
+        assert decoder.pending_bytes == 0
+        assert decoder.last_codec == (
+            "binary" if batch[-1][1] else "json"
+        )
+
+    @given(batch=st.lists(messages, min_size=2, max_size=6), cut=st.data())
+    @settings(max_examples=50)
+    def test_binary_stream_arbitrary_split(self, batch, cut):
+        blob = b"".join(BINARY_CODEC.encode(m) for m in batch)
+        point = cut.draw(st.integers(min_value=0, max_value=len(blob)))
+        decoder = StreamDecoder()
+        out = decoder.feed(blob[:point])
+        out += decoder.feed(blob[point:])
+        assert out == batch
+
+    @given(payload=payloads)
+    @settings(max_examples=100)
+    def test_protocol_shaped_payload_parity(self, payload):
+        # The E11-style hot-path shape: one payload fanned out to many
+        # receivers; decode-side interning must not change values.
+        first = Message(kind="event_broadcast", sender="server", to="r0",
+                        payload=payload)
+        second = Message(kind="event_broadcast", sender="server", to="r1",
+                         payload=payload)
+        out_first = decode(BINARY_CODEC.encode(first))
+        out_second = decode(BINARY_CODEC.encode(second))
+        assert out_first.payload == out_second.payload == dict(payload)

@@ -127,7 +127,7 @@ class TestTrafficShapeParity:
 
 class TestDeprecatedAliases:
     def test_local_session_warns_and_works(self):
-        with pytest.warns(DeprecationWarning, match="LocalSession"):
+        with pytest.warns(FutureWarning, match="LocalSession"):
             session = LocalSession(seed=3)
         try:
             assert session.backend == "memory"
@@ -139,7 +139,7 @@ class TestDeprecatedAliases:
             session.close()
 
     def test_cluster_session_warns_and_builds_cluster(self):
-        with pytest.warns(DeprecationWarning, match="ClusterSession"):
+        with pytest.warns(FutureWarning, match="ClusterSession"):
             session = ClusterSession(shards=3)
         try:
             assert session.cluster is not None
@@ -148,12 +148,12 @@ class TestDeprecatedAliases:
             session.close()
 
     def test_cluster_session_rejects_zero_shards(self):
-        with pytest.warns(DeprecationWarning):
+        with pytest.warns(FutureWarning):
             with pytest.raises(ValueError):
                 ClusterSession(shards=0)
 
     def test_tcp_session_warns_and_keeps_signature(self):
-        with pytest.warns(DeprecationWarning, match="TcpSession"):
+        with pytest.warns(FutureWarning, match="TcpSession"):
             session = TcpSession("127.0.0.1", 0)
         try:
             assert session.backend == "tcp"
@@ -162,7 +162,7 @@ class TestDeprecatedAliases:
             session.close()
 
     def test_aliases_are_sessions(self):
-        with pytest.warns(DeprecationWarning):
+        with pytest.warns(FutureWarning):
             session = LocalSession()
         try:
             assert isinstance(session, Session)
