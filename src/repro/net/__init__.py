@@ -21,9 +21,11 @@ from repro.net.codec import (
     StreamDecoder,
     codec_names,
     decode,
+    decode_batch,
     default_codec,
     default_codec_name,
     encode,
+    encode_batch,
     get_codec,
     register_codec,
     wire_size,
@@ -68,9 +70,11 @@ __all__ = [
     "codec_names",
     "communicator_names",
     "decode",
+    "decode_batch",
     "default_codec",
     "default_codec_name",
     "encode",
+    "encode_batch",
     "get_codec",
     "get_communicator",
     "kinds",

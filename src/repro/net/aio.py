@@ -2,10 +2,13 @@
 
 This module replaces the blocking thread-per-connection TCP loop on the
 *server* side with a single-threaded :mod:`asyncio` protocol speaking the
-same length-prefixed codec (:mod:`repro.net.codec`).  Batched frames are
-just concatenated frames, which any client's
-:class:`~repro.net.codec.StreamDecoder` already handles, so the change is
-wire-compatible and protocol-transparent: :class:`CosoftServer` and
+same length-prefixed codec (:mod:`repro.net.codec`).  By default batched
+frames are just concatenated frames, which any client's
+:class:`~repro.net.codec.StreamDecoder` already handles; with
+``wire_batching`` on, each flush instead leaves as **one batch-envelope
+frame** (:meth:`Codec.encode_batch`), which the same decoder splits
+transparently — either way the change is wire-compatible and
+protocol-transparent: :class:`CosoftServer` and
 :class:`ShardedCosoftCluster` run under it unchanged, and the plain
 :class:`~repro.net.tcp.TcpClientTransport` interoperates freely.
 :class:`AioClientTransport` is the loop-serviced client counterpart: any
@@ -48,6 +51,7 @@ import contextlib
 import logging
 import socket
 import threading
+import time as _time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
@@ -169,9 +173,11 @@ class RetryPolicy:
 class SendQueue:
     """One destination's bounded outbound queue (sans-I/O).
 
-    Holds ``(message, frame)`` pairs and answers the flush-trigger
-    questions — *is a full batch ready?*, *has the deadline passed?* —
-    against an explicit ``now`` so a fake clock can drive it.
+    Holds ``(message, enqueued_at)`` pairs — encoding happens at flush
+    time, where the whole batch is in hand and can leave as one batch
+    envelope — and answers the flush-trigger questions — *is a full
+    batch ready?*, *has the deadline passed?* — against an explicit
+    ``now`` so a fake clock can drive it.
     """
 
     #: push() outcomes.
@@ -182,37 +188,37 @@ class SendQueue:
     def __init__(self, destination: str, config: BatchConfig):
         self.destination = destination
         self.config = config
-        self._items: List[Tuple[Message, bytes]] = []
-        self._first_enqueued_at: Optional[float] = None
+        self._items: List[Tuple[Message, float]] = []
         #: Failed delivery attempts for the batch currently at the head.
         self.attempts = 0
 
     def __len__(self) -> int:
         return len(self._items)
 
-    def push(self, message: Message, frame: bytes, now: float) -> str:
-        """Append one encoded message; returns the flush decision."""
+    def push(self, message: Message, now: float) -> str:
+        """Append one message; returns the flush decision."""
         if len(self._items) >= self.config.max_queue:
             return self.OVERFLOW
-        if not self._items:
-            self._first_enqueued_at = now
-        self._items.append((message, frame))
+        self._items.append((message, now))
         if len(self._items) >= self.config.max_batch:
             return self.FLUSH
         return self.QUEUED
 
-    def force_push(self, message: Message, frame: bytes, now: float) -> None:
+    def force_push(self, message: Message, now: float) -> None:
         """Append past the bound (the ``block`` policy keeps the message
         and throttles intake instead of discarding)."""
-        if not self._items:
-            self._first_enqueued_at = now
-        self._items.append((message, frame))
+        self._items.append((message, now))
 
     def deadline(self) -> Optional[float]:
-        """When the pending partial batch must flush (None when empty)."""
-        if self._first_enqueued_at is None:
+        """When the pending partial batch must flush (None when empty).
+
+        Computed from the oldest *remaining* item's enqueue time: after
+        a partial pop the tail gets its own full coalescing window
+        instead of inheriting the popped head's (stale) one.
+        """
+        if not self._items:
             return None
-        return self._first_enqueued_at + self.config.max_delay
+        return self._items[0][1] + self.config.max_delay
 
     def due(self, now: float) -> bool:
         """True when the queue should flush: full batch or deadline hit."""
@@ -225,33 +231,23 @@ class SendQueue:
 
     def pop_batch(
         self, max_messages: Optional[int] = None
-    ) -> Tuple[bytes, List[Tuple[Message, int]]]:
-        """Remove up to *max_messages* and return (payload, [(msg, size)]).
-
-        The payload is the concatenation of the messages' frames — the
-        receiver's :class:`StreamDecoder` splits them back apart.
-        """
+    ) -> List[Tuple[Message, float]]:
+        """Remove and return up to *max_messages* (message, enqueued_at)
+        pairs; the caller encodes them (:meth:`requeue_front` restores
+        them verbatim on a failed write)."""
         limit = max_messages if max_messages is not None else self.config.max_batch
         taken = self._items[:limit]
         del self._items[:limit]
-        self._first_enqueued_at = None if not self._items else self._first_enqueued_at
-        payload = b"".join(frame for _, frame in taken)
-        return payload, [(message, len(frame)) for message, frame in taken]
+        return taken
 
-    def requeue_front(self, items: List[Tuple[Message, int]], frames: bytes) -> None:
+    def requeue_front(self, items: List[Tuple[Message, float]]) -> None:
         """Put a failed batch back at the head, preserving FIFO order."""
-        restored: List[Tuple[Message, bytes]] = []
-        offset = 0
-        for message, size in items:
-            restored.append((message, frames[offset:offset + size]))
-            offset += size
-        self._items[:0] = restored
+        self._items[:0] = items
 
-    def drain_all(self) -> List[Tuple[Message, int]]:
-        """Empty the queue, returning the abandoned (message, size) pairs."""
-        out = [(message, len(frame)) for message, frame in self._items]
+    def drain_all(self) -> List[Message]:
+        """Empty the queue, returning the abandoned messages."""
+        out = [message for message, _ in self._items]
         self._items.clear()
-        self._first_enqueued_at = None
         self.attempts = 0
         return out
 
@@ -295,6 +291,11 @@ class AioHostTransport(Transport):
         A running event loop to join (the
         :class:`~repro.server.runtime.AsyncServerRuntime` passes its
         own); ``None`` starts a private loop thread.
+    wire_batching:
+        When true, every multi-message flush leaves as one batch
+        envelope (:meth:`Codec.encode_batch`) instead of concatenated
+        per-message frames — one header and one length check amortized
+        over the batch.  Defaults off for byte-exact compatibility.
     """
 
     def __init__(
@@ -307,10 +308,12 @@ class AioHostTransport(Transport):
         config: Optional[BatchConfig] = None,
         loop: Optional[asyncio.AbstractEventLoop] = None,
         codec: object = "json",
+        wire_batching: bool = False,
     ):
         self._local_id = local_id
         self._handler = handler
         self._codec: Codec = get_codec(codec)
+        self._wire_batching = bool(wire_batching)
         #: Per-peer codec negotiation: each peer is answered in the codec
         #: of its own frames (detected by its connection's StreamDecoder).
         self._peer_codecs: Dict[str, Codec] = {}
@@ -397,22 +400,20 @@ class AioHostTransport(Transport):
 
         Never blocks and never raises for an unreachable destination —
         delivery is attempted with per-hop retry and accounted in
-        :attr:`stats` either way.
+        :attr:`stats` either way.  Encoding happens at flush time, where
+        the whole batch is in hand (and the peer's answer codec is
+        freshest).
         """
         if self._closed:
             raise TransportClosedError("aio host transport is closed")
-        codec = self._peer_codecs.get(message.to)
-        frame = (codec if codec is not None else self._codec).encode(message)
         if self._on_loop():
-            self._enqueue(message, frame)
+            self._enqueue(message)
         else:
-            self._loop.call_soon_threadsafe(self._enqueue, message, frame)
+            self._loop.call_soon_threadsafe(self._enqueue, message)
 
     def drive(self, predicate: Callable[[], bool], timeout: float = 5.0) -> bool:
         """Wait (wall clock) until *predicate* is true; the condition is
         notified after every inbound dispatch."""
-        import time as _time
-
         end = _time.monotonic() + timeout
         with self._cond:
             while not predicate():
@@ -516,8 +517,8 @@ class AioHostTransport(Transport):
             with contextlib.suppress(Exception):
                 writer.close()
 
-    def _enqueue(self, message: Message, frame: bytes) -> None:
-        """Loop-thread only: queue one frame and poke the writer."""
+    def _enqueue(self, message: Message) -> None:
+        """Loop-thread only: queue one message and poke the writer."""
         if self._closed:
             return
         dest = message.to
@@ -528,9 +529,9 @@ class AioHostTransport(Transport):
         # Burst mode never consults the coalescing deadline, so skip the
         # clock read on the hot path.
         now = self._now() if self.config.max_delay > 0 else 0.0
-        outcome = queue.push(message, frame, now)
+        outcome = queue.push(message, now)
         if outcome == SendQueue.OVERFLOW:
-            self._on_overflow(queue, message, frame)
+            self._on_overflow(queue, message)
             return
         if outcome == SendQueue.FLUSH:
             event = self._flush_events.get(dest)
@@ -540,6 +541,50 @@ class AioHostTransport(Transport):
         if not self._flush_scheduled:
             self._flush_scheduled = True
             self._loop.call_soon(self._flush_dirty)
+
+    def _codec_for(self, dest: str) -> Codec:
+        codec = self._peer_codecs.get(dest)
+        return codec if codec is not None else self._codec
+
+    def _encode_payload(
+        self, dest: str, items: List[Tuple[Message, float]]
+    ) -> Tuple[bytes, Optional[List[int]]]:
+        """One popped batch as wire bytes (loop-thread only).
+
+        Returns ``(payload, sizes)``: per-message frame sizes when the
+        batch leaves as concatenated frames, or ``None`` when it leaves
+        as one batch envelope (whose shared header bytes have no exact
+        per-message attribution).
+        """
+        codec = self._codec_for(dest)
+        if self._wire_batching and len(items) > 1:
+            batch = getattr(codec, "encode_batch", None)
+            if batch is not None:
+                return batch([message for message, _ in items]), None
+        frames = [codec.encode(message) for message, _ in items]
+        return b"".join(frames), [len(frame) for frame in frames]
+
+    def _record_flush(
+        self,
+        dest: str,
+        items: List[Tuple[Message, float]],
+        payload: bytes,
+        sizes: Optional[List[int]],
+    ) -> None:
+        """Account one successfully written batch in :attr:`stats`."""
+        if sizes is None:
+            messages = [message for message, _ in items]
+            self._stats.record_many(messages, len(payload), dest)
+            self._stats.record_envelope(len(messages), len(payload))
+        else:
+            for (message, _), size in zip(items, sizes):
+                self._stats.record(message, size, dest)
+        self._stats.record_batch(len(items))
+
+    def _drop_size(self, dest: str, message: Message) -> int:
+        """Byte accounting for a message dropped before any write (cold
+        path; the per-codec frame memo makes repeats cheap)."""
+        return self._codec_for(dest).wire_size(message)
 
     def _flush_dirty(self) -> None:
         """End-of-burst inline flush (loop-thread only).
@@ -583,11 +628,12 @@ class AioHostTransport(Transport):
                 ):
                     self._kick_writer(dest)  # drain under backpressure
                     break
-                payload, items = queue.pop_batch()
+                items = queue.pop_batch()
+                payload, sizes = self._encode_payload(dest, items)
                 try:
                     conn.writer.write(payload)
                 except (ConnectionError, OSError) as exc:
-                    queue.requeue_front(items, payload)
+                    queue.requeue_front(items)
                     self._kick_writer(dest)
                     log_event(
                         _log,
@@ -598,22 +644,19 @@ class AioHostTransport(Transport):
                         error=type(exc).__name__,
                     )
                     break
-                for message, size in items:
-                    self._stats.record(message, size, dest)
-                self._stats.record_batch(len(items))
+                self._record_flush(dest, items, payload, sizes)
             else:
                 if len(queue):
                     self._kick_writer(dest)  # deadline remainder
             if not self._read_gate.is_set() and queue.below_resume_level():
                 self._read_gate.set()
 
-    def _on_overflow(
-        self, queue: SendQueue, message: Message, frame: bytes
-    ) -> None:
+    def _on_overflow(self, queue: SendQueue, message: Message) -> None:
         policy = self.config.backpressure
+        dest = queue.destination
         if policy == "drop":
             self._stats.record_drop(
-                message, len(frame), reason=DROP_BACKPRESSURE
+                message, self._drop_size(dest, message), reason=DROP_BACKPRESSURE
             )
             log_event(
                 _log,
@@ -625,7 +668,7 @@ class AioHostTransport(Transport):
             )
         elif policy == "block":
             # Keep the message, throttle intake until the queue drains.
-            queue.force_push(message, frame, self._now())
+            queue.force_push(message, self._now())
             self._read_gate.clear()
             self._kick_writer(queue.destination)
             log_event(
@@ -637,12 +680,12 @@ class AioHostTransport(Transport):
             )
         else:  # disconnect: evict the slow consumer
             self._stats.record_drop(
-                message, len(frame), reason=DROP_DISCONNECTED
+                message, self._drop_size(dest, message), reason=DROP_DISCONNECTED
             )
             dropped_count = 1
-            for dropped, size in queue.drain_all():
+            for dropped in queue.drain_all():
                 self._stats.record_drop(
-                    dropped, size, reason=DROP_DISCONNECTED
+                    dropped, self._drop_size(dest, dropped), reason=DROP_DISCONNECTED
                 )
                 dropped_count += 1
             conn = self._conns.pop(queue.destination, None)
@@ -706,7 +749,8 @@ class AioHostTransport(Transport):
                     if not await self._backoff_or_drop(queue):
                         continue  # dropped everything; queue may refill
                     continue
-                payload, items = queue.pop_batch()
+                items = queue.pop_batch()
+                payload, sizes = self._encode_payload(dest, items)
                 try:
                     conn.writer.write(payload)
                     await conn.writer.drain()
@@ -722,14 +766,12 @@ class AioHostTransport(Transport):
                         batch=len(items),
                         error=type(exc).__name__,
                     )
-                    queue.requeue_front(items, payload)
+                    queue.requeue_front(items)
                     if not await self._backoff_or_drop(queue):
                         continue
                     continue
                 queue.attempts = 0
-                for message, size in items:
-                    self._stats.record(message, size, dest)
-                self._stats.record_batch(len(items))
+                self._record_flush(dest, items, payload, sizes)
                 if not self._read_gate.is_set() and queue.below_resume_level():
                     self._read_gate.set()
         except asyncio.CancelledError:
@@ -751,9 +793,11 @@ class AioHostTransport(Transport):
         delay = self._retry.delay(queue.attempts)
         if delay is None:
             dropped = 0
-            for message, size in queue.drain_all():
+            for message in queue.drain_all():
                 self._stats.record_drop(
-                    message, size, reason=DROP_UNDELIVERABLE
+                    message,
+                    self._drop_size(queue.destination, message),
+                    reason=DROP_UNDELIVERABLE,
                 )
                 dropped += 1
             if not self._read_gate.is_set():

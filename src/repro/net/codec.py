@@ -23,6 +23,19 @@ negotiation — a receiver understands every codec it knows, and the host
 transports answer each peer in the codec of the peer's own frames, so
 mixed fleets and rolling upgrades need no handshake round-trip.
 
+A third discriminator byte, :data:`ENVELOPE_MAGIC`, opens a **batch
+envelope**: one frame carrying several message bodies (count plus sized
+bodies), produced by :meth:`Codec.encode_batch` when the wire-batching
+knob is on (``SessionConfig(wire_batching=True)`` /
+``REPRO_WIRE_BATCHING``).  Envelopes exist because the flush path's unit
+of work is the batch: one frame header, one length check and one socket
+write amortize over every coalesced message, and the binary codec's
+string/payload memos stay hot across the whole batch.  The decoder
+splits envelopes transparently — each member body is a standard codec
+body, dispatched by its own first byte — so envelope senders, legacy
+per-message senders and mixed-codec fleets keep interoperating on one
+port with no handshake (docs/PROTOCOL.md).
+
 Third-party codecs implement the :class:`Codec` protocol and register
 with :func:`register_codec`; transports resolve names through
 :func:`get_codec`.
@@ -38,7 +51,16 @@ import importlib
 import json
 import os
 import struct
-from typing import Dict, Iterator, List, Optional, Protocol, runtime_checkable
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.errors import CodecError
 from repro.net.message import Message
@@ -51,6 +73,47 @@ MAX_FRAME_SIZE = 16 * 1024 * 1024
 
 #: Environment knob naming the codec every Session defaults to.
 CODEC_ENV = "REPRO_CODEC"
+
+#: First body byte of a batch envelope (several message bodies in one
+#: frame).  Like the binary magic it is a UTF-8 continuation byte, so no
+#: JSON body can begin with it, and it is distinct from
+#: :data:`repro.net.binary.MAGIC` so a plain binary body is never
+#: mistaken for an envelope.
+ENVELOPE_MAGIC = 0xB6
+
+#: Batch-envelope layout version (bumped on incompatible change).
+ENVELOPE_VERSION = 1
+
+#: Environment knob turning batch envelopes on for every Session.
+WIRE_BATCHING_ENV = "REPRO_WIRE_BATCHING"
+
+
+def default_wire_batching() -> bool:
+    """Default for ``SessionConfig.wire_batching``: the environment knob."""
+    value = os.environ.get(WIRE_BATCHING_ENV, "").strip().lower()
+    return value in ("1", "true", "yes", "on")
+
+
+def _write_uvarint(out: bytearray, n: int) -> None:
+    while n > 0x7F:
+        out.append((n & 0x7F) | 0x80)
+        n >>= 7
+    out.append(n)
+
+
+def _read_uvarint(body, pos: int) -> "Tuple[int, int]":
+    shift = 0
+    result = 0
+    while True:
+        try:
+            byte = body[pos]
+        except IndexError:
+            raise CodecError("truncated varint in batch envelope") from None
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
 
 
 @runtime_checkable
@@ -68,6 +131,15 @@ class Codec(Protocol):
 
     def encode(self, message: Message) -> bytes:
         """Serialize *message* into one complete length-prefixed frame."""
+        ...
+
+    def encode_batch(self, messages: Sequence[Message]) -> bytes:
+        """Serialize *messages* into one batch-envelope frame.
+
+        The in-tree codecs implement this; transports fall back to
+        concatenated per-message frames for third-party codecs that
+        predate it (see :func:`encode_batch_for`).
+        """
         ...
 
     def decode_body(self, body: bytes) -> Message:
@@ -111,7 +183,53 @@ class JsonCodec:
         frames["json"] = frame
         return frame
 
+    def encode_batch(self, messages: Sequence[Message]) -> bytes:
+        """One batch-envelope frame holding every message's JSON body.
+
+        A single-message batch degenerates to the plain per-message
+        frame — the envelope only pays for itself once it amortizes.
+        """
+        if not messages:
+            raise CodecError("encode_batch needs at least one message")
+        if len(messages) == 1:
+            return self.encode(messages[0])
+        out = bytearray(HEADER_SIZE)
+        out.append(ENVELOPE_MAGIC)
+        out.append(ENVELOPE_VERSION)
+        _write_uvarint(out, len(messages))
+        append = out.append
+        for message in messages:
+            frames = message._frames
+            cached = frames.get("json") if frames is not None else None
+            if cached is not None:
+                body = memoryview(cached)[HEADER_SIZE:]
+            else:
+                try:
+                    body = message.wire_body().encode("utf-8")
+                except (TypeError, ValueError) as exc:
+                    raise CodecError(f"cannot encode message: {exc}") from exc
+            # Minimal uvarint, inlined: one or two appends covers every
+            # realistic member; the helper handles the giant tail.
+            blen = len(body)
+            if blen < 0x80:
+                append(blen)
+            elif blen < 0x4000:
+                append((blen & 0x7F) | 0x80)
+                append(blen >> 7)
+            else:
+                _write_uvarint(out, blen)
+            out += body
+        body_len = len(out) - HEADER_SIZE
+        if body_len > MAX_FRAME_SIZE:
+            raise CodecError(
+                f"batch of {body_len} bytes exceeds MAX_FRAME_SIZE"
+            )
+        _HEADER.pack_into(out, 0, body_len)
+        return bytes(out)
+
     def decode_body(self, body: bytes) -> Message:
+        if isinstance(body, memoryview):  # envelope members arrive as views
+            body = bytes(body)
         try:
             data = json.loads(
                 body.decode("utf-8")
@@ -208,6 +326,11 @@ def _codec_for_body(body) -> Codec:
 
     if first == binary.MAGIC:
         return _CODECS["binary"]
+    if first == ENVELOPE_MAGIC:
+        raise CodecError(
+            "frame body is a batch envelope, not a single message; "
+            "use StreamDecoder or decode_batch"
+        )
     raise CodecError(
         f"unrecognized frame body (first byte 0x{first:02x}); "
         f"known codecs: {codec_names()}"
@@ -217,6 +340,54 @@ def _codec_for_body(body) -> Codec:
 def decode_body(body: bytes) -> Message:
     """Decode one frame body, dispatching on its leading byte."""
     return _codec_for_body(body).decode_body(body)
+
+
+def _decode_envelope(body, out: List[Message]) -> Optional[Codec]:
+    """Split one envelope body into *out*; returns the last member codec.
+
+    Members are standard codec bodies behind uvarint length prefixes, so
+    one envelope may even mix codecs.  Bodies are handed to the member
+    codec as memoryview slices — one copy for the envelope, zero per
+    member.
+    """
+    if len(body) < 2:
+        raise CodecError("truncated batch envelope")
+    version = body[1]
+    if version != ENVELOPE_VERSION:
+        raise CodecError(
+            f"unsupported batch envelope version {version} "
+            f"(this build speaks version {ENVELOPE_VERSION})"
+        )
+    count, pos = _read_uvarint(body, 2)
+    size = len(body)
+    view = memoryview(body)
+    last: Optional[Codec] = None
+    for _ in range(count):
+        length, pos = _read_uvarint(body, pos)
+        end = pos + length
+        if end > size:
+            raise CodecError("truncated batch envelope member")
+        member = view[pos:end]
+        codec = _codec_for_body(member)
+        out.append(codec.decode_body(member))
+        last = codec
+        pos = end
+    if pos != size:
+        raise CodecError("trailing bytes after batch envelope")
+    return last
+
+
+def encode_batch_for(codec: Codec, messages: Sequence[Message]) -> bytes:
+    """*messages* as one envelope frame under *codec*.
+
+    Falls back to concatenated per-message frames when the codec predates
+    :meth:`Codec.encode_batch` (third-party codecs keep working, they
+    just do not benefit).
+    """
+    batch = getattr(codec, "encode_batch", None)
+    if batch is not None:
+        return batch(messages)
+    return b"".join(codec.encode(m) for m in messages)
 
 
 # ---------------------------------------------------------------------------
@@ -249,6 +420,34 @@ def decode(frame: bytes) -> Message:
 def wire_size(message: Message) -> int:
     """Number of bytes the JSON codec would produce for *message*."""
     return len(JSON_CODEC.encode(message))
+
+
+def encode_batch(messages: Sequence[Message]) -> bytes:
+    """Serialize *messages* into one (JSON) batch-envelope frame."""
+    return JSON_CODEC.encode_batch(messages)
+
+
+def decode_batch(frame: bytes) -> List[Message]:
+    """Decode one complete frame into its messages.
+
+    The inverse of :func:`encode_batch` and of any codec's
+    ``encode_batch`` — a batch envelope yields every member, a plain
+    per-message frame yields a one-element list.
+    """
+    if len(frame) < HEADER_SIZE:
+        raise CodecError("frame shorter than header")
+    (length,) = _HEADER.unpack_from(frame)
+    body = frame[HEADER_SIZE:]
+    if len(body) != length:
+        raise CodecError(
+            f"frame length mismatch: header says {length}, got {len(body)}"
+        )
+    out: List[Message] = []
+    if body and body[0] == ENVELOPE_MAGIC:
+        _decode_envelope(bytes(body), out)
+    else:
+        out.append(decode_body(body))
+    return out
 
 
 class StreamDecoder:
@@ -289,9 +488,16 @@ class StreamDecoder:
             if end > size:
                 break
             body = buffer[pos + HEADER_SIZE : end]
-            codec = _codec_for_body(body)
-            out.append(codec.decode_body(body))
-            self.last_codec = codec.name
+            if body and body[0] == ENVELOPE_MAGIC:
+                # A batch envelope: split it into its member messages.
+                # (The slice above is already a copy, so member
+                # memoryviews never pin the live buffer.)
+                codec = _decode_envelope(bytes(body), out)
+            else:
+                codec = _codec_for_body(body)
+                out.append(codec.decode_body(body))
+            if codec is not None:
+                self.last_codec = codec.name
             pos = end
         if pos:
             del buffer[:pos]

@@ -221,7 +221,11 @@ class Message:
     #: skip re-serialization entirely, and a frame cached under one codec
     #: can never replay on a connection negotiated to another (a JSON
     #: frame must not answer a binary peer).  ``None`` until the first
-    #: encode; codecs create the dict lazily.
+    #: encode; codecs create the dict lazily.  Contract: each entry is
+    #: one **complete frame** (4-byte length header + body) whose body is
+    #: self-describing, because ``encode_batch`` splices the body —
+    #: ``frame[HEADER_SIZE:]`` — directly into a batch envelope without
+    #: re-encoding (docs/PROTOCOL.md).
     _frames: Optional[Dict[str, bytes]] = field(
         init=False, repr=False, compare=False, default=None
     )

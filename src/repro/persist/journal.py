@@ -108,7 +108,14 @@ class Persistence:
         they were applied.
         """
         entry = {"t": server.clock.now(), "msg": message.to_wire()}
-        timed = self.config.fsync == "always" and self._fsync_hist is not None
+        # Time appends under "batch" too, not just "always": the batch
+        # policy's durability latency (buffered appends plus the periodic
+        # sync() folds into the same histogram) would otherwise be
+        # invisible to the obs layer.
+        timed = (
+            self.config.fsync in ("always", "batch")
+            and self._fsync_hist is not None
+        )
         started = time.perf_counter() if timed else 0.0
         seq = self.log.append(entry)
         if timed:

@@ -97,6 +97,10 @@ class AsyncServerRuntime:
         The outbound wire codec (name or instance) for peers that have
         not yet negotiated one; inbound frames are auto-detected and
         each peer is answered in its own codec (docs/PROTOCOL.md).
+    wire_batching:
+        When true, multi-message flushes leave as batch envelopes
+        (:meth:`~repro.net.codec.Codec.encode_batch`) instead of
+        concatenated per-message frames (docs/PROTOCOL.md).
     """
 
     def __init__(
@@ -107,6 +111,7 @@ class AsyncServerRuntime:
         *,
         config: Optional[BatchConfig] = None,
         codec: object = "json",
+        wire_batching: bool = False,
     ):
         self.endpoint = endpoint
         self.config = config if config is not None else BatchConfig()
@@ -118,6 +123,7 @@ class AsyncServerRuntime:
             config=self.config,
             loop=self._loop_thread.loop,
             codec=codec,
+            wire_batching=wire_batching,
         )
         endpoint.bind(self.transport)
         self._closed = False

@@ -58,7 +58,7 @@ from repro.core.compat import CorrespondenceRegistry
 from repro.core.instance import ApplicationInstance
 from repro.net.aio import BatchConfig
 from repro.net.clock import SimClock
-from repro.net.codec import default_codec_name, get_codec
+from repro.net.codec import default_codec_name, default_wire_batching, get_codec
 from repro.net.memory import MemoryNetwork
 from repro.net.registry import BACKENDS, get_communicator
 from repro.net.tcp import TcpHostTransport
@@ -155,6 +155,14 @@ class SessionConfig:
     #: interoperate.  Defaults honour the ``REPRO_CODEC`` environment
     #: variable.
     codec: object = field(default_factory=default_codec_name)
+    #: Batch-envelope wire path (docs/PROTOCOL.md): when true, every
+    #: multi-message flush on the socket backends leaves as one batch
+    #: envelope instead of concatenated per-message frames, and the
+    #: memory backend prices bytes accordingly.  Decoding is always
+    #: transparent, so sessions with different settings interoperate.
+    #: Defaults honour the ``REPRO_WIRE_BATCHING`` environment variable;
+    #: off keeps the wire byte-identical to previous releases.
+    wire_batching: bool = field(default_factory=default_wire_batching)
 
     # Central endpoint ------------------------------------------------
     default_allow: bool = True
@@ -360,6 +368,7 @@ class _MemoryBackend(_BackendBase):
             duplicate_rate=config.duplicate_rate,
             seed=config.seed,
             codec=config.codec,
+            wire_batching=config.wire_batching,
         )
         self.server, self._persist_ephemeral = _build_server(
             config, clock=self.clock
@@ -513,6 +522,7 @@ class _TcpBackend(_SocketBackendBase):
             host=config.host,
             port=config.port,
             codec=config.codec,
+            wire_batching=config.wire_batching,
         )
         self.server.bind(self._host_transport)
         self.host, self.port = self._host_transport.address
@@ -541,6 +551,7 @@ class _AioBackend(_SocketBackendBase):
             config.port,
             config=config.batch,
             codec=config.codec,
+            wire_batching=config.wire_batching,
         )
         self.host, self.port = self.runtime.address
         self.instances: Dict[str, ApplicationInstance] = {}

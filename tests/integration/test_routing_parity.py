@@ -23,7 +23,7 @@ ROOT = "/app"
 N_INSTANCES = 4
 
 
-def settle(session, predicate, timeout=10.0):
+def settle(session, predicate, timeout=30.0):
     if session.backend == "memory":
         session.pump()
         return predicate()

@@ -13,7 +13,6 @@ import pytest
 from repro.errors import TransportClosedError
 from repro.net import kinds
 from repro.net.aio import AioHostTransport, BatchConfig, RetryPolicy, SendQueue
-from repro.net.codec import encode
 from repro.net.message import Message
 from repro.net.tcp import TcpClientTransport
 from repro.net.transport import (
@@ -115,60 +114,69 @@ class TestRetryPolicy:
 # ---------------------------------------------------------------------------
 
 
-def frame_of(message):
-    return encode(message)
-
-
 class TestSendQueue:
     def make(self, **kwargs):
         return SendQueue("c1", BatchConfig(**kwargs))
 
     def test_push_outcomes(self):
         queue = self.make(max_batch=3, max_queue=4)
-        m = msg()
-        assert queue.push(m, frame_of(m), now=0.0) == SendQueue.QUEUED
-        assert queue.push(m, frame_of(m), now=0.0) == SendQueue.QUEUED
-        assert queue.push(m, frame_of(m), now=0.0) == SendQueue.FLUSH
-        assert queue.push(m, frame_of(m), now=0.0) == SendQueue.FLUSH
-        assert queue.push(m, frame_of(m), now=0.0) == SendQueue.OVERFLOW
+        assert queue.push(msg(), now=0.0) == SendQueue.QUEUED
+        assert queue.push(msg(), now=0.0) == SendQueue.QUEUED
+        assert queue.push(msg(), now=0.0) == SendQueue.FLUSH
+        assert queue.push(msg(), now=0.0) == SendQueue.FLUSH
+        assert queue.push(msg(), now=0.0) == SendQueue.OVERFLOW
         assert len(queue) == 4  # the overflowing message was not kept
 
     def test_deadline_tracks_first_enqueue(self):
         queue = self.make(max_batch=100, max_delay=0.5)
-        m = msg()
         assert queue.deadline() is None
-        queue.push(m, frame_of(m), now=10.0)
-        queue.push(m, frame_of(m), now=10.4)  # later pushes don't move it
+        queue.push(msg(), now=10.0)
+        queue.push(msg(), now=10.4)  # later pushes don't move it
         assert queue.deadline() == pytest.approx(10.5)
         assert not queue.due(now=10.49)
         assert queue.due(now=10.5)
 
+    def test_deadline_recomputed_after_partial_pop(self):
+        """A partial pop must not leave the tail with the popped head's
+        (stale, already-elapsed) deadline — the oldest *remaining* item
+        anchors the coalescing window."""
+        queue = self.make(max_batch=100, max_queue=10, max_delay=1.0)
+        queue.push(msg(seq=0), now=0.0)
+        queue.push(msg(seq=1), now=0.5)
+        queue.push(msg(seq=2), now=0.8)
+        assert queue.deadline() == pytest.approx(1.0)
+        items = queue.pop_batch(max_messages=1)
+        assert [m.payload["seq"] for m, _ in items] == [0]
+        # seq=1 (enqueued at 0.5) is now the oldest remaining item.
+        assert queue.deadline() == pytest.approx(1.5)
+        assert not queue.due(now=1.2)
+        assert queue.due(now=1.5)
+        queue.pop_batch(max_messages=1)
+        assert queue.deadline() == pytest.approx(1.8)
+
     def test_due_on_full_batch_regardless_of_deadline(self):
         queue = self.make(max_batch=2, max_delay=999.0)
-        m = msg()
-        queue.push(m, frame_of(m), now=0.0)
+        queue.push(msg(), now=0.0)
         assert not queue.due(now=0.0)
-        queue.push(m, frame_of(m), now=0.0)
+        queue.push(msg(), now=0.0)
         assert queue.due(now=0.0)
 
-    def test_pop_batch_concatenates_frames(self):
-        queue = self.make(max_batch=10)
+    def test_pop_batch_returns_enqueue_pairs(self):
+        queue = self.make(max_batch=10, max_delay=0.5)
         messages = [msg(seq=i) for i in range(3)]
-        for m in messages:
-            queue.push(m, frame_of(m), now=0.0)
-        payload, items = queue.pop_batch()
-        assert payload == b"".join(frame_of(m) for m in messages)
+        for i, m in enumerate(messages):
+            queue.push(m, now=float(i))
+        items = queue.pop_batch()
         assert [m.payload["seq"] for m, _ in items] == [0, 1, 2]
-        assert [size for _, size in items] == [len(frame_of(m)) for m in messages]
+        assert [at for _, at in items] == [0.0, 1.0, 2.0]
         assert len(queue) == 0
         assert queue.deadline() is None
 
     def test_pop_batch_respects_max_batch(self):
         queue = self.make(max_batch=2, max_queue=10)
-        m = msg()
         for _ in range(5):
-            queue.push(m, frame_of(m), now=0.0)
-        _, items = queue.pop_batch()
+            queue.push(msg(), now=0.0)
+        items = queue.pop_batch()
         assert len(items) == 2
         assert len(queue) == 3
 
@@ -176,38 +184,47 @@ class TestSendQueue:
         queue = self.make(max_batch=2, max_queue=10)
         messages = [msg(seq=i) for i in range(4)]
         for m in messages:
-            queue.push(m, frame_of(m), now=0.0)
-        payload, items = queue.pop_batch()  # seq 0, 1
-        queue.requeue_front(items, payload)
-        _, items2 = queue.pop_batch()
+            queue.push(m, now=0.0)
+        items = queue.pop_batch()  # seq 0, 1
+        queue.requeue_front(items)
+        items2 = queue.pop_batch()
         assert [m.payload["seq"] for m, _ in items2] == [0, 1]
-        _, items3 = queue.pop_batch()
+        items3 = queue.pop_batch()
         assert [m.payload["seq"] for m, _ in items3] == [2, 3]
+
+    def test_requeue_front_restores_deadline(self):
+        """Requeued items bring their original enqueue times back, so a
+        failed write doesn't grant the batch a fresh coalescing window."""
+        queue = self.make(max_batch=2, max_queue=10, max_delay=1.0)
+        queue.push(msg(seq=0), now=5.0)
+        queue.push(msg(seq=1), now=5.2)
+        items = queue.pop_batch()
+        assert queue.deadline() is None
+        queue.requeue_front(items)
+        assert queue.deadline() == pytest.approx(6.0)
 
     def test_drain_all_resets(self):
         queue = self.make(max_batch=2, max_queue=10)
-        m = msg()
         for _ in range(3):
-            queue.push(m, frame_of(m), now=0.0)
+            queue.push(msg(), now=0.0)
         queue.attempts = 2
         drained = queue.drain_all()
         assert len(drained) == 3
+        assert all(isinstance(m, Message) for m in drained)
         assert len(queue) == 0
         assert queue.attempts == 0
 
     def test_force_push_exceeds_bound(self):
         queue = self.make(max_queue=1, max_batch=10)
-        m = msg()
-        queue.push(m, frame_of(m), now=0.0)
-        assert queue.push(m, frame_of(m), now=0.0) == SendQueue.OVERFLOW
-        queue.force_push(m, frame_of(m), now=0.0)
+        queue.push(msg(), now=0.0)
+        assert queue.push(msg(), now=0.0) == SendQueue.OVERFLOW
+        queue.force_push(msg(), now=0.0)
         assert len(queue) == 2
 
     def test_below_resume_level(self):
         queue = self.make(max_queue=4, max_batch=100)
-        m = msg()
         for _ in range(4):
-            queue.push(m, frame_of(m), now=0.0)
+            queue.push(msg(), now=0.0)
         assert not queue.below_resume_level()
         queue.pop_batch(max_messages=2)
         assert queue.below_resume_level()
@@ -270,8 +287,10 @@ class TestAioHostTransport:
             assert [m.payload["seq"] for m in client_inbox.received] == list(
                 range(5)
             )
+            # Accounting lands after the write is drained, a beat after
+            # the client can observe delivery — wait for it.
             stats = transport.stats
-            assert stats.batched_messages == 5
+            assert wait_until(lambda: stats.batched_messages == 5)
             assert stats.batches < 5  # coalesced, not one write per message
         finally:
             client.close()
@@ -295,6 +314,42 @@ class TestAioHostTransport:
             assert wait_until(lambda: len(client_inbox.received) == 2, timeout=5.0)
         finally:
             client.close()
+
+    def test_wire_batching_flushes_as_envelope(self):
+        """With wire_batching on, a coalesced burst leaves as one batch
+        envelope — counted in the envelope stats — and the legacy client
+        decodes it transparently, order intact."""
+        inbox = Collector()
+        transport = AioHostTransport(
+            inbox,
+            port=0,
+            config=BatchConfig(max_batch=100, max_delay=0.05),
+            wire_batching=True,
+        )
+        client_inbox = Collector()
+        client = None
+        try:
+            _, port = transport.address
+            client = TcpClientTransport("c1", client_inbox, "127.0.0.1", port)
+            client.send(msg(sender="c1", to="", hello=True))
+            assert wait_until(lambda: "c1" in transport.connections())
+            for i in range(5):
+                transport.send(msg(to="c1", seq=i))
+            assert wait_until(lambda: len(client_inbox.received) == 5)
+            assert [m.payload["seq"] for m in client_inbox.received] == list(
+                range(5)
+            )
+            stats = transport.stats
+            assert stats.envelopes >= 1
+            assert stats.envelope_messages >= 2
+            assert stats.envelope_bytes > 0
+            # Byte accounting is conserved: per-kind totals still sum to
+            # the envelope payload bytes actually written.
+            assert sum(stats.bytes_by_kind.values()) == stats.bytes
+        finally:
+            if client is not None:
+                client.close()
+            transport.close()
 
     @pytest.mark.parametrize(
         "aio_host",

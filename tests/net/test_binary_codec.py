@@ -116,8 +116,12 @@ class TestWireFormat:
 
     def test_inline_kind_escape(self, monkeypatch):
         # Simulate a kind newer than this build's KIND_TABLE: it ships as
-        # an inline string behind the 0xFF escape id.
+        # an inline string behind the 0xFF escape id.  The encoder's
+        # precomputed (kind, flags) prefix table shadows _KIND_IDS, so
+        # both must forget the kind.
         monkeypatch.delitem(binary._KIND_IDS, "event")
+        for flags in range(4):
+            monkeypatch.delitem(binary._BODY_PREFIX, ("event", flags))
         m = msg()
         frame = BinaryCodec().encode(
             Message(

@@ -58,7 +58,7 @@ def test_overflow_drop_is_logged():
         queue = SendQueue("slow", transport.config)
         # The "drop" overflow path only records stats and logs, so it is
         # safe to exercise directly without going through the loop.
-        transport._on_overflow(queue, msg, b"\x00" * 8)
+        transport._on_overflow(queue, msg)
     finally:
         transport.close()
         logging.getLogger("repro").removeHandler(handler)
