@@ -1,0 +1,52 @@
+"""Render benchmark gate floors as a markdown table.
+
+Each benchmark module pins its regression gates as MIN_*/MAX_* module
+constants; this prints them for the pytest targets given on the command
+line, so CI job summaries show the floor next to the measured tables
+(.github/scripts/run-bench.sh).
+"""
+
+import importlib
+import os
+import sys
+
+
+GATE_PREFIXES = ("MIN_", "MAX_", "REQUIRED_")
+
+
+def module_names(targets):
+    seen = []
+    for target in targets:
+        path = target.split("::", 1)[0]
+        name = os.path.splitext(os.path.basename(path))[0]
+        if name.startswith("bench_") and name not in seen:
+            seen.append(name)
+    return seen
+
+
+def main(argv):
+    sys.path.insert(0, "benchmarks")
+    rows = []
+    for name in module_names(argv):
+        try:
+            module = importlib.import_module(name)
+        except Exception as exc:  # benchmark deps missing: still summarize
+            rows.append((f"{name} (import failed)", repr(exc)))
+            continue
+        for attr, value in sorted(vars(module).items()):
+            if attr.startswith(GATE_PREFIXES):
+                rows.append((f"{name}.{attr}", value))
+            elif isinstance(value, type) and value.__module__ == name:
+                # Gates pinned as class attributes (bench_micro_components).
+                for inner, floor in sorted(vars(value).items()):
+                    if inner.startswith(GATE_PREFIXES):
+                        rows.append((f"{name}.{attr}.{inner}", floor))
+    print("| gate | floor |")
+    print("| --- | --- |")
+    for gate, floor in rows:
+        print(f"| `{gate}` | {floor} |")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Run benchmark gate(s) and publish measured-vs-gate numbers to the
+# GitHub job summary.  The benchmarks render their measurements as
+# fixed-width tables under benchmarks/results/ (benchmarks/_common.py);
+# this script collects the tables the just-finished run (re)wrote and
+# appends them — together with the modules' MIN_*/MAX_* gate floors —
+# to $GITHUB_STEP_SUMMARY (stdout when unset, so it runs locally too).
+#
+# Usage: .github/scripts/run-bench.sh <title> <pytest target>...
+set -euo pipefail
+
+title="${1:?usage: run-bench.sh <title> <pytest target>...}"
+shift
+
+export PYTHONPATH=src
+stamp="$(mktemp)"
+status=0
+python -m pytest "$@" -x -q || status=$?
+
+summary="${GITHUB_STEP_SUMMARY:-/dev/stdout}"
+{
+  echo "### ${title} — measured vs gate"
+  echo
+  python .github/scripts/gate_floors.py "$@"
+  echo
+  find benchmarks/results -name '*.txt' -newer "$stamp" -print0 2>/dev/null \
+    | sort -z \
+    | while IFS= read -r -d '' table; do
+        echo '```'
+        cat "$table"
+        echo '```'
+      done
+  if [ "$status" -ne 0 ]; then
+    echo
+    echo "**GATE FAILED** (pytest exit ${status})"
+  fi
+} >> "$summary"
+
+rm -f "$stamp"
+exit "$status"

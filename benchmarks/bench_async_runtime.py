@@ -37,7 +37,6 @@ import struct
 import threading
 import time
 
-import pytest
 
 from _common import emit_table
 from repro.net import kinds

@@ -180,6 +180,67 @@ class TestClusterSharding:
         assert throughputs == sorted(throughputs)
         assert throughputs[-1] > 2 * throughputs[0]
 
+    def test_multiprocess_cluster_commit_throughput(self, benchmark, tmp_path):
+        """The processes=True deployment under a real commit workload.
+
+        Not a speedup gate (subprocess spawn and fsync costs are
+        machine-dependent): it measures sustained cross-process commit
+        round-trips and asserts the structural claims — every op lands,
+        both workers stay alive, and the per-shard journals actually
+        grew (the exactly-once protocol journals before acking).
+        """
+        import os
+        import time as _time
+
+        from repro.session import Session as _Session
+
+        ROUNDS = 20
+
+        def run():
+            with _Session(
+                backend="aio", shards=2, processes=True,
+                persistence=str(tmp_path),
+            ) as session:
+                a = session.create_instance("a", user="amy")
+                b = session.create_instance("b", user="ben")
+                roots = []
+                for inst in (a, b):
+                    root = Shell("ui")
+                    TextField("field", parent=root)
+                    roots.append(inst.add_root(root))
+                a.couple(roots[0].find(FIELD), ("b", FIELD))
+                session.pump()
+                started = _time.perf_counter()
+                for round_no in range(ROUNDS):
+                    roots[0].find(FIELD).commit(f"r{round_no}")
+                    session.pump()
+                elapsed = _time.perf_counter() - started
+                assert roots[1].find(FIELD).value == f"r{ROUNDS - 1}"
+                states = [
+                    handle.state
+                    for handle in session.cluster.shards.values()
+                ]
+                journals = [
+                    os.path.getsize(os.path.join(root_dir, name))
+                    for root_dir, _, names in os.walk(str(tmp_path))
+                    for name in names
+                    if name.endswith(".jsonl") or name.startswith("oplog")
+                ]
+                return elapsed, states, journals
+
+        elapsed, states, journals = benchmark.pedantic(
+            run, rounds=1, iterations=1
+        )
+        emit_table(
+            "cluster_multiprocess",
+            f"Multi-process cluster: {ROUNDS} coupled commits, 2 shards",
+            ["commits", "elapsed s", "commits/s", "workers ready"],
+            [[ROUNDS, round(elapsed, 2), round(ROUNDS / elapsed, 1),
+              states.count("ready")]],
+        )
+        assert states == ["ready", "ready"]
+        assert sum(journals) > 0
+
     def test_contention_parity_across_deployments(self, benchmark):
         def sweep():
             return [run_contention(0)] + [

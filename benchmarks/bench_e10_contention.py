@@ -12,7 +12,6 @@ Series reproduced: contention spacing sweep → denial rate; the tighter
 the overlap, the more actions are refused — but convergence never breaks.
 """
 
-import pytest
 
 from _common import emit_table
 from repro.baselines.fully_replicated import FullyReplicatedHarness

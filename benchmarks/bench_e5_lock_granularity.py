@@ -11,7 +11,6 @@ versus (b) one high-level VALUE_CHANGED commit.  Reported: messages,
 bytes, lock acquisitions, simulated completion time.
 """
 
-import pytest
 
 from _common import emit_table, ms
 from repro.session import Session

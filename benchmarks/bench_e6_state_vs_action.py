@@ -15,14 +15,12 @@ crossover.
 
 import time
 
-import pytest
 
 from _common import emit_table
 from repro.net.codec import wire_size
 from repro.net.message import Message
 from repro.net import kinds
 from repro.session import Session
-from repro.toolkit.events import VALUE_CHANGED
 from repro.toolkit.widgets import Scale, Shell, TextField
 
 MISSED_ACTIONS = (1, 5, 20, 100, 400)

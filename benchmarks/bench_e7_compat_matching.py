@@ -19,7 +19,6 @@ Two tree families are swept:
 import random
 import time
 
-import pytest
 
 from _common import emit_table
 from repro.core import compat

@@ -13,7 +13,6 @@ replica but ships only the tiny query events; sharing pays one scan but
 ships the full result rows.
 """
 
-import pytest
 
 from _common import emit_table
 from repro.apps.minidb import sample_publications

@@ -13,7 +13,6 @@ display regenerated locally) vs (b) direct coupling (the display canvas
 coupled, every regeneration shipped).
 """
 
-import pytest
 
 from _common import emit_table
 from repro.apps import classroom

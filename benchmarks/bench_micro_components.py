@@ -18,7 +18,7 @@ from repro.server.couples import CoupleLink, CoupleTable, global_id
 from repro.session import Session
 from repro.toolkit.builder import build
 from repro.toolkit.events import VALUE_CHANGED, Event
-from repro.toolkit.widgets import Form, Shell, TextField
+from repro.toolkit.widgets import Shell, TextField
 from repro.workloads import standard_form_spec
 
 

@@ -13,7 +13,6 @@ behaves across network regimes — from same-switch (0.1 ms) to WAN-like
   not bandwidth, dominates.
 """
 
-import pytest
 
 from _common import emit_table, ms
 from repro.session import Session

@@ -37,11 +37,7 @@ from collections import Counter
 from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core import coupling
-from repro.errors import (
-    AlreadyRegisteredError,
-    NotRegisteredError,
-    ReproError,
-)
+from repro.errors import AlreadyRegisteredError, ReproError
 from repro.net import kinds
 from repro.net.clock import Clock, SimClock
 from repro.net.codec import Codec, get_codec
@@ -141,9 +137,12 @@ class ShardedCosoftCluster:
         couple_scope: str = "all",
         persistence: Optional[Any] = None,
         codec: object = "json",
+        placement: str = "hash",
     ):
         if shards <= 0:
             raise ValueError("a cluster needs at least one shard")
+        if placement not in ("hash", "load"):
+            raise ValueError(f"unknown placement policy {placement!r}")
         self.clock: Clock = clock if clock is not None else SimClock()
         #: The codec the router accounts inter-shard bytes with (the
         #: router↔shard hop is in-process, so the codec only prices it).
@@ -156,6 +155,16 @@ class ShardedCosoftCluster:
         self.shard_ids: Tuple[str, ...] = tuple(
             f"shard-{i}" for i in range(shards)
         )
+        #: Placement policy for resharding targets and merge winners:
+        #: ``"hash"`` follows the ring, ``"load"`` prefers the shard with
+        #: the lower observed message load (docs/CLUSTER.md).
+        self.placement = placement
+        self.vnodes = vnodes
+        self.default_allow = default_allow
+        self.admin_users = tuple(admin_users)
+        self.ack_release = ack_release
+        self.history_depth = history_depth
+        self.floor_lease = floor_lease
         self.ring = HashRing(self.shard_ids, vnodes=vnodes)
         self.shards: Dict[str, CosoftServer] = {}
         #: Per-shard traffic accounting lives on each shard's transport —
@@ -168,25 +177,12 @@ class ShardedCosoftCluster:
         #: other state change — ships the group's snapshot through the
         #: target shard's log automatically.
         self.persistence_config = persistence
+        #: Router-side replica of the ACL table, maintained from the
+        #: PERMISSION_SETs it forwards; ships to freshly added shards
+        #: (:meth:`add_shard`) so they enforce the same rules.
+        self.acl_mirror = AccessControl(default_allow=default_allow)
         for shard_id in self.shard_ids:
-            shard = CosoftServer(
-                clock=self.clock,
-                access=AccessControl(default_allow=default_allow),
-                history_depth=history_depth,
-                admin_users=admin_users,
-                floor_lease=floor_lease,
-                ack_release=ack_release,
-                couple_scope=couple_scope,
-                persistence=(
-                    persistence.for_shard(shard_id).build()
-                    if persistence is not None
-                    else None
-                ),
-            )
-            transport = _ShardTransport(self, shard_id)
-            shard.bind(transport)
-            self.shards[shard_id] = shard
-            self._shard_stats[shard_id] = transport.stats
+            self._create_shard(shard_id)
 
         #: Router-owned registration records (shards hold replicas).
         self.registry = Registry()
@@ -215,9 +211,51 @@ class ShardedCosoftCluster:
 
         self.processed: Counter = Counter()
         self.migrations = 0
+        #: What the most recent :meth:`add_shard`/:meth:`remove_shard`
+        #: moved (``{"action", "shard", "moved"}``) — the minimal-remap
+        #: audit trail the reshard tests assert against.
+        self.last_reshard: Dict[str, Any] = {}
         self._transport: Optional[Transport] = None
         #: Observability hooks (disabled stand-in by default).
         self.obs = NULL_OBS
+
+    # ------------------------------------------------------------------
+    # Shard lifecycle
+    # ------------------------------------------------------------------
+
+    def _create_shard(self, shard_id: str) -> None:
+        """Build one shard and wire it into the routing tables.
+
+        The override point for deployments that host shards elsewhere —
+        the multi-process cluster replaces the in-process server with a
+        subprocess handle (:mod:`repro.cluster.proc`).
+        """
+        shard = CosoftServer(
+            clock=self.clock,
+            access=AccessControl(default_allow=self.default_allow),
+            history_depth=self.history_depth,
+            admin_users=self.admin_users,
+            floor_lease=self.floor_lease,
+            ack_release=self.ack_release,
+            couple_scope=self.couple_scope,
+            persistence=(
+                self.persistence_config.for_shard(shard_id).build()
+                if self.persistence_config is not None
+                else None
+            ),
+        )
+        transport = _ShardTransport(self, shard_id)
+        shard.bind(transport)
+        self.shards[shard_id] = shard
+        self._shard_stats[shard_id] = transport.stats
+
+    def _retire_shard(self, shard_id: str) -> None:
+        """Drop a shard that no longer owns any state (see remove_shard)."""
+        shard = self.shards.pop(shard_id)
+        self._shard_stats.pop(shard_id, None)
+        persist = getattr(shard, "persistence", None)
+        if persist is not None:
+            persist.close()
 
     # ------------------------------------------------------------------
     # Wiring (same contract as CosoftServer)
@@ -330,6 +368,10 @@ class ShardedCosoftCluster:
             self._on_decouple(message)
         elif kind == kinds.CATCHUP_REQUEST:
             self._on_catchup(message)
+        elif kind == kinds.CLUSTER_STATUS:
+            self._on_cluster_status(message)
+        elif kind == kinds.CLUSTER_RESHARD:
+            self._on_cluster_reshard(message)
         elif kind in self._ROUTED:
             shard_id = self._route(message)
             if shard_id is not None:
@@ -401,9 +443,33 @@ class ShardedCosoftCluster:
     def _on_permission_set(self, message: Message) -> None:
         # Every shard enforces ACLs, so the rule lands everywhere; only the
         # first shard's reply (or error) travels back to the client.
+        self._absorb_permission_set(message)
         self._forward(self.shard_ids[0], message)
         for shard_id in self.shard_ids[1:]:
             self._forward(shard_id, message, suppress=_SECONDARY_SUPPRESS)
+
+    def _absorb_permission_set(self, message: Message) -> None:
+        """Mirror a rule change the shards are about to commit.
+
+        Applies the same admission check the shard handler does (own
+        objects, or any for admins) so the mirror never holds a rule the
+        shards rejected; malformed payloads fail later in the shard's
+        handler, which produces the client-facing error.
+        """
+        try:
+            from repro.server.permissions import PermissionRule
+
+            payload = message.payload
+            rule = PermissionRule.from_wire(dict(payload["rule"]))
+            user = self.registry.get(message.sender).user
+            if user not in self.admin_users and rule.instance_id != message.sender:
+                return
+            if payload.get("action", "add") == "remove":
+                self.acl_mirror.remove(rule)
+            else:
+                self.acl_mirror.add(rule)
+        except self._MALFORMED:
+            return
 
     def _on_catchup(self, message: Message) -> None:
         """Route a late joiner's catch-up to the shard whose log it wants.
@@ -428,11 +494,21 @@ class ShardedCosoftCluster:
         home_target = self._home_of(target)
         if home_source != home_target:
             # The link merges two groups homed on different shards: move
-            # the smaller group (fewer rows to transfer) to the other's
-            # home, then apply the couple there.
+            # one group to the other's home, then apply the couple there.
+            # Hash placement moves the smaller group (fewer rows to
+            # transfer); load placement keeps the busier shard from
+            # accreting more groups by moving *toward* the less loaded
+            # home, breaking ties on group size.
             group_source = self.mirror.group_of(source)
             group_target = self.mirror.group_of(target)
-            if len(group_source) >= len(group_target):
+            source_wins = len(group_source) >= len(group_target)
+            if self.placement == "load":
+                loads = self.shard_loads()
+                load_source = loads.get(home_source, 0)
+                load_target = loads.get(home_target, 0)
+                if load_source != load_target:
+                    source_wins = load_source < load_target
+            if source_wins:
                 winner, moving, loser = home_source, group_target, home_target
             else:
                 winner, moving, loser = home_target, group_source, home_source
@@ -677,7 +753,7 @@ class ShardedCosoftCluster:
             # IMPORT on the target); stamp the new routing epoch so
             # their next snapshots record which era they belong to.
             for shard_id in (from_shard, to_shard):
-                persist = self.shards[shard_id].persistence
+                persist = getattr(self.shards[shard_id], "persistence", None)
                 if persist is not None:
                     persist.epoch = self.migrations
         finally:
@@ -749,6 +825,209 @@ class ShardedCosoftCluster:
         pending, self._migration_buffer = self._migration_buffer, []
         for message in pending:
             self._safe_dispatch(message)
+
+    # ------------------------------------------------------------------
+    # Live resharding (docs/CLUSTER.md)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _group_key(group: Iterable[GlobalId]) -> str:
+        """The ring key a stateful group hashes under: its least member.
+
+        Matches :meth:`_ring_home` for singletons, so an unpinned object
+        reshards exactly where its live routing would send it.
+        """
+        gid = min(group)
+        return f"{gid[0]}:{gid[1]}"
+
+    def _shard_inventory(self, shard_id: str) -> List[List[GlobalId]]:
+        """Ask one shard for its stateful groups (SHARD_INVENTORY)."""
+        survey = Message(
+            kind=kinds.SHARD_INVENTORY, sender=ROUTER_ID, payload={}
+        )
+        reply = self._shard_request(
+            shard_id, survey, kinds.SHARD_INVENTORY_REPLY
+        )
+        return [
+            [gid_from_wire(g) for g in group]
+            for group in reply.payload.get("groups", ())
+        ]
+
+    def _bootstrap_shard(self, shard_id: str) -> None:
+        """Ship the roster and ACL table to a freshly added shard."""
+        self._forward(
+            shard_id,
+            Message(
+                kind=kinds.SHARD_SYNC,
+                sender=ROUTER_ID,
+                payload={
+                    "records": [r.to_wire() for r in self.registry.records()],
+                    "access": self.acl_mirror.export_state(),
+                },
+            ),
+        )
+
+    def shard_loads(self) -> Dict[str, int]:
+        """Messages handled per shard — the obs layer's load signal.
+
+        The same counter the per-shard ``TrafficStats`` export to the
+        metrics registry; ``placement="load"`` drives its decisions off
+        this instead of pure hashing.
+        """
+        return {
+            shard_id: stats.messages
+            for shard_id, stats in self._shard_stats.items()
+        }
+
+    def _least_loaded(self, candidates: Iterable[str]) -> str:
+        loads = self.shard_loads()
+        return min(candidates, key=lambda sid: (loads.get(sid, 0), sid))
+
+    def _next_shard_id(self) -> str:
+        n = len(self.shards)
+        while f"shard-{n}" in self.shards:
+            n += 1
+        return f"shard-{n}"
+
+    def add_shard(self, shard_id: Optional[str] = None) -> str:
+        """Grow the ring by one shard, live, with minimal group movement.
+
+        The new shard is built, bootstrapped (roster + ACLs via
+        SHARD_SYNC), and receives exactly the stateful groups whose ring
+        ownership the added node takes over — consistent hashing keeps
+        that to ~1/N of the keyspace, and pinned groups that already
+        live away from their ring home do not move at all.  Returns the
+        new shard id; the move list lands in :attr:`last_reshard`.
+        """
+        shard_id = shard_id or self._next_shard_id()
+        if shard_id in self.shards:
+            raise ValueError(f"shard {shard_id!r} already exists")
+        self._create_shard(shard_id)
+        obs = self.obs
+        if obs.enabled:
+            configure = getattr(
+                self.shards[shard_id], "configure_observability", None
+            )
+            if configure is not None:
+                configure(obs, shard=shard_id)
+            if obs.registry.enabled:
+                self._shard_stats[shard_id].register_into(
+                    obs.registry, shard=shard_id
+                )
+        self._bootstrap_shard(shard_id)
+        new_ring = HashRing(self.shard_ids + (shard_id,), vnodes=self.vnodes)
+        moves: List[Tuple[List[GlobalId], str, str]] = []
+        for sid in self.shard_ids:
+            for group in self._shard_inventory(sid):
+                key = self._group_key(group)
+                if (
+                    self.ring.node_for(key) != new_ring.node_for(key)
+                    and new_ring.node_for(key) == shard_id
+                ):
+                    moves.append((group, sid, shard_id))
+        self.shard_ids = self.shard_ids + (shard_id,)
+        self.ring = new_ring
+        for group, from_shard, to_shard in moves:
+            self._migrate(group, from_shard, to_shard)
+        self.last_reshard = {
+            "action": "add",
+            "shard": shard_id,
+            "moved": [sorted(group) for group, _, _ in moves],
+        }
+        return shard_id
+
+    def remove_shard(self, shard_id: str) -> List[List[GlobalId]]:
+        """Drain a shard and retire it, live.
+
+        Every stateful group on the leaving shard is handed off — to its
+        new ring home, or with ``placement="load"`` to the least-loaded
+        survivor — then the shard is retired.  Traffic arriving during
+        the handoff queues behind it (the router is single-threaded per
+        message) and replays against the new homes.  Returns the moved
+        groups.
+        """
+        if shard_id not in self.shards:
+            raise ValueError(f"unknown shard {shard_id!r}")
+        if len(self.shards) <= 1:
+            raise ReproError("cannot remove the last shard")
+        survivors = tuple(s for s in self.shard_ids if s != shard_id)
+        new_ring = HashRing(survivors, vnodes=self.vnodes)
+        inventory = self._shard_inventory(shard_id)
+        moves: List[Tuple[List[GlobalId], str]] = []
+        for group in inventory:
+            if self.placement == "load":
+                target = self._least_loaded(survivors)
+            else:
+                target = new_ring.node_for(self._group_key(group))
+            moves.append((group, target))
+        for group, target in moves:
+            self._migrate(group, shard_id, target)
+        self.shard_ids = survivors
+        self.ring = new_ring
+        # Migration rewired the routes of everything stateful; scrub the
+        # residue (denied-lock routes, in-flight fetch correlations) so
+        # nothing still points at the retired shard.
+        for gid in [g for g, h in self._home.items() if h == shard_id]:
+            del self._home[gid]
+        for table in (self._lock_routes, self._floor_routes):
+            for key in [k for k, v in table.items() if v == shard_id]:
+                table[key] = self._ring_home((key[0], ""))
+        self._pending_routes = {
+            msg_id: route
+            for msg_id, route in self._pending_routes.items()
+            if route[0] != shard_id
+        }
+        self._retire_shard(shard_id)
+        self.last_reshard = {
+            "action": "remove",
+            "shard": shard_id,
+            "moved": [sorted(group) for group, _ in moves],
+        }
+        return [sorted(group) for group, _ in moves]
+
+    # ------------------------------------------------------------------
+    # Cluster administration (operator CLI; docs/CLUSTER.md)
+    # ------------------------------------------------------------------
+
+    def cluster_status(self) -> Dict[str, Any]:
+        """The CLUSTER_STATUS_REPLY payload (also handy for tests)."""
+        return {
+            "shards": list(self.shard_ids),
+            "placement": self.placement,
+            "loads": self.shard_loads(),
+            "migrations": self.migrations,
+            "registered": len(self.registry),
+            "couple_groups": len(self.mirror.groups()),
+            "homes": len(self._home),
+        }
+
+    def _on_cluster_status(self, message: Message) -> None:
+        self._emit(
+            message.reply(
+                kinds.CLUSTER_STATUS_REPLY, SERVER_ID, **self.cluster_status()
+            )
+        )
+
+    def _on_cluster_reshard(self, message: Message) -> None:
+        payload = message.payload
+        action = payload.get("action")
+        if action == "add":
+            shard_id = self.add_shard(str(payload.get("shard") or "") or None)
+        elif action == "remove":
+            shard_id = str(payload["shard"])
+            self.remove_shard(shard_id)
+        else:
+            raise ValueError(f"unknown reshard action {action!r}")
+        self._emit(
+            message.reply(
+                kinds.CLUSTER_RESHARD_REPLY,
+                SERVER_ID,
+                action=action,
+                shard=shard_id,
+                shards=list(self.shard_ids),
+                moved=self.last_reshard["moved"],
+            )
+        )
 
     # ------------------------------------------------------------------
     # Modeled parallelism (benchmarks)

@@ -1,0 +1,368 @@
+"""The shard worker: one ``CosoftServer`` in its own OS process.
+
+``python -m repro.cluster.worker`` is what the multi-process supervisor
+(:mod:`repro.cluster.proc`) spawns per shard.  The worker hosts a plain
+:class:`~repro.server.server.CosoftServer` behind a
+:class:`ShardEndpoint` adapter on the asyncio runtime, journals every
+mutating operation to its own op log, and speaks the private shard plane
+(SHARD_* kinds, docs/CLUSTER.md) with the router over the ordinary aio
+transport.
+
+Exactly-once delivery across worker crashes
+-------------------------------------------
+The router wraps every message for a shard in a SHARD_FORWARD envelope
+stamped with a monotonic **delivery id** (``did``) and keeps it pending
+until the worker's SHARD_UPLINK acknowledges that id.  The worker makes
+the acknowledgement meaningful by journaling ``did`` *and the outputs
+the operation produced* in the same op-log entry as the operation itself
+(one atomic append, ``fsync="always"``), and only then replying.  After
+a crash the worker recovers from the journal, reports its newest
+journaled ``did`` in SHARD_HELLO, and the router re-sends whatever is
+still pending: a re-delivered id at or below the recovered high-water
+mark is **not** re-executed — its journaled outputs are re-sent verbatim
+— while ids above it re-apply exactly the operations whose durability
+the dead worker never confirmed.  State mutates exactly once; outputs
+are at-least-once, which the client replicas already dedup (event
+sequence numbers, idempotent state installs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import os
+import signal
+import sys
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.net import kinds
+from repro.net.message import Message
+from repro.net.transport import ROUTER_ID, TrafficStats, Transport
+from repro.persist.journal import PersistenceConfig
+from repro.persist.recovery import recover_server
+from repro.server.permissions import AccessControl
+from repro.server.server import CosoftServer
+
+__all__ = ["ShardEndpoint", "build_worker", "main"]
+
+
+class _CollectingTransport(Transport):
+    """The shard server's outbound handle inside a worker.
+
+    Everything the server emits during one forwarded dispatch is
+    collected (post-suppression) so the endpoint can journal it with the
+    operation and ship it uplink in the acknowledgement.
+    """
+
+    def __init__(self, endpoint: "ShardEndpoint"):
+        self._endpoint = endpoint
+        self._stats = TrafficStats()
+        self._closed = False
+
+    @property
+    def local_id(self) -> str:
+        return "server"
+
+    @property
+    def stats(self) -> TrafficStats:
+        return self._stats
+
+    def send(self, message: Message) -> None:
+        self._endpoint._collect(message)
+
+    def recv(self, message: Message) -> None:
+        self._endpoint.server.handle_message(message)
+
+    def drive(self, predicate, timeout: float = 5.0) -> bool:
+        return bool(predicate())
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class _JournalWithDelivery:
+    """Persistence proxy stamping the in-flight delivery into each entry.
+
+    The server calls ``record(server, message)`` after a handler
+    succeeds; this proxy widens that into ``record(server, message,
+    did=..., outs=...)`` so the op, its delivery id and its outputs are
+    one atomic, fsynced append — the property the ack/replay protocol
+    rests on.  Everything else delegates to the real journal.
+    """
+
+    def __init__(self, inner: Any, endpoint: "ShardEndpoint"):
+        self._inner = inner
+        self._endpoint = endpoint
+
+    def record(self, server: Any, message: Any) -> int:
+        endpoint = self._endpoint
+        if endpoint._current_did is None:
+            return self._inner.record(server, message)
+        return self._inner.record(
+            server,
+            message,
+            did=endpoint._current_did,
+            outs=list(endpoint._outs or ()),
+        )
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+
+class ShardEndpoint:
+    """Adapter between the shard plane and a plain ``CosoftServer``.
+
+    Runs under :class:`~repro.server.runtime.AsyncServerRuntime` (same
+    ``handle_message``/``bind`` contract); unwraps SHARD_FORWARD
+    envelopes, dispatches the inner message, and answers each delivery
+    id with one SHARD_UPLINK carrying the collected outputs.
+    """
+
+    def __init__(self, server: CosoftServer, shard_id: str):
+        self.server = server
+        self.shard_id = shard_id
+        self._transport: Optional[Any] = None
+        #: Newest delivery id whose effects are journaled (or executed,
+        #: for relay-only ops) — re-deliveries at or below it are
+        #: answered from :attr:`_last_outs` without re-execution.
+        self.max_did = 0
+        self._last_outs: Dict[int, List[Dict[str, Any]]] = {}
+        self._current_did: Optional[int] = None
+        self._outs: Optional[List[Dict[str, Any]]] = None
+        self._suppress: Optional[frozenset] = None
+        server.bind(_CollectingTransport(self))
+        if server.persistence is not None:
+            self._scan_journal(server.persistence)
+            server.persistence = _JournalWithDelivery(
+                server.persistence, self
+            )
+
+    def _scan_journal(self, persistence: Any) -> None:
+        """Recover the delivery high-water mark and its stored outputs."""
+        for entry in persistence.entries_after(0):
+            did = entry.get("did")
+            if did is None:
+                continue
+            did = int(did)
+            if did > self.max_did:
+                self.max_did = did
+                self._last_outs = {did: list(entry.get("outs") or ())}
+
+    # -- runtime contract ----------------------------------------------
+
+    def bind(self, transport: Any) -> None:
+        self._transport = transport
+
+    def handle_message(self, message: Message) -> None:
+        if message.sender != ROUTER_ID:
+            return  # the shard plane only talks to the router
+        kind = message.kind
+        if kind == kinds.SHARD_FORWARD:
+            self._on_forward(message)
+        elif kind == kinds.SHARD_ATTACH:
+            self._send_control(kinds.SHARD_HELLO, max_did=self.max_did)
+        elif kind == kinds.SHARD_PING:
+            self._send_control(
+                kinds.SHARD_PONG,
+                max_did=self.max_did,
+                stats=self.server.stats(),
+            )
+
+    # -- internals ------------------------------------------------------
+
+    def _send(self, message: Message) -> None:
+        if self._transport is not None:
+            self._transport.send(message)
+
+    def _send_control(self, kind: str, **payload: Any) -> None:
+        payload.setdefault("shard", self.shard_id)
+        self._send(
+            Message(
+                kind=kind, sender=self.shard_id, to=ROUTER_ID, payload=payload
+            )
+        )
+
+    def _collect(self, message: Message) -> None:
+        outs = self._outs
+        if outs is None:
+            return  # send outside a forwarded dispatch: nowhere to go
+        # Same precedence as the embedded router: router-addressed
+        # control replies always pass; suppressed kinds are dropped here
+        # so duplicate fan-out replies never cross the wire at all.
+        suppress = self._suppress
+        if (
+            message.to != ROUTER_ID
+            and suppress
+            and message.kind in suppress
+        ):
+            return
+        outs.append(message.to_wire())
+
+    def _on_forward(self, message: Message) -> None:
+        payload = message.payload
+        did = int(payload["did"])
+        if did <= self.max_did:
+            # Redelivery of something already applied (the ack was lost
+            # with the previous process): do not re-execute — replay the
+            # journaled outputs so the router can finish its bookkeeping.
+            self._send_uplink(did, self._last_outs.get(did, []))
+            return
+        suppress_wire = payload.get("suppress") or ()
+        self._current_did = did
+        self._outs = []
+        self._suppress = frozenset(suppress_wire) if suppress_wire else None
+        try:
+            self.server.handle_message(Message.from_wire(payload["msg"]))
+        finally:
+            outs, self._outs = self._outs, None
+            self._current_did = None
+            self._suppress = None
+        self.max_did = did
+        # Dispatch is serial per shard, so only the newest delivery can
+        # ever be re-asked for; keeping one entry bounds memory.
+        self._last_outs = {did: outs}
+        self._send_uplink(did, outs)
+
+    def _send_uplink(self, did: int, outs: List[Dict[str, Any]]) -> None:
+        self._send_control(kinds.SHARD_UPLINK, did=did, outs=outs)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.server.stats()
+
+
+def build_worker(
+    *,
+    shard_id: str,
+    directory: str,
+    default_allow: bool = True,
+    admin_users: tuple = (),
+    ack_release: bool = True,
+    history_depth: int = 100,
+    floor_lease: float = 30.0,
+    couple_scope: str = "all",
+    snapshot_every: int = 500,
+) -> ShardEndpoint:
+    """Build (or recover) the shard server and wrap it for the plane.
+
+    ``fsync="always"`` is forced: the ack/replay protocol requires that
+    an acknowledged operation is durable *before* the ack leaves.
+    """
+    persistence = PersistenceConfig(
+        directory=directory,
+        fsync="always",
+        snapshot_every=snapshot_every,
+    ).build()
+    server_kwargs = dict(
+        access=AccessControl(default_allow=default_allow),
+        admin_users=tuple(admin_users),
+        ack_release=ack_release,
+        history_depth=history_depth,
+        floor_lease=floor_lease,
+        couple_scope=couple_scope,
+    )
+    if persistence.log.last_seq > 0:
+        server = recover_server(persistence, **server_kwargs)
+    else:
+        server = CosoftServer(persistence=persistence, **server_kwargs)
+    return ShardEndpoint(server, shard_id)
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.worker",
+        description="One COSOFT shard as an OS process (docs/CLUSTER.md).",
+    )
+    parser.add_argument("--shard-id", required=True)
+    parser.add_argument("--dir", required=True,
+                        help="per-shard journal directory")
+    parser.add_argument("--portfile", required=True,
+                        help="file to write the bound port into once ready")
+    parser.add_argument("--codec", default="binary")
+    parser.add_argument("--wire-batching", action="store_true")
+    parser.add_argument("--no-default-allow", action="store_true")
+    parser.add_argument("--admin-users", default="")
+    parser.add_argument("--no-ack-release", action="store_true")
+    parser.add_argument("--history-depth", type=int, default=100)
+    parser.add_argument("--floor-lease", type=float, default=30.0)
+    parser.add_argument("--couple-scope", default="all")
+    parser.add_argument("--snapshot-every", type=int, default=500)
+    parser.add_argument(
+        "--msg-id-base", type=int, default=0,
+        help="start of this process's msg_id space (the supervisor hands "
+             "each spawn a disjoint range so correlation ids emitted by "
+             "different shard processes can never collide at the router)",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parse_args(argv)
+    if args.msg_id_base:
+        from repro.net import message as message_mod
+
+        message_mod._msg_counter = itertools.count(args.msg_id_base + 1)
+    endpoint = build_worker(
+        shard_id=args.shard_id,
+        directory=args.dir,
+        default_allow=not args.no_default_allow,
+        admin_users=tuple(u for u in args.admin_users.split(",") if u),
+        ack_release=not args.no_ack_release,
+        history_depth=args.history_depth,
+        floor_lease=args.floor_lease,
+        couple_scope=args.couple_scope,
+        snapshot_every=args.snapshot_every,
+    )
+    from repro.server.runtime import AsyncServerRuntime
+
+    runtime = AsyncServerRuntime(
+        endpoint,
+        port=0,
+        codec=args.codec,
+        wire_batching=args.wire_batching,
+    )
+    done = threading.Event()
+
+    def _shutdown(*_sig: object) -> None:
+        done.set()
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+
+    # Orphan watchdog: the supervisor holds our stdin pipe; EOF means the
+    # supervisor is gone and nobody will ever kill us — exit instead of
+    # leaking a process per crashed test run.
+    def _watch_stdin() -> None:
+        try:
+            while sys.stdin.buffer.read(4096):
+                pass
+        except Exception:
+            pass
+        done.set()
+
+    threading.Thread(target=_watch_stdin, daemon=True).start()
+
+    # Atomic publish: the supervisor polls for this file, so it must
+    # never observe a half-written port number.
+    tmp = args.portfile + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(str(runtime.address[1]))
+    os.replace(tmp, args.portfile)
+
+    done.wait()
+    try:
+        runtime.close()
+        persist = endpoint.server.persistence
+        if persist is not None:
+            persist.sync()
+    finally:
+        os._exit(0)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -110,6 +110,19 @@ KIND_TABLE: Tuple[str, ...] = (
     "catchup_request",
     "catchup_reply",
     "error",
+    "shard_attach",
+    "shard_hello",
+    "shard_forward",
+    "shard_uplink",
+    "shard_ping",
+    "shard_pong",
+    "shard_sync",
+    "shard_inventory",
+    "shard_inventory_reply",
+    "cluster_status",
+    "cluster_status_reply",
+    "cluster_reshard",
+    "cluster_reshard_reply",
 )
 
 #: Escape id for a kind not in :data:`KIND_TABLE` (inline string follows).

@@ -58,7 +58,6 @@ from typing import (
     Optional,
     Protocol,
     Sequence,
-    Tuple,
     runtime_checkable,
 )
 

@@ -77,6 +77,26 @@ MIGRATE_STATE = "migrate_state"    # shard -> router: the group's state
 MIGRATE_IMPORT = "migrate_import"  # router -> shard: install a couple group
 MIGRATE_ACK = "migrate_ack"        # shard -> router: import complete
 
+# Multi-process cluster plane (docs/CLUSTER.md).  Spoken only on the
+# private router<->shard-worker links of a ``processes=True`` cluster and
+# by the operator CLI; a shard worker rejects them from any sender other
+# than the router.
+SHARD_ATTACH = "shard_attach"      # router -> worker: claim the link
+SHARD_HELLO = "shard_hello"        # worker -> router: ready + max seen did
+SHARD_FORWARD = "shard_forward"    # router -> worker: deliver inner message
+SHARD_UPLINK = "shard_uplink"      # worker -> router: ack + collected outputs
+SHARD_PING = "shard_ping"          # router -> worker: liveness probe
+SHARD_PONG = "shard_pong"          # worker -> router: liveness + load stats
+SHARD_SYNC = "shard_sync"          # router -> worker: roster/ACL bootstrap
+SHARD_INVENTORY = "shard_inventory"  # router -> worker: list stateful groups
+SHARD_INVENTORY_REPLY = "shard_inventory_reply"  # worker -> router
+
+# Cluster administration (operator CLI -> router; docs/CLUSTER.md).
+CLUSTER_STATUS = "cluster_status"
+CLUSTER_STATUS_REPLY = "cluster_status_reply"
+CLUSTER_RESHARD = "cluster_reshard"          # add/remove a shard live
+CLUSTER_RESHARD_REPLY = "cluster_reshard_reply"
+
 # Late-join catch-up (event-sourced persistence; docs/PERSISTENCE.md).
 # A joiner that already holds state at log position N asks for the op-log
 # suffix after N instead of a full PUSH_STATE; the reply carries the
@@ -123,6 +143,19 @@ ALL_KINDS = frozenset(
         HISTORY_PUSH,
         UNDO_REQUEST,
         UNDO_REPLY,
+        SHARD_ATTACH,
+        SHARD_HELLO,
+        SHARD_FORWARD,
+        SHARD_UPLINK,
+        SHARD_PING,
+        SHARD_PONG,
+        SHARD_SYNC,
+        SHARD_INVENTORY,
+        SHARD_INVENTORY_REPLY,
+        CLUSTER_STATUS,
+        CLUSTER_STATUS_REPLY,
+        CLUSTER_RESHARD,
+        CLUSTER_RESHARD_REPLY,
         ERROR,
     }
 )

@@ -26,7 +26,6 @@ from typing import (
     Iterable,
     List,
     NamedTuple,
-    Optional,
     Sequence,
     Tuple,
 )

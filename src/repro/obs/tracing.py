@@ -27,7 +27,7 @@ import itertools
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 #: Canonical span names, in causal order along the §3.2 path.
 CLIENT_EMIT = "client.emit"          # root: user action enters the toolkit

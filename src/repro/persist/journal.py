@@ -100,14 +100,19 @@ class Persistence:
     # Hot path
     # ------------------------------------------------------------------
 
-    def record(self, server: Any, message: Any) -> int:
+    def record(self, server: Any, message: Any, **extra: Any) -> int:
         """Journal one just-applied operation; returns its sequence number.
 
         Called by the server *after* a handler succeeded, so the log
         holds exactly the operations that mutated state, in the order
-        they were applied.
+        they were applied.  *extra* keys ride along in the entry —
+        a multi-process shard worker stores the router's delivery id and
+        the outputs the op produced, making ack-plus-replay exactly-once
+        (docs/CLUSTER.md); replay ignores unknown keys.
         """
         entry = {"t": server.clock.now(), "msg": message.to_wire()}
+        if extra:
+            entry.update(extra)
         # Time appends under "batch" too, not just "always": the batch
         # policy's durability latency (buffered appends plus the periodic
         # sync() folds into the same histogram) would otherwise be

@@ -31,12 +31,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
-from repro.errors import (
-    AlreadyRegisteredError,
-    NoSuchCoupleError,
-    NotRegisteredError,
-    ReproError,
-)
+from repro.errors import NoSuchCoupleError, ReproError
 from repro.net import kinds
 from repro.net.clock import Clock, SimClock
 from repro.net.message import Message
@@ -128,6 +123,13 @@ class CosoftServer:
         #: receivers whose EVENT_ACK the floor release still waits for.
         self._pending_acks: Dict[Tuple[str, int], set] = {}
         self._pending: Dict[int, _PendingRoute] = {}
+        #: Last structure fingerprint seen per object (from the ``sync``
+        #: block of relayed PUSH_STATEs).  A warm-start cache for the
+        #: compat-mapping layer: migrated groups carry it along so the
+        #: receiving shard knows each object's last-announced spec shape
+        #: without waiting for fresh traffic.  Deliberately outside the
+        #: journal and the state fingerprint — it is advisory.
+        self.fingerprints: Dict[GlobalId, str] = {}
         self.processed: Counter = Counter()
         self._transport: Optional[Transport] = None
         #: Event-sourced journal (:class:`repro.persist.Persistence`), or
@@ -262,6 +264,8 @@ class CosoftServer:
         kinds.MIGRATE_EXPORT: "_on_migrate_export",
         kinds.MIGRATE_IMPORT: "_on_migrate_import",
         kinds.CATCHUP_REQUEST: "_on_catchup_request",
+        kinds.SHARD_SYNC: "_on_shard_sync",
+        kinds.SHARD_INVENTORY: "_on_shard_inventory",
     }
 
     #: Kinds that mutate the server database and therefore go to the op
@@ -285,6 +289,7 @@ class CosoftServer:
             kinds.PERMISSION_SET,
             kinds.MIGRATE_EXPORT,
             kinds.MIGRATE_IMPORT,
+            kinds.SHARD_SYNC,
         }
     )
 
@@ -413,6 +418,8 @@ class CosoftServer:
         self.locks.release_instance(instance_id)
         self.history.forget_instance(instance_id)
         self.access.forget_instance(instance_id)
+        for gid in [g for g in self.fingerprints if g[0] == instance_id]:
+            del self.fingerprints[gid]
         for key in [k for k in self._floors if k[0] == instance_id]:
             self._release_floor(key)
         # A departing instance can no longer acknowledge broadcasts: drop
@@ -809,6 +816,9 @@ class CosoftServer:
                 )
             )
             return
+        sync = payload.get("sync")
+        if isinstance(sync, Mapping) and sync.get("fp"):
+            self.fingerprints[target] = str(sync["fp"])
         self._send(
             Message(
                 kind=kinds.PUSH_STATE,
@@ -1046,6 +1056,11 @@ class CosoftServer:
             for obj in sorted(objs)
             if self.history.depth(obj) != (0, 0)
         ]
+        fingerprints = [
+            [gid_to_wire(obj), self.fingerprints.pop(obj)]
+            for obj in sorted(objs)
+            if obj in self.fingerprints
+        ]
         return {
             "objects": [gid_to_wire(g) for g in sorted(objs)],
             "links": [link.to_wire() for link in links],
@@ -1054,6 +1069,7 @@ class CosoftServer:
             ],
             "floors": floors,
             "history": history,
+            "fingerprints": fingerprints,
         }
 
     def import_group(self, data: Mapping[str, Any]) -> None:
@@ -1076,6 +1092,8 @@ class CosoftServer:
                 self._pending_acks[key] = pending
         for obj_wire, stacks in data.get("history", ()):
             self.history.import_object(gid_from_wire(obj_wire), dict(stacks))
+        for obj_wire, fp in data.get("fingerprints", ()):
+            self.fingerprints[gid_from_wire(obj_wire)] = str(fp)
 
     def _require_router(self, message: Message) -> None:
         if message.sender != ROUTER_ID:
@@ -1098,6 +1116,65 @@ class CosoftServer:
                 kinds.MIGRATE_ACK,
                 SERVER_ID,
                 objects=list(message.payload.get("objects", ())),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Shard-worker plane (multi-process clusters; docs/CLUSTER.md)
+    # ------------------------------------------------------------------
+
+    def _on_shard_sync(self, message: Message) -> None:
+        """Bootstrap a freshly spawned shard with roster and ACL tables.
+
+        A shard added to a live ring has seen none of the session's
+        REGISTER/PERMISSION_SET traffic; the router ships it the current
+        registration records (original timestamps intact) and the full
+        access-control table before any group migrates there.  Journaled,
+        so a recovering worker replays its bootstrap before the ops that
+        assumed it; idempotent, so a replayed SHARD_SYNC coexists with
+        later journaled REGISTERs.
+        """
+        self._require_router(message)
+        payload = message.payload
+        for record_wire in payload.get("records", ()):
+            record = RegistrationRecord.from_wire(dict(record_wire))
+            if record.instance_id in self.registry:
+                continue
+            self.registry.add(record)
+            self.history.revive_instance(record.instance_id)
+        access = payload.get("access")
+        if access:
+            self.access.import_state(dict(access))
+
+    def state_inventory(self) -> List[List[List[str]]]:
+        """Stateful object groups, in wire form, for resharding surveys.
+
+        Every couple group plus every singleton carrying server-side
+        state (a lock, a floor, history or a cached fingerprint).  The
+        router diffs this against hashring ownership to compute the
+        minimal set of groups a live ``add_shard``/``remove_shard`` must
+        migrate.
+        """
+        stateful = set(self.locks.locked_objects())
+        stateful.update(self.history.objects())
+        stateful.update(self.fingerprints)
+        for floor_objects in self._floors.values():
+            stateful.update(floor_objects)
+        groups: List[List[GlobalId]] = []
+        for group in self.couples.groups():
+            groups.append(sorted(group))
+            stateful.difference_update(group)
+        for obj in sorted(stateful):
+            groups.append([obj])
+        return [[gid_to_wire(g) for g in group] for group in groups]
+
+    def _on_shard_inventory(self, message: Message) -> None:
+        self._require_router(message)
+        self._send(
+            message.reply(
+                kinds.SHARD_INVENTORY_REPLY,
+                SERVER_ID,
+                groups=self.state_inventory(),
             )
         )
 

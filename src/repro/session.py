@@ -147,6 +147,13 @@ class SessionConfig:
     backend: str = "memory"
     #: 0 = single server; N >= 1 = sharded cluster with N shards.
     shards: int = 0
+    #: Run each shard as a supervised OS process (docs/CLUSTER.md): the
+    #: router spawns one ``repro.cluster.worker`` per shard, each with
+    #: its own journal, heartbeat-monitored and restarted-with-recovery
+    #: on crash.  Requires ``backend="aio"`` and ``shards >= 1``.  The
+    #: journals live under the ``persistence`` directory when one is
+    #: named, else in an ephemeral directory removed at close.
+    processes: bool = False
     #: Wire codec for every transport of the deployment: ``"json"`` (the
     #: debugging-friendly historical format), ``"binary"`` (struct-packed
     #: envelope, interned names, varint lengths — docs/PROTOCOL.md), any
@@ -219,6 +226,14 @@ class SessionConfig:
             raise UnknownCommunicatorError(self.backend, tuple(BACKENDS))
         if self.shards < 0:
             raise ValueError("shards must be >= 0")
+        if self.processes:
+            if self.backend != "aio":
+                raise ValueError(
+                    'processes=True requires backend="aio" '
+                    "(shard workers attach over the asyncio transport)"
+                )
+            if self.shards < 1:
+                raise ValueError("processes=True requires shards >= 1")
         get_codec(self.codec)  # fail fast on an unknown codec name
 
 
@@ -232,6 +247,34 @@ def _build_server(
     at close (the bare ``persistence=True`` setting).
     """
     persist_config, ephemeral = _resolve_persistence(config.persistence)
+    if config.processes:
+        from repro.cluster.proc import ProcCluster
+
+        # A multi-process cluster always journals (crash recovery needs
+        # the per-shard op logs); sessions that named no directory get an
+        # ephemeral one, removed at close like any other True setting.
+        if persist_config is None or persist_config.directory is None:
+            ephemeral = tempfile.mkdtemp(prefix="repro-proc-")
+            directory = ephemeral
+            snapshot_every = 500
+        else:
+            directory = persist_config.directory
+            snapshot_every = persist_config.snapshot_every
+        return (
+            ProcCluster(
+                config.shards,
+                directory=directory,
+                link_codec=get_codec(config.codec).name,
+                link_wire_batching=config.wire_batching,
+                snapshot_every=snapshot_every,
+                vnodes=config.vnodes,
+                default_allow=config.default_allow,
+                admin_users=config.admin_users,
+                ack_release=config.ack_release,
+                couple_scope=config.couple_scope,
+            ),
+            ephemeral,
+        )
     if config.shards:
         kwargs = dict(
             vnodes=config.vnodes,
@@ -574,6 +617,11 @@ class _AioBackend(_SocketBackendBase):
     def close(self) -> None:
         super().close()
         self.runtime.close()
+        # A multi-process cluster owns worker subprocesses: shut the
+        # supervisor down before dropping any ephemeral journal dir.
+        shutdown = getattr(self.server, "close", None)
+        if shutdown is not None:
+            shutdown()
         self._close_persistence()
 
 

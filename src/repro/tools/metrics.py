@@ -70,7 +70,6 @@ def render(sess: Session, fmt: str) -> str:
         return sess.span_dump()
     if fmt == "dashboard":
         from repro.tools.monitor import (
-            cluster_snapshot,
             format_cluster_dashboard,
             format_dashboard,
             format_observability,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.apps.classroom import (
-    SHARED_OBJECTS,
     StudentEnvironment,
     TeacherEnvironment,
     couple_simulation_directly,

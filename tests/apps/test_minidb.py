@@ -5,7 +5,6 @@ import pytest
 from repro.apps.minidb import (
     Condition,
     Database,
-    OPERATORS,
     QueryError,
     sample_publications,
 )

@@ -1,0 +1,309 @@
+"""Multi-process cluster: worker protocol units + supervisor integration.
+
+The unit half exercises :class:`repro.cluster.worker.ShardEndpoint`
+in-process (no subprocess): delivery-id dedup, journaled outputs,
+suppress filtering, hello/ping. The integration half spawns real worker
+processes through :class:`repro.cluster.proc.ProcCluster` and checks
+spawn/attach, status, heartbeats, kill/restart and the operator client.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.cluster.proc import ProcCluster
+from repro.cluster.worker import build_worker
+from repro.net import kinds
+from repro.net.message import Message
+from repro.net.transport import ROUTER_ID
+
+
+def forward(endpoint, did, inner, suppress=()):
+    endpoint.handle_message(
+        Message(
+            kind=kinds.SHARD_FORWARD,
+            sender=ROUTER_ID,
+            to=endpoint.shard_id,
+            payload={
+                "did": did,
+                "msg": inner.to_wire(),
+                "suppress": list(suppress),
+            },
+        )
+    )
+
+
+class _Sink:
+    """Stands in for the worker's host transport."""
+
+    def __init__(self):
+        self.sent = []
+
+    def send(self, message):
+        self.sent.append(message)
+
+    def uplinks(self):
+        return [m for m in self.sent if m.kind == kinds.SHARD_UPLINK]
+
+
+@pytest.fixture
+def endpoint(tmp_path):
+    ep = build_worker(shard_id="shard-0", directory=str(tmp_path))
+    sink = _Sink()
+    ep.bind(sink)
+    ep.sink = sink
+    yield ep
+    ep.server.persistence.close()
+
+
+def register(endpoint, did, instance_id="a"):
+    forward(
+        endpoint,
+        did,
+        Message(
+            kind=kinds.REGISTER,
+            sender=instance_id,
+            payload={"user": instance_id, "app_type": "editor"},
+        ),
+    )
+
+
+class TestShardEndpointProtocol:
+    def test_attach_answers_hello_with_max_did(self, endpoint):
+        endpoint.handle_message(
+            Message(kind=kinds.SHARD_ATTACH, sender=ROUTER_ID, payload={})
+        )
+        (hello,) = [
+            m for m in endpoint.sink.sent if m.kind == kinds.SHARD_HELLO
+        ]
+        assert hello.payload["max_did"] == 0
+        assert hello.payload["shard"] == "shard-0"
+        assert hello.to == ROUTER_ID
+
+    def test_forward_executes_and_uplinks_outputs(self, endpoint):
+        register(endpoint, 1)
+        (uplink,) = endpoint.sink.uplinks()
+        assert uplink.payload["did"] == 1
+        kinds_out = [o["kind"] for o in uplink.payload["outs"]]
+        assert kinds.REGISTER_ACK in kinds_out
+        assert "a" in endpoint.server.registry
+
+    def test_duplicate_did_replays_outputs_without_reexecution(self, endpoint):
+        register(endpoint, 1)
+        first = endpoint.sink.uplinks()[0].payload["outs"]
+        processed_before = dict(endpoint.server.processed)
+        register(endpoint, 1)  # redelivery of the same did
+        assert endpoint.sink.uplinks()[1].payload["outs"] == first
+        # Not re-executed: the server never saw the duplicate.
+        assert dict(endpoint.server.processed) == processed_before
+
+    def test_journal_entry_carries_did_and_outs(self, endpoint):
+        register(endpoint, 7)
+        entries = [
+            e
+            for e in endpoint.server.persistence.entries_after(0)
+            if e.get("did") is not None
+        ]
+        assert entries and entries[-1]["did"] == 7
+        assert any(
+            o["kind"] == kinds.REGISTER_ACK for o in entries[-1]["outs"]
+        )
+
+    def test_recovery_restores_max_did_and_replay_outs(self, endpoint, tmp_path):
+        register(endpoint, 1)
+        register(endpoint, 2, instance_id="b")
+        stored = endpoint.sink.uplinks()[1].payload["outs"]
+        endpoint.server.persistence.sync()
+        # Cold restart from the same directory: same high-water mark,
+        # same stored outputs for the newest delivery.
+        reborn = build_worker(shard_id="shard-0", directory=str(tmp_path))
+        sink = _Sink()
+        reborn.bind(sink)
+        try:
+            assert reborn.max_did == 2
+            assert "a" in reborn.server.registry
+            assert "b" in reborn.server.registry
+            forward(
+                reborn,
+                2,
+                Message(kind=kinds.REGISTER, sender="b", payload={"user": "b"}),
+            )
+            assert sink.uplinks()[0].payload["outs"] == stored
+        finally:
+            reborn.server.persistence.close()
+
+    def test_suppress_filters_everything_but_router_control(self, endpoint):
+        register(endpoint, 1)
+        endpoint.sink.sent.clear()
+        register(endpoint, 2, instance_id="b")
+        with_acks = endpoint.sink.uplinks()[0].payload["outs"]
+        assert any(o["kind"] == kinds.REGISTER_ACK for o in with_acks)
+        endpoint.sink.sent.clear()
+        forward(
+            endpoint,
+            3,
+            Message(kind=kinds.REGISTER, sender="c", payload={"user": "c"}),
+            suppress=[kinds.REGISTER_ACK, kinds.INSTANCE_LIST],
+        )
+        outs = endpoint.sink.uplinks()[0].payload["outs"]
+        assert not any(
+            o["kind"] in (kinds.REGISTER_ACK, kinds.INSTANCE_LIST)
+            for o in outs
+        )
+
+    def test_failed_handler_still_advances_did_with_error_out(self, endpoint):
+        register(endpoint, 1)
+        register(endpoint, 2)  # duplicate REGISTER -> rejected by server
+        uplink = endpoint.sink.uplinks()[1]
+        assert uplink.payload["did"] == 2
+        assert any(
+            o["kind"] == kinds.ERROR for o in uplink.payload["outs"]
+        )
+        assert endpoint.max_did == 2
+
+    def test_ping_answers_pong_with_stats(self, endpoint):
+        register(endpoint, 1)
+        endpoint.handle_message(
+            Message(kind=kinds.SHARD_PING, sender=ROUTER_ID, payload={})
+        )
+        (pong,) = [
+            m for m in endpoint.sink.sent if m.kind == kinds.SHARD_PONG
+        ]
+        assert pong.payload["max_did"] == 1
+        assert "registered" in pong.payload["stats"]
+
+    def test_non_router_senders_are_ignored(self, endpoint):
+        endpoint.handle_message(
+            Message(kind=kinds.SHARD_ATTACH, sender="mallory", payload={})
+        )
+        assert endpoint.sink.sent == []
+
+
+class TestProcCluster:
+    def test_spawns_ready_workers_with_journals(self, tmp_path):
+        cluster = ProcCluster(2, directory=str(tmp_path))
+        try:
+            assert set(cluster.shard_ids) == {"shard-0", "shard-1"}
+            for shard_id, handle in cluster.shards.items():
+                assert handle.state == "ready"
+                assert handle.process.poll() is None
+                assert os.path.isdir(os.path.join(str(tmp_path), shard_id))
+            status = cluster.cluster_status()
+            assert set(status["processes"]) == {"shard-0", "shard-1"}
+        finally:
+            cluster.close()
+
+    def test_close_terminates_workers(self, tmp_path):
+        cluster = ProcCluster(1, directory=str(tmp_path))
+        process = cluster.shards["shard-0"].process
+        cluster.close()
+        assert process.wait(timeout=10) is not None
+
+    def test_kill_is_detected_and_worker_restarts_with_state(self, tmp_path):
+        cluster = ProcCluster(
+            1, directory=str(tmp_path), heartbeat_interval=0.1
+        )
+        sent = []
+        cluster.bind(type("T", (), {"send": lambda self, m: sent.append(m)})())
+        try:
+            cluster.handle_message(
+                Message(kind=kinds.REGISTER, sender="a", payload={"user": "a"})
+            )
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and not any(
+                m.kind == kinds.REGISTER_ACK for m in sent
+            ):
+                time.sleep(0.02)
+            assert any(m.kind == kinds.REGISTER_ACK for m in sent)
+
+            old_pid = cluster.kill_shard("shard-0")
+            handle = cluster.shards["shard-0"]
+            deadline = time.monotonic() + 20
+            while time.monotonic() < deadline and not (
+                handle.restarts >= 1 and handle.state == "ready"
+            ):
+                time.sleep(0.05)
+            assert handle.state == "ready"
+            assert handle.restarts >= 1
+            assert handle.process.pid != old_pid
+            # The replacement recovered the journal: the roster survived,
+            # so a duplicate REGISTER is rejected.
+            before = len(sent)
+            cluster.handle_message(
+                Message(kind=kinds.REGISTER, sender="a", payload={"user": "a"})
+            )
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and len(sent) == before:
+                time.sleep(0.02)
+            assert any(
+                m.kind == kinds.ERROR for m in sent[before:]
+            )
+        finally:
+            cluster.close()
+
+    def test_heartbeats_refresh_liveness_and_cache_stats(self, tmp_path):
+        cluster = ProcCluster(
+            1, directory=str(tmp_path), heartbeat_interval=0.1
+        )
+        try:
+            handle = cluster.shards["shard-0"]
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and not handle.remote_stats:
+                time.sleep(0.02)
+            assert handle.last_pong > 0
+            assert "registered" in handle.remote_stats
+            assert cluster.stats()["per_shard"]["shard-0"]["worker"]
+        finally:
+            cluster.close()
+
+    def test_persistence_knob_conflict_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ProcCluster(
+                1, directory=str(tmp_path), persistence=object()
+            )
+
+
+class TestOperatorCli:
+    def test_status_and_reshard_against_a_live_session(self, tmp_path):
+        import subprocess
+        import sys
+
+        from repro.session import Session
+        from repro.tools.cluster import ClusterAdmin
+
+        with Session(
+            backend="aio", shards=2, processes=True,
+            persistence=str(tmp_path),
+        ) as session:
+            port = session.port
+            # Programmatic client: status + live reshard round-trip.
+            with ClusterAdmin(port=port) as admin:
+                status = admin.status()
+                assert status["shards"] == ["shard-0", "shard-1"]
+                assert set(status["processes"]) == {"shard-0", "shard-1"}
+                added = admin.add_shard()
+                assert added["shard"] == "shard-2"
+                removed = admin.remove_shard("shard-2")
+                assert removed["shard"] == "shard-2"
+            # The installed CLI entry point, as an operator would run it.
+            proc = subprocess.run(
+                [
+                    sys.executable, "-m", "repro.tools.cluster",
+                    "--port", str(port), "status",
+                ],
+                capture_output=True, text=True, timeout=60,
+                env={
+                    **os.environ,
+                    "PYTHONPATH": os.path.dirname(
+                        os.path.dirname(
+                            os.path.abspath(
+                                __import__("repro").__file__
+                            )
+                        )
+                    ),
+                },
+            )
+            assert proc.returncode == 0, proc.stderr
+            assert "shard-0" in proc.stdout
+            assert "pid=" in proc.stdout

@@ -1,11 +1,10 @@
 """Behavioral tests for the ShardedCosoftCluster front-end router."""
 
-import pytest
 
 from repro.cluster import ShardedCosoftCluster
 from repro.net import kinds
 from repro.net.message import Message
-from repro.net.transport import ROUTER_ID, TrafficStats, Transport
+from repro.net.transport import TrafficStats, Transport
 from repro.session import ClusterSession
 from repro.toolkit.widgets import Shell, TextField
 

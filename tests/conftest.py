@@ -10,8 +10,6 @@ from repro.session import Session
 from repro.toolkit import (
     Canvas,
     Form,
-    Label,
-    ListBox,
     OptionMenu,
     PushButton,
     Scale,

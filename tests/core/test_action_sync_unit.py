@@ -3,7 +3,6 @@
 from collections import Counter
 from typing import Optional
 
-import pytest
 
 from repro.core import action_sync
 from repro.core.action_sync import FloorGrant

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import compat
 from repro.errors import IncompatibleObjectsError
-from repro.toolkit.builder import build, to_spec
+from repro.toolkit.builder import to_spec
 from repro.toolkit.widgets import Form, Label, Shell, TextField
 
 

@@ -1,6 +1,5 @@
 """Tests for spec fingerprints and the structural-mapping cache (§3.3)."""
 
-import pytest
 
 from repro.core import compat, state_sync
 from repro.core.compat import (
@@ -10,7 +9,7 @@ from repro.core.compat import (
     spec_fingerprint,
 )
 from repro.toolkit.builder import to_spec
-from repro.toolkit.widgets import Form, Label, Shell, TextField
+from repro.toolkit.widgets import Form, Shell, TextField
 
 
 def make_tree(root="app", field="name"):

@@ -9,7 +9,7 @@ from repro.core.compat import (
 )
 from repro.errors import IncompatibleObjectsError
 from repro.session import LocalSession
-from repro.toolkit.widgets import Form, Label, Shell, TextField
+from repro.toolkit.widgets import Label, Shell, TextField
 
 
 class TestInference:

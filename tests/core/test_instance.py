@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import NotRegisteredError, PathError, ServerError
 from repro.server.permissions import PermissionRule
-from repro.toolkit.events import ACTIVATE, VALUE_CHANGED
+from repro.toolkit.events import VALUE_CHANGED
 from repro.toolkit.widgets import Form, Shell, TextField
 
 from conftest import make_demo_tree

@@ -5,7 +5,6 @@ import pytest
 from repro.core import compat, state_sync
 from repro.core.semantic import SemanticHookRegistry
 from repro.errors import IncompatibleObjectsError
-from repro.toolkit.builder import build, to_spec
 from repro.toolkit.widgets import Canvas, Form, Label, Shell, TextField
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.session import LocalSession
-from repro.toolkit.widgets import Shell, TextField
 
 from conftest import make_demo_tree
 

@@ -10,9 +10,7 @@ instances are refused until the acks drain.
 import pytest
 
 from repro.net import kinds
-from repro.net.message import Message
 from repro.session import LocalSession
-from repro.toolkit.events import ACTIVATE, VALUE_CHANGED
 from repro.toolkit.widgets import Shell, TextField, ToggleButton
 
 from conftest import make_demo_tree

@@ -8,7 +8,6 @@ serializes them.  These tests hammer that boundary.
 import threading
 import time
 
-import pytest
 
 from repro.session import TcpSession
 from repro.toolkit.widgets import Canvas, Shell, TextField

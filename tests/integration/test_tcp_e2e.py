@@ -5,7 +5,6 @@ import time
 import pytest
 
 from repro.session import TcpSession
-from repro.toolkit.widgets import Shell, TextField
 
 from conftest import make_demo_tree
 

@@ -219,3 +219,86 @@ class TestEntryPoints:
         )
         spec = {s.name: s for s in communicator_specs()}["memory"]
         assert spec.source == "builtin"
+
+    def test_entry_points_never_override_explicit_registrations(
+        self, monkeypatch, scratch_name
+    ):
+        # An installed package advertising the same name as an explicit
+        # register_communicator() call must lose: explicit wins.
+        marker = object()
+        register_communicator(scratch_name, lambda config: marker)
+
+        class FakeEntryPoint:
+            name = scratch_name
+            value = "hijack_mod:Backend"
+
+        monkeypatch.setattr(registry, "_ENTRY_POINTS_SCANNED", False)
+        import importlib.metadata as ilm
+
+        monkeypatch.setattr(
+            ilm, "entry_points", lambda group=None: [FakeEntryPoint()]
+        )
+        spec = {s.name: s for s in communicator_specs()}[scratch_name]
+        assert spec.source == "api"
+        assert get_communicator(scratch_name)(None) is marker
+
+
+class TestErrorPathDetails:
+    """The error surfaces the ISSUE pins down, asserted precisely."""
+
+    def test_unknown_name_error_lists_every_registered_name(
+        self, scratch_name
+    ):
+        register_communicator(scratch_name, lambda config: None)
+        with pytest.raises(UnknownCommunicatorError) as excinfo:
+            get_communicator("carrier-pigeon")
+        text = str(excinfo.value)
+        assert "carrier-pigeon" in text
+        # The listing is live: builtins *and* the just-registered
+        # third-party name all appear.
+        for name in communicator_names():
+            assert name in text
+
+    def test_import_failure_names_the_pip_extra_and_keeps_cause(
+        self, scratch_name
+    ):
+        register_communicator(
+            scratch_name,
+            "definitely_not_installed_pkg.ws:Backend",
+            extra="websocket",
+        )
+        with pytest.raises(CommunicatorDependencyError) as excinfo:
+            get_communicator(scratch_name)
+        assert 'pip install "repro[websocket]"' in str(excinfo.value)
+        # The original ImportError is chained, not swallowed.
+        assert isinstance(excinfo.value.__cause__, ImportError)
+
+    def test_import_failure_without_extra_mentions_no_extra(
+        self, scratch_name
+    ):
+        register_communicator(
+            scratch_name, "definitely_not_installed_pkg.ws:Backend"
+        )
+        with pytest.raises(CommunicatorDependencyError) as excinfo:
+            get_communicator(scratch_name)
+        assert "pip install \"repro[" not in str(excinfo.value)
+
+    def test_failed_lazy_target_is_not_memoized(self, scratch_name):
+        register_communicator(
+            scratch_name, "definitely_not_installed_pkg.ws:Backend"
+        )
+        with pytest.raises(CommunicatorDependencyError):
+            get_communicator(scratch_name)
+        # Recovery: replacing the broken target takes effect immediately.
+        register_communicator(
+            scratch_name, lambda config: "fixed", replace=True
+        )
+        assert get_communicator(scratch_name)(None) == "fixed"
+
+    def test_has_communicator_never_imports_the_target(self, scratch_name):
+        register_communicator(
+            scratch_name, "definitely_not_installed_pkg.ws:Backend"
+        )
+        # A broken lazy target is still *registered* — presence checks
+        # must not trigger the import.
+        assert has_communicator(scratch_name)

@@ -1,6 +1,5 @@
 """Unit tests for the transport abstractions and traffic accounting."""
 
-import pytest
 
 from repro.net import kinds
 from repro.net.memory import MemoryNetwork

@@ -4,7 +4,6 @@ import string
 
 from hypothesis import given, settings, strategies as st
 
-from repro.net import kinds
 from repro.net.codec import StreamDecoder, decode, encode
 from repro.net.message import ALL_KINDS, Message
 

@@ -5,10 +5,8 @@ import pytest
 from repro.errors import BuilderError
 from repro.toolkit.events import (
     ACTIVATE,
-    DRAW,
     KEY_PRESS,
     POINTER_MOTION,
-    SELECTION_CHANGED,
     VALUE_CHANGED,
 )
 from repro.toolkit.widgets import (
@@ -21,7 +19,6 @@ from repro.toolkit.widgets import (
     OptionMenu,
     PushButton,
     Scale,
-    Shell,
     TextArea,
     TextField,
     ToggleButton,

@@ -6,7 +6,6 @@ import pytest
 
 from repro.session import LocalSession
 from repro.tools.monitor import format_dashboard, snapshot
-from repro.toolkit.widgets import Shell, TextField
 
 from conftest import make_demo_tree
 

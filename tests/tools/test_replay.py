@@ -4,7 +4,7 @@ import pytest
 
 from repro.session import LocalSession
 from repro.tools.replay import SessionRecorder, loads, replay, replay_locally
-from repro.toolkit.builder import build, clone
+from repro.toolkit.builder import build
 from repro.toolkit.tree import subtree_state
 
 from conftest import make_demo_tree

@@ -1,6 +1,5 @@
 """Tests for the composite collaboration scenarios."""
 
-import pytest
 
 from repro.workloads.scenarios import (
     classroom_lesson,
