@@ -207,6 +207,67 @@ class TestObservabilityOverhead:
         )
 
 
+class TestObservabilityOverheadProc:
+    """Gate: the cluster observability plane stays off the hot path.
+
+    Same economy argument as :class:`TestObservabilityOverhead`, on the
+    multi-process path: with ``processes=True`` the supervisor scrapes
+    workers over the admin links (piggybacked on heartbeats and at
+    export time), so client-visible traffic per operation must stay
+    within 5% of the uninstrumented run.
+    """
+
+    USERS = 4
+    EVENTS_PER_USER = 3
+
+    def _replay(self, observability, directory):
+        session = Session(
+            backend="aio",
+            shards=2,
+            processes=True,
+            persistence=directory,
+            observability=observability,
+        )
+        try:
+            instances, trees = [], []
+            for i in range(self.USERS):
+                inst = session.create_instance(f"i{i}", user=f"u{i}")
+                root = Shell("ui")
+                TextField("field", parent=root)
+                inst.add_root(root)
+                instances.append(inst)
+                trees.append(root)
+            for i in range(0, self.USERS, 2):
+                instances[i].couple(
+                    trees[i].find("/ui/field"), (f"i{i + 1}", "/ui/field")
+                )
+            session.pump()
+            before = session.traffic()["messages"]
+            for round_no in range(self.EVENTS_PER_USER):
+                for i in range(self.USERS):
+                    trees[i].find("/ui/field").commit(f"u{i}-r{round_no}")
+                    session.pump()
+            messages = session.traffic()["messages"] - before
+        finally:
+            session.close()
+        return messages / (self.USERS * self.EVENTS_PER_USER)
+
+    def test_cluster_overhead_under_five_percent(self, benchmark, tmp_path):
+        def compare():
+            return (
+                self._replay(False, str(tmp_path / "off")),
+                self._replay(True, str(tmp_path / "on")),
+            )
+
+        baseline, instrumented = benchmark.pedantic(
+            compare, rounds=1, iterations=1
+        )
+        assert instrumented <= baseline * 1.05, (
+            f"cluster observability regressed msgs/op: "
+            f"{baseline:.2f} -> {instrumented:.2f}"
+        )
+
+
 class TestPersistenceOverhead:
     """Gate: journaling must never add wire traffic.
 

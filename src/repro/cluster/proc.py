@@ -42,12 +42,15 @@ stats) — never the router state.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import os
 import subprocess
 import sys
 import threading
 import time
-from typing import Any, Dict, FrozenSet, List, Optional
+from collections import deque
+from typing import Any, Deque, Dict, FrozenSet, List, Optional
 
 import repro
 from repro.errors import ReproError
@@ -56,12 +59,41 @@ from repro.net.aio import AioClientTransport
 from repro.net.message import Message
 from repro.net.transport import ROUTER_ID, SERVER_ID, TrafficStats
 from repro.cluster.router import ShardedCosoftCluster
+from repro.obs import tracing as obs_tracing
+from repro.obs.remote import ShardSampleCache
 from repro.server.routing import RoutingStats
 
-__all__ = ["ProcShardHandle", "ProcCluster"]
+__all__ = ["ProcShardHandle", "ProcCluster", "FlightRecorder"]
 
 #: Sentinel that stops the router thread.
 _STOP = object()
+
+
+class FlightRecorder:
+    """Bounded ring of recent supervision events for one shard.
+
+    Cheap enough to run unconditionally (a deque append per lifecycle
+    event — spawns, hellos, kills, liveness verdicts); when a worker
+    dies the supervisor dumps this ring, the shard's last pulled spans
+    and its last known stats to the journal directory, so a post-mortem
+    has the seconds *before* the crash, not just the recovery after it.
+    """
+
+    def __init__(self, maxlen: int = 256):
+        self._events: Deque[Dict[str, Any]] = deque(maxlen=maxlen)
+
+    def note(self, event: str, **detail: Any) -> None:
+        entry: Dict[str, Any] = {
+            "ts": time.time(),
+            "monotonic": time.monotonic(),
+            "event": event,
+        }
+        if detail:
+            entry.update(detail)
+        self._events.append(entry)
+
+    def events(self) -> List[Dict[str, Any]]:
+        return list(self._events)
 
 
 class ProcShardHandle:
@@ -100,6 +132,18 @@ class ProcShardHandle:
         self.pending: Dict[int, Message] = {}
         self._acked: Dict[int, List[Dict[str, Any]]] = {}
         self._aborted = False
+        #: Supervision-event ring + last telemetry, dumped on crash.
+        self.flight = FlightRecorder()
+        self.flight_dumps = 0
+        #: Merged view of the worker's metric samples (OBS pulls).
+        self.obs_cache = ShardSampleCache(shard_id)
+        #: The worker's span-recorder stats from its latest OBS reply.
+        self.remote_trace_stats: Dict[str, Any] = {}
+        #: Most recent span dicts pulled from the worker (flight dump).
+        self.last_spans: Deque[Dict[str, Any]] = deque(maxlen=512)
+        self._obs: Any = None
+        self._obs_replies = 0
+        self._obs_cond = threading.Condition()
 
     # -- delivery rendezvous (router thread <-> link thread) -----------
 
@@ -172,6 +216,21 @@ class ProcShardHandle:
 
     # -- observability ---------------------------------------------------
 
+    def heartbeat_age(self, now: Optional[float] = None) -> float:
+        """Seconds since this worker was last heard from.
+
+        The baseline is the *later* of the last inbound link message and
+        the current process's spawn time: right after a kill→respawn the
+        stale pre-crash ``last_seen`` must not be reported as a huge age
+        for a worker that is seconds old.
+        """
+        if now is None:
+            now = time.monotonic()
+        baseline = max(self.last_seen, self.spawned_at)
+        if not baseline:
+            return float("inf")
+        return max(0.0, now - baseline)
+
     def configure_observability(self, obs, **labels: str) -> None:
         """Register liveness gauges (called by the router's obs wiring)."""
         if not (obs.enabled and obs.registry.enabled):
@@ -194,12 +253,74 @@ class ProcShardHandle:
             yield Sample(
                 "repro_cluster_shard_heartbeat_age_seconds", "gauge",
                 "Seconds since the shard worker was last heard from",
-                base,
-                max(0.0, time.monotonic() - self.last_seen)
-                if self.last_seen else float("inf"),
+                base, self.heartbeat_age(),
             )
 
         obs.registry.register_collector(collect)
+
+    def attach_observability(self, obs) -> None:
+        """Wire the cross-process scrape for this shard (idempotent).
+
+        Registers the merged sample cache as a registry collector (every
+        cached worker sample re-labeled ``shard=<id>``) and remembers the
+        supervisor recorder that pulled spans merge into.
+        """
+        if self._obs is obs:
+            return
+        first = self._obs is None
+        self._obs = obs
+        if first and obs.registry.enabled:
+            obs.registry.register_collector(self.obs_cache.collect)
+
+    def obs_pull_message(self) -> Message:
+        """A SHARD_OBS_PULL asking for the delta since the last reply."""
+        return Message(
+            kind=kinds.SHARD_OBS_PULL,
+            sender=ROUTER_ID,
+            to=self.shard_id,
+            payload={"since": self.obs_cache.epoch},
+        )
+
+    def pull_obs(self, timeout: float) -> bool:
+        """Scrape this worker and block until its reply merged (or timeout).
+
+        Used by the export-time refresher; runs on the exporting caller's
+        thread, never the router thread, so scrapes stay off the message
+        hot path.
+        """
+        if self.state != "ready" or self.link is None:
+            return False
+        with self._obs_cond:
+            seen = self._obs_replies
+        self.send(self.obs_pull_message())
+        deadline = time.monotonic() + timeout
+        with self._obs_cond:
+            while self._obs_replies == seen:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._obs_cond.wait(remaining)
+        return True
+
+    def on_obs_reply(self, payload: Dict[str, Any]) -> None:
+        """Merge one SHARD_OBS_REPLY (link thread side)."""
+        self.obs_cache.apply(
+            str(payload.get("epoch", "")),
+            bool(payload.get("full")),
+            payload.get("samples") or (),
+        )
+        spans = payload.get("spans") or ()
+        if spans:
+            self.last_spans.extend(spans)
+            obs = self._obs
+            if obs is not None and obs.tracing:
+                obs.spans.ingest(list(spans))
+        stats = payload.get("trace_stats")
+        if isinstance(stats, dict):
+            self.remote_trace_stats = stats
+        with self._obs_cond:
+            self._obs_replies += 1
+            self._obs_cond.notify_all()
 
 
 class ProcCluster(ShardedCosoftCluster):
@@ -219,6 +340,11 @@ class ProcCluster(ShardedCosoftCluster):
     start_timeout / call_timeout:
         Bounds on worker startup and on one blocking shard call (the
         latter must cover a crash + restart + replay cycle).
+    observability:
+        Spawn workers with their own live registry + span recorder
+        (SHARD_OBS_PULL answers).  Pass it at construction — workers
+        start before :meth:`configure_observability` runs — though a
+        later enable still covers every worker spawned afterwards.
     """
 
     def __init__(
@@ -233,6 +359,7 @@ class ProcCluster(ShardedCosoftCluster):
         start_timeout: float = 30.0,
         call_timeout: float = 60.0,
         snapshot_every: int = 500,
+        observability: bool = False,
         **kwargs: Any,
     ):
         if kwargs.get("persistence") is not None:
@@ -249,6 +376,8 @@ class ProcCluster(ShardedCosoftCluster):
         self.start_timeout = start_timeout
         self.call_timeout = call_timeout
         self.snapshot_every = snapshot_every
+        self.observability = observability
+        self._obs: Any = None
         self._supervisor_lock = threading.RLock()
         self._spawn_count = 0
         self._closed = False
@@ -274,6 +403,8 @@ class ProcCluster(ShardedCosoftCluster):
         handle = ProcShardHandle(
             shard_id, os.path.join(self.directory, shard_id)
         )
+        if self._obs is not None:
+            handle.attach_observability(self._obs)
         self.shards[shard_id] = handle  # type: ignore[assignment]
         self._shard_stats[shard_id] = TrafficStats()
         with self._supervisor_lock:
@@ -288,6 +419,42 @@ class ProcCluster(ShardedCosoftCluster):
             self._terminate(handle)
         # The journal directory stays — an operator can archive or
         # inspect a retired shard's op log.
+
+    # ------------------------------------------------------------------
+    # Observability (overrides)
+    # ------------------------------------------------------------------
+
+    def configure_observability(self, obs) -> None:
+        """Extend the base wiring with the cross-process scrape plane.
+
+        Each shard handle's merged sample cache becomes a registry
+        collector (samples re-labeled ``shard=<id>``), pulled spans merge
+        into the supervisor recorder, and an export-time refresher
+        scrapes every ready worker so ``metrics_text()``/``span_dump()``
+        transparently cover the fleet.  Also arms :attr:`observability`
+        so any worker (re)spawned from here on comes up instrumented.
+        """
+        super().configure_observability(obs)
+        if not obs.enabled:
+            return
+        self.observability = True
+        self._obs = obs
+        for handle in self.shards.values():
+            handle.attach_observability(obs)
+        obs.add_refresher(self._refresh_remote_obs)
+
+    def _refresh_remote_obs(self) -> None:
+        """Delta-scrape every ready worker (export time, off hot path)."""
+        timeout = min(self.call_timeout, 5.0)
+        for handle in list(self.shards.values()):
+            if handle.state != "ready":
+                continue
+            try:
+                handle.pull_obs(timeout)
+            except OSError:
+                # A link dying mid-scrape must not cost the other
+                # shards their refresh; the monitor owns the restart.
+                continue
 
     # ------------------------------------------------------------------
     # Worker spawning / supervision
@@ -328,7 +495,14 @@ class ProcCluster(ShardedCosoftCluster):
             cmd.append("--no-default-allow")
         if not self.ack_release:
             cmd.append("--no-ack-release")
+        if self.observability:
+            cmd.append("--observability")
         env = dict(os.environ)
+        # The session's observability setting is authoritative for the
+        # fleet: workers must not inherit a stray REPRO_OBSERVABILITY
+        # from the supervisor's environment when the session disabled it
+        # (nor miss it when enabled — respawns included).
+        env["REPRO_OBSERVABILITY"] = "1" if self.observability else "0"
         src_root = os.path.dirname(
             os.path.dirname(os.path.abspath(repro.__file__))
         )
@@ -352,6 +526,10 @@ class ProcCluster(ShardedCosoftCluster):
         handle.process = process
         handle.state = "starting"
         handle.spawned_at = time.monotonic()
+        handle.flight.note(
+            "spawn", pid=process.pid, spawn=self._spawn_count,
+            observability=self.observability,
+        )
         deadline = time.monotonic() + self.start_timeout
         while not os.path.exists(portfile):
             if process.poll() is not None:
@@ -392,6 +570,11 @@ class ProcCluster(ShardedCosoftCluster):
             )
         handle.last_seen = time.monotonic()
         handle.state = "ready"
+        handle.flight.note(
+            "ready", pid=process.pid, port=handle.port,
+            remote_max_did=handle.remote_max_did,
+            pending=len(handle.pending),
+        )
         handle.resend_pending()
 
     def _terminate(self, handle: ProcShardHandle) -> None:
@@ -428,10 +611,51 @@ class ProcCluster(ShardedCosoftCluster):
                 pass
             handle.link = None
         handle.restarts += 1
+        handle.flight.note("restart", restarts=handle.restarts)
         try:
             self._spawn(handle)
         except ReproError:
             handle.state = "down"  # next monitor tick tries again
+            handle.flight.note("respawn_failed", restarts=handle.restarts)
+
+    def _dump_flight(self, handle: ProcShardHandle, reason: str) -> str:
+        """Write the shard's flight-recorder ring to its journal dir.
+
+        Called when the monitor declares a worker dead — *before* the
+        restart, so the dump captures the pre-crash view: supervision
+        events, the last spans pulled from the worker, its last stats,
+        and the deliveries that were still in flight.  The chaos CI job
+        uploads these files as artifacts.
+        """
+        handle.flight_dumps += 1
+        process = handle.process
+        dump = {
+            "shard": handle.shard_id,
+            "reason": reason,
+            "wall_time": time.time(),
+            "state": handle.state,
+            "restarts": handle.restarts,
+            "pid": process.pid if process is not None else None,
+            "returncode": process.returncode if process is not None else None,
+            "heartbeat_age_seconds": handle.heartbeat_age(),
+            "pending_deliveries": sorted(handle.pending),
+            "remote_max_did": handle.remote_max_did,
+            "remote_stats": dict(handle.remote_stats),
+            "remote_trace_stats": dict(handle.remote_trace_stats),
+            "events": handle.flight.events(),
+            "spans": list(handle.last_spans),
+        }
+        path = os.path.join(
+            handle.directory, f"flight-{handle.flight_dumps}.json"
+        )
+        try:
+            tmp = path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(dump, fh, indent=2, default=str)
+            os.replace(tmp, path)
+        except OSError:
+            return ""  # a full disk must not take the supervisor down
+        return path
 
     def _monitor_loop(self) -> None:
         ping = None
@@ -455,6 +679,10 @@ class ProcCluster(ShardedCosoftCluster):
                     )
                     if silent:
                         # Alive but unresponsive: treat like a crash.
+                        handle.flight.note(
+                            "liveness_timeout",
+                            age=time.monotonic() - handle.last_seen,
+                        )
                         try:
                             process.kill()
                             process.wait(timeout=2.0)
@@ -462,6 +690,17 @@ class ProcCluster(ShardedCosoftCluster):
                             pass
                         dead = True
                     if dead:
+                        handle.flight.note(
+                            "dead",
+                            returncode=(
+                                process.returncode
+                                if process is not None else None
+                            ),
+                        )
+                        self._dump_flight(
+                            handle,
+                            "liveness_timeout" if silent else "worker_exit",
+                        )
                         self._restart(handle)
                         continue
                 if handle.state == "ready":
@@ -472,6 +711,11 @@ class ProcCluster(ShardedCosoftCluster):
                         payload={},
                     )
                     handle.send(ping)
+                    if self.observability and handle._obs is not None:
+                        # Piggyback a delta scrape on the heartbeat so
+                        # the supervisor's span/sample view (and thus a
+                        # crash dump) is never staler than one tick.
+                        handle.send(handle.obs_pull_message())
 
     def _on_link_message(self, handle: ProcShardHandle, message: Message) -> None:
         """Inbound from one worker (runs on that link's loop thread)."""
@@ -493,6 +737,8 @@ class ProcCluster(ShardedCosoftCluster):
             stats = payload.get("stats")
             if isinstance(stats, dict):
                 handle.remote_stats = stats
+        elif kind == kinds.SHARD_OBS_REPLY:
+            handle.on_obs_reply(payload)
 
     # ------------------------------------------------------------------
     # Router thread (serial dispatch)
@@ -553,6 +799,24 @@ class ProcCluster(ShardedCosoftCluster):
     ) -> None:
         handle = self.shards[shard_id]
         did = handle.next_did()
+        obs = self.obs
+        span = None
+        if obs.tracing and message.trace is not None:
+            # The supervisor half of the cross-process hop: covers the
+            # envelope round trip (send .. ack + output replay).  The
+            # worker parents its worker.apply span off this id, so the
+            # merged trace tree crosses the process boundary intact.
+            span = obs.spans.start(
+                obs_tracing.CLUSTER_FORWARD,
+                trace_id=message.trace[0],
+                parent_id=message.trace[1],
+                endpoint=ROUTER_ID,
+                shard=shard_id,
+                did=did,
+            )
+            message = dataclasses.replace(
+                message, trace=(message.trace[0], span.span_id)
+            )
         envelope = Message(
             kind=kinds.SHARD_FORWARD,
             sender=ROUTER_ID,
@@ -563,11 +827,15 @@ class ProcCluster(ShardedCosoftCluster):
                 "suppress": sorted(suppress) if suppress else [],
             },
         )
-        outs = handle.call(did, envelope, self.call_timeout)
-        # The worker already applied the suppress filter; replay its
-        # outputs through the base bookkeeping unfiltered.
-        for wire in outs:
-            self._on_shard_send(shard_id, Message.from_wire(wire))
+        try:
+            outs = handle.call(did, envelope, self.call_timeout)
+            # The worker already applied the suppress filter; replay its
+            # outputs through the base bookkeeping unfiltered.
+            for wire in outs:
+                self._on_shard_send(shard_id, Message.from_wire(wire))
+        finally:
+            if span is not None:
+                obs.spans.finish(span)
 
     # ------------------------------------------------------------------
     # Resharding / administration entry points (marshal to router thread)
@@ -590,6 +858,7 @@ class ProcCluster(ShardedCosoftCluster):
         if process is None:
             raise ReproError(f"shard {shard_id!r} has no process")
         pid = process.pid
+        handle.flight.note("kill_shard", pid=pid)
         process.kill()
         return pid
 

@@ -29,6 +29,7 @@ sequence numbers, idempotent state installs).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import itertools
 import os
 import signal
@@ -39,6 +40,9 @@ from typing import Any, Dict, List, Optional
 from repro.net import kinds
 from repro.net.message import Message
 from repro.net.transport import ROUTER_ID, TrafficStats, Transport
+from repro.obs import NULL_OBS, Observability
+from repro.obs import tracing as obs_tracing
+from repro.obs.remote import SampleDiffer
 from repro.persist.journal import PersistenceConfig
 from repro.persist.recovery import recover_server
 from repro.server.permissions import AccessControl
@@ -123,9 +127,15 @@ class ShardEndpoint:
     id with one SHARD_UPLINK carrying the collected outputs.
     """
 
-    def __init__(self, server: CosoftServer, shard_id: str):
+    def __init__(
+        self, server: CosoftServer, shard_id: str, obs: Any = NULL_OBS
+    ):
         self.server = server
         self.shard_id = shard_id
+        self.obs = obs
+        #: Delta cache answering OBS pulls: repeated scrapes ship only
+        #: samples whose values changed since the last pull.
+        self._obs_differ = SampleDiffer()
         self._transport: Optional[Any] = None
         #: Newest delivery id whose effects are journaled (or executed,
         #: for relay-only ops) — re-deliveries at or below it are
@@ -172,6 +182,8 @@ class ShardEndpoint:
                 max_did=self.max_did,
                 stats=self.server.stats(),
             )
+        elif kind == kinds.SHARD_OBS_PULL:
+            self._on_obs_pull(message)
 
     # -- internals ------------------------------------------------------
 
@@ -203,6 +215,37 @@ class ShardEndpoint:
             return
         outs.append(message.to_wire())
 
+    def _on_obs_pull(self, message: Message) -> None:
+        """Answer a supervisor scrape with this worker's telemetry delta.
+
+        ``since`` is the epoch the supervisor last saw — a mismatch (or
+        a fresh process after a crash) forces a full snapshot, so the
+        supervisor's merged cache can never go stale silently.
+        """
+        obs = self.obs
+        since = message.payload.get("since")
+        if not (obs.enabled and obs.registry.enabled):
+            self._send_control(
+                kinds.SHARD_OBS_REPLY,
+                epoch=self._obs_differ.epoch,
+                full=True,
+                samples=[],
+                spans=[],
+                trace_stats={},
+            )
+            return
+        epoch, full, samples = self._obs_differ.diff(
+            obs.registry.collect(), since
+        )
+        self._send_control(
+            kinds.SHARD_OBS_REPLY,
+            epoch=epoch,
+            full=full,
+            samples=samples,
+            spans=obs.spans.drain() if obs.tracing else [],
+            trace_stats=obs.spans.stats() if obs.tracing else {},
+        )
+
     def _on_forward(self, message: Message) -> None:
         payload = message.payload
         did = int(payload["did"])
@@ -213,15 +256,34 @@ class ShardEndpoint:
             self._send_uplink(did, self._last_outs.get(did, []))
             return
         suppress_wire = payload.get("suppress") or ()
+        inner = Message.from_wire(payload["msg"])
+        obs = self.obs
+        span = None
+        if obs.tracing and inner.trace is not None:
+            # The worker half of the cross-process hop: the supervisor's
+            # cluster.forward span id rides in on the inner message, and
+            # re-stamping makes server.receive nest under worker.apply.
+            span = obs.spans.start(
+                obs_tracing.WORKER_APPLY,
+                trace_id=inner.trace[0],
+                parent_id=inner.trace[1],
+                endpoint=self.shard_id,
+                did=did,
+            )
+            inner = dataclasses.replace(
+                inner, trace=(inner.trace[0], span.span_id)
+            )
         self._current_did = did
         self._outs = []
         self._suppress = frozenset(suppress_wire) if suppress_wire else None
         try:
-            self.server.handle_message(Message.from_wire(payload["msg"]))
+            self.server.handle_message(inner)
         finally:
             outs, self._outs = self._outs, None
             self._current_did = None
             self._suppress = None
+            if span is not None:
+                obs.spans.finish(span)
         self.max_did = did
         # Dispatch is serial per shard, so only the newest delivery can
         # ever be re-asked for; keeping one entry bounds memory.
@@ -246,11 +308,16 @@ def build_worker(
     floor_lease: float = 30.0,
     couple_scope: str = "all",
     snapshot_every: int = 500,
+    observability: bool = False,
 ) -> ShardEndpoint:
     """Build (or recover) the shard server and wrap it for the plane.
 
     ``fsync="always"`` is forced: the ack/replay protocol requires that
     an acknowledged operation is durable *before* the ack leaves.
+
+    With *observability* the worker runs a full registry + span recorder
+    of its own (span ids prefixed ``<shard-id>.`` so they stay unique
+    fleet-wide) and answers the supervisor's SHARD_OBS_PULL scrapes.
     """
     persistence = PersistenceConfig(
         directory=directory,
@@ -269,7 +336,14 @@ def build_worker(
         server = recover_server(persistence, **server_kwargs)
     else:
         server = CosoftServer(persistence=persistence, **server_kwargs)
-    return ShardEndpoint(server, shard_id)
+    obs: Any = NULL_OBS
+    if observability:
+        obs = Observability()
+        obs.spans.id_prefix = f"{shard_id}."
+        # No shard label here: the supervisor stamps shard=<id> onto
+        # every pulled sample, so worker registries stay shard-agnostic.
+        server.configure_observability(obs)
+    return ShardEndpoint(server, shard_id, obs=obs)
 
 
 def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
@@ -292,6 +366,12 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     parser.add_argument("--couple-scope", default="all")
     parser.add_argument("--snapshot-every", type=int, default=500)
     parser.add_argument(
+        "--observability", action="store_true",
+        help="run a live metrics registry + span recorder in this worker "
+             "(the supervisor also sets REPRO_OBSERVABILITY in the spawn "
+             "env, which this flag defaults from)",
+    )
+    parser.add_argument(
         "--msg-id-base", type=int, default=0,
         help="start of this process's msg_id space (the supervisor hands "
              "each spawn a disjoint range so correlation ids emitted by "
@@ -306,6 +386,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.net import message as message_mod
 
         message_mod._msg_counter = itertools.count(args.msg_id_base + 1)
+    observability = args.observability or os.environ.get(
+        "REPRO_OBSERVABILITY", ""
+    ) not in ("", "0")
     endpoint = build_worker(
         shard_id=args.shard_id,
         directory=args.dir,
@@ -316,6 +399,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         floor_lease=args.floor_lease,
         couple_scope=args.couple_scope,
         snapshot_every=args.snapshot_every,
+        observability=observability,
     )
     from repro.server.runtime import AsyncServerRuntime
 

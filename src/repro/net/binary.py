@@ -123,6 +123,8 @@ KIND_TABLE: Tuple[str, ...] = (
     "cluster_status_reply",
     "cluster_reshard",
     "cluster_reshard_reply",
+    "shard_obs_pull",
+    "shard_obs_reply",
 )
 
 #: Escape id for a kind not in :data:`KIND_TABLE` (inline string follows).

@@ -90,6 +90,8 @@ SHARD_PONG = "shard_pong"          # worker -> router: liveness + load stats
 SHARD_SYNC = "shard_sync"          # router -> worker: roster/ACL bootstrap
 SHARD_INVENTORY = "shard_inventory"  # router -> worker: list stateful groups
 SHARD_INVENTORY_REPLY = "shard_inventory_reply"  # worker -> router
+SHARD_OBS_PULL = "shard_obs_pull"  # router -> worker: scrape metrics + spans
+SHARD_OBS_REPLY = "shard_obs_reply"  # worker -> router: samples/span delta
 
 # Cluster administration (operator CLI -> router; docs/CLUSTER.md).
 CLUSTER_STATUS = "cluster_status"
@@ -152,6 +154,8 @@ ALL_KINDS = frozenset(
         SHARD_SYNC,
         SHARD_INVENTORY,
         SHARD_INVENTORY_REPLY,
+        SHARD_OBS_PULL,
+        SHARD_OBS_REPLY,
         CLUSTER_STATUS,
         CLUSTER_STATUS_REPLY,
         CLUSTER_RESHARD,

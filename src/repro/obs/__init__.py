@@ -21,7 +21,7 @@ runs the whole tier-1 suite instrumented).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Callable, List, Optional, Union
 
 from repro.obs.export import (
     render_json,
@@ -92,6 +92,35 @@ class Observability:
             self.registry = NULL_REGISTRY
         self.tracing = enabled and self.config.tracing
         self.spans = SpanRecorder(maxlen=self.config.span_maxlen)
+        self._refreshers: List[Callable[[], None]] = []
+        self._latency_seen: set = set()
+
+    # ------------------------------------------------------------------
+    # Remote sources
+    # ------------------------------------------------------------------
+
+    def add_refresher(self, refresher: Callable[[], None]) -> None:
+        """Register a pre-export hook that pulls in remote telemetry.
+
+        The multi-process cluster uses this: before every export the
+        supervisor scrapes its workers (delta pulls over the admin link)
+        so ``metrics_text()``/``span_dump()`` cover the whole fleet.
+        Refreshers run off the message hot path, only at export time.
+        """
+        self._refreshers.append(refresher)
+
+    def refresh(self) -> None:
+        """Run registered refreshers; errors are swallowed (a dead worker
+        must not break a scrape — its last cached samples still render).
+        Newly finished spans (local and freshly ingested remote ones)
+        fold into the latency histograms, incrementally."""
+        for refresher in self._refreshers:
+            try:
+                refresher()
+            except Exception:
+                pass
+        if self.tracing and self.registry.enabled:
+            self.observe_span_latencies()
 
     # ------------------------------------------------------------------
     # Export façade
@@ -99,20 +128,33 @@ class Observability:
 
     def metrics_text(self) -> str:
         """Prometheus text exposition of every registered metric."""
+        self.refresh()
         return render_prometheus(self.registry.collect())
 
     def metrics_json(self, *, include_spans: bool = False) -> str:
+        self.refresh()
         return render_json(
             self.registry.collect(),
             self.spans if include_spans else None,
         )
 
     def span_dump(self) -> str:
+        self.refresh()
         return render_span_dump(self.spans)
 
     def observe_span_latencies(self) -> int:
-        """Fold finished span durations into latency histograms."""
-        return observe_latencies(self.spans, self.registry)
+        """Fold finished span durations into latency histograms.
+
+        Incremental: every span folds exactly once, however often this
+        (or any exporting call, which refreshes first) runs.
+        """
+        if len(self._latency_seen) > 8 * self.config.span_maxlen:
+            # Evicted spans can never be re-observed; drop their ids.
+            buffered = {span.span_id for span in self.spans}
+            self._latency_seen &= buffered
+        return observe_latencies(
+            self.spans, self.registry, seen=self._latency_seen
+        )
 
     def __repr__(self) -> str:
         return (

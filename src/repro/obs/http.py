@@ -1,0 +1,86 @@
+"""A stdlib HTTP endpoint exposing a deployment's metrics to Prometheus.
+
+``SessionConfig(metrics_port=...)`` starts one of these next to the
+session: a :class:`~http.server.ThreadingHTTPServer` on a daemon thread
+serving
+
+* ``/metrics`` — Prometheus 0.0.4 text exposition,
+* ``/metrics.json`` — the JSON rendering,
+* ``/spans`` — the human-readable span dump,
+* ``/healthz`` — liveness (200 ``ok``).
+
+Every request re-collects through the session's
+:class:`~repro.obs.Observability` — including its registered refreshers,
+so on a multi-process cluster a scrape transparently delta-pulls every
+worker first.  Scrapes run on the HTTP thread, never the message path.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Tuple
+
+__all__ = ["MetricsHTTPServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-metrics/1"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        obs = self.server.obs  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            body = obs.metrics_text()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/metrics.json":
+            body = obs.metrics_json()
+            content_type = "application/json; charset=utf-8"
+        elif path == "/spans":
+            body = obs.span_dump()
+            content_type = "text/plain; charset=utf-8"
+        elif path == "/healthz":
+            body = "ok\n"
+            content_type = "text/plain; charset=utf-8"
+        else:
+            self.send_error(404, "unknown path (try /metrics)")
+            return
+        payload = body.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args: object) -> None:
+        pass  # scrapes are periodic; stderr noise helps nobody
+
+
+class MetricsHTTPServer:
+    """Serve one Observability over HTTP until :meth:`close`."""
+
+    def __init__(self, obs, host: str = "127.0.0.1", port: int = 0):
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._server.obs = obs  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` actually bound (port 0 resolves here)."""
+        return self._server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}/metrics"
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)

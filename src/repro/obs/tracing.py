@@ -37,6 +37,8 @@ SERVER_FLOOR = "server.floor_held"   # grant .. release of the floor
 SERVER_RECEIVE = "server.receive"    # server handles the EVENT
 SERVER_BROADCAST = "server.broadcast"  # fan-out to the coupled audience
 CLUSTER_ROUTE = "cluster.route"      # front-end router -> owning shard
+CLUSTER_FORWARD = "cluster.forward"  # supervisor -> worker process hop
+WORKER_APPLY = "worker.apply"        # worker process applies a forward
 REMOTE_APPLY = "remote.apply"        # remote instance re-executes
 SERVER_ACK = "server.ack"            # server handles an EVENT_ACK
 
@@ -89,6 +91,7 @@ class SpanRecorder:
         self,
         maxlen: int = 4096,
         clock: Callable[[], float] = time.perf_counter,
+        id_prefix: str = "",
     ):
         if maxlen <= 0:
             raise ValueError("maxlen must be positive")
@@ -97,14 +100,21 @@ class SpanRecorder:
         self._clock = clock
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
+        #: Prepended to generated ids so recorders in different processes
+        #: (e.g. shard workers) mint globally-unique span ids that can be
+        #: merged into one supervisor-side buffer without collisions.
+        self.id_prefix = id_prefix
         self.evicted = 0
+        # Ship/ingest bookkeeping for cross-process span transfer.
+        self._shipped: Dict[str, bool] = {}      # span_id -> finished at ship
+        self._ingest_index: Dict[str, Span] = {}  # span_id -> buffered span
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
 
     def new_trace_id(self) -> str:
-        return f"t{next(self._trace_ids)}"
+        return f"{self.id_prefix}t{next(self._trace_ids)}"
 
     def start(
         self,
@@ -120,7 +130,7 @@ class SpanRecorder:
             trace_id = self.new_trace_id()
         span = Span(
             trace_id=trace_id,
-            span_id=f"s{next(self._span_ids)}",
+            span_id=f"{self.id_prefix}s{next(self._span_ids)}",
             parent_id=parent_id,
             name=name,
             endpoint=endpoint,
@@ -197,9 +207,79 @@ class SpanRecorder:
             "traces": len(self.trace_ids()),
         }
 
+    # ------------------------------------------------------------------
+    # Cross-process transfer
+    # ------------------------------------------------------------------
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Spans new or newly finished since the last :meth:`drain`.
+
+        Used by shard workers answering an OBS pull: each call ships only
+        the delta.  Open spans are re-shipped on a later drain once they
+        finish, so the receiving side eventually sees final timestamps.
+        """
+        out: List[Dict[str, Any]] = []
+        live = set()
+        for span in self._spans:
+            live.add(span.span_id)
+            prev = self._shipped.get(span.span_id)
+            if prev is None or (prev is False and span.finished):
+                out.append(span.to_dict())
+                self._shipped[span.span_id] = span.finished
+        # Forget ship-state for spans evicted from the ring.
+        if len(self._shipped) > len(live):
+            for span_id in list(self._shipped):
+                if span_id not in live:
+                    del self._shipped[span_id]
+        return out
+
+    def ingest(self, span_dicts: List[Dict[str, Any]]) -> int:
+        """Merge span dicts from another recorder (upsert by span_id).
+
+        A span already buffered from an earlier ingest is updated in
+        place (it may have been open then and finished now); unseen spans
+        are appended.  Returns the number of spans applied.
+        """
+        applied = 0
+        for data in span_dicts:
+            span_id = data.get("span_id")
+            if not span_id:
+                continue
+            existing = self._ingest_index.get(span_id)
+            if existing is not None and existing in self._spans:
+                existing.end = data.get("end")
+                attrs = data.get("attrs")
+                if attrs:
+                    existing.attrs.update(attrs)
+                applied += 1
+                continue
+            span = Span(
+                trace_id=data.get("trace_id", ""),
+                span_id=span_id,
+                parent_id=data.get("parent_id"),
+                name=data.get("name", ""),
+                endpoint=data.get("endpoint", ""),
+                start=data.get("start", 0.0),
+                end=data.get("end"),
+                attrs=dict(data.get("attrs") or {}),
+            )
+            if len(self._spans) == self._maxlen:
+                self.evicted += 1
+            self._spans.append(span)
+            self._ingest_index[span_id] = span
+            applied += 1
+        if len(self._ingest_index) > 2 * self._maxlen:
+            buffered = {s.span_id for s in self._spans}
+            for span_id in list(self._ingest_index):
+                if span_id not in buffered:
+                    del self._ingest_index[span_id]
+        return applied
+
     def clear(self) -> None:
         self._spans.clear()
         self.evicted = 0
+        self._shipped.clear()
+        self._ingest_index.clear()
 
     def __len__(self) -> int:
         return len(self._spans)
@@ -218,12 +298,14 @@ _SEGMENT_OF = {
     SERVER_RECEIVE: "queue",
     SERVER_BROADCAST: "route",
     CLUSTER_ROUTE: "route_shard",
+    CLUSTER_FORWARD: "forward",
+    WORKER_APPLY: "worker_apply",
     REMOTE_APPLY: "apply",
     SERVER_ACK: "ack",
 }
 
 
-def observe_latencies(recorder: SpanRecorder, registry) -> int:
+def observe_latencies(recorder: SpanRecorder, registry, seen=None) -> int:
     """Fold finished span durations into per-segment latency histograms.
 
     Each span name maps to a segment label of the
@@ -231,6 +313,10 @@ def observe_latencies(recorder: SpanRecorder, registry) -> int:
     end-to-end sync latency (the root ``client.emit`` span) into
     queue / lock / route / apply parts.  Returns the number of spans
     observed.
+
+    With a *seen* set the fold is incremental: spans whose ids are in
+    the set are skipped and newly folded ids are added, so the caller
+    can re-fold on every export without double counting.
     """
     family = registry.histogram(
         "repro_sync_latency_seconds",
@@ -242,6 +328,10 @@ def observe_latencies(recorder: SpanRecorder, registry) -> int:
         duration = span.duration
         if duration is None:
             continue
+        if seen is not None:
+            if span.span_id in seen:
+                continue
+            seen.add(span.span_id)
         segment = _SEGMENT_OF.get(span.name, span.name)
         family.labels(segment).observe(duration)
         observed += 1

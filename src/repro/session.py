@@ -191,6 +191,12 @@ class SessionConfig:
     observability: Union[None, bool, ObservabilityConfig, Observability] = (
         field(default_factory=_default_observability)
     )
+    #: Serve this deployment's metrics over HTTP (docs/OBSERVABILITY.md):
+    #: ``None`` (off, the default) or a port for a stdlib ``/metrics``
+    #: endpoint (``0`` binds an ephemeral port — read it back from
+    #: ``session.metrics_address``).  Each scrape re-collects, so on a
+    #: multi-process cluster it transparently delta-pulls every worker.
+    metrics_port: Optional[int] = None
     #: Event-sourced persistence (docs/PERSISTENCE.md): ``None``/``False``
     #: (off, the default — frames and hot paths stay byte-identical),
     #: ``True`` (journal into an ephemeral directory removed at close), a
@@ -237,6 +243,21 @@ class SessionConfig:
         get_codec(self.codec)  # fail fast on an unknown codec name
 
 
+def _observability_enabled(
+    value: Union[None, bool, ObservabilityConfig, Observability],
+) -> bool:
+    """Whether a ``SessionConfig.observability`` value enables the layer.
+
+    Decided *without* building anything — the multi-process cluster needs
+    the answer before it spawns workers (their instrumentation rides in
+    the spawn command line), which happens before the session's own
+    observability object exists.
+    """
+    if isinstance(value, Observability):
+        return value.enabled
+    return bool(value)
+
+
 def _build_server(
     config: SessionConfig, clock=None
 ) -> Tuple[ServerLike, Optional[str]]:
@@ -272,6 +293,9 @@ def _build_server(
                 admin_users=config.admin_users,
                 ack_release=config.ack_release,
                 couple_scope=config.couple_scope,
+                # Workers spawn before configure_observability runs, so
+                # the session's setting must ride in the spawn env/flags.
+                observability=_observability_enabled(config.observability),
             ),
             ephemeral,
         )
@@ -312,6 +336,8 @@ class _BackendBase:
     obs: Observability
     #: Tempdir backing an ephemeral journal (``persistence=True``), if any.
     _persist_ephemeral: Optional[str] = None
+    #: The HTTP /metrics endpoint (``metrics_port``), if any.
+    _metrics_http: Optional[Any] = None
 
     def _init_observability(
         self, transport_stats: Optional[TrafficStats] = None
@@ -323,21 +349,32 @@ class _BackendBase:
         and registers nothing.
         """
         self.obs = build_observability(self.config.observability)
-        if not self.obs.enabled:
-            return
-        self.server.configure_observability(self.obs)
-        if self.obs.registry.enabled:
-            if transport_stats is not None:
-                transport_stats.register_into(
-                    self.obs.registry, transport=self.config.backend
+        if self.obs.enabled:
+            self.server.configure_observability(self.obs)
+            if self.obs.registry.enabled:
+                if transport_stats is not None:
+                    transport_stats.register_into(
+                        self.obs.registry, transport=self.config.backend
+                    )
+                from repro.core.compat import (
+                    DEFAULT_MAPPING_CACHE,
+                    GLOBAL_MATCH_STATS,
                 )
-            from repro.core.compat import (
-                DEFAULT_MAPPING_CACHE,
-                GLOBAL_MATCH_STATS,
+
+                GLOBAL_MATCH_STATS.register_into(self.obs.registry)
+                DEFAULT_MAPPING_CACHE.register_into(self.obs.registry)
+        if self.config.metrics_port is not None:
+            from repro.obs.http import MetricsHTTPServer
+
+            self._metrics_http = MetricsHTTPServer(
+                self.obs, self.config.host, self.config.metrics_port
             )
 
-            GLOBAL_MATCH_STATS.register_into(self.obs.registry)
-            DEFAULT_MAPPING_CACHE.register_into(self.obs.registry)
+    @property
+    def metrics_address(self) -> Optional[Tuple[str, int]]:
+        """Bound ``(host, port)`` of the /metrics endpoint, if serving."""
+        server = self._metrics_http
+        return server.address if server is not None else None
 
     @property
     def cluster(self) -> Optional[ShardedCosoftCluster]:
@@ -373,6 +410,12 @@ class _BackendBase:
             self.pump()
 
     def close(self) -> None:
+        if self._metrics_http is not None:
+            try:
+                self._metrics_http.close()
+            except Exception:
+                pass
+            self._metrics_http = None
         for instance in list(self.instances.values()):
             try:
                 instance.close()

@@ -307,3 +307,122 @@ class TestOperatorCli:
             assert proc.returncode == 0, proc.stderr
             assert "shard-0" in proc.stdout
             assert "pid=" in proc.stdout
+
+
+@pytest.fixture
+def obs_endpoint(tmp_path):
+    ep = build_worker(
+        shard_id="shard-0", directory=str(tmp_path), observability=True
+    )
+    sink = _Sink()
+    ep.bind(sink)
+    ep.sink = sink
+    yield ep
+    ep.server.persistence.close()
+
+
+def obs_pull(endpoint, since=None):
+    endpoint.handle_message(
+        Message(
+            kind=kinds.SHARD_OBS_PULL,
+            sender=ROUTER_ID,
+            to=endpoint.shard_id,
+            payload={"since": since},
+        )
+    )
+    reply = endpoint.sink.sent[-1]
+    assert reply.kind == kinds.SHARD_OBS_REPLY
+    return reply.payload
+
+
+def traced_register(endpoint, did, instance_id="a"):
+    """A REGISTER forward carrying trace context, as the supervisor's
+    cluster.forward span stamps it — makes the worker open spans."""
+    inner = Message(
+        kind=kinds.REGISTER,
+        sender=instance_id,
+        payload={"user": instance_id, "app_type": "editor"},
+        trace=("t1", "s1"),
+    )
+    forward(endpoint, did, inner)
+
+
+class TestShardObservabilityProtocol:
+    def test_first_pull_is_a_full_snapshot_with_spans(self, obs_endpoint):
+        traced_register(obs_endpoint, 1)
+        payload = obs_pull(obs_endpoint)
+        assert payload["full"] is True
+        names = {sample[0] for sample in payload["samples"]}
+        assert "repro_server_processed_total" in names
+        # The worker's recorder prefixes its span ids with the shard id
+        # so merged supervisor-side buffers stay collision-free.
+        assert payload["spans"]
+        assert all(
+            s["span_id"].startswith("shard-0.") for s in payload["spans"]
+        )
+        assert payload["trace_stats"]["spans"] == len(payload["spans"])
+
+    def test_second_pull_ships_only_the_delta(self, obs_endpoint):
+        register(obs_endpoint, 1)
+        first = obs_pull(obs_endpoint)
+        # Nothing happened in between: the delta is empty.
+        second = obs_pull(obs_endpoint, since=first["epoch"])
+        assert second["full"] is False
+        assert second["samples"] == []
+        assert second["spans"] == []
+        # New traffic reappears in the next delta, much smaller than a
+        # full snapshot.
+        register(obs_endpoint, 2, instance_id="b")
+        third = obs_pull(obs_endpoint, since=second["epoch"])
+        assert third["full"] is False
+        assert 0 < len(third["samples"]) < len(first["samples"])
+
+    def test_stale_epoch_forces_full_snapshot(self, obs_endpoint):
+        register(obs_endpoint, 1)
+        obs_pull(obs_endpoint)
+        payload = obs_pull(obs_endpoint, since="some-dead-process")
+        assert payload["full"] is True
+        assert payload["samples"]
+
+    def test_disabled_observability_answers_empty(self, endpoint):
+        sink = _Sink()
+        endpoint.bind(sink)
+        endpoint.handle_message(
+            Message(
+                kind=kinds.SHARD_OBS_PULL,
+                sender=ROUTER_ID,
+                to=endpoint.shard_id,
+                payload={"since": None},
+            )
+        )
+        reply = sink.sent[-1]
+        assert reply.kind == kinds.SHARD_OBS_REPLY
+        assert reply.payload["samples"] == []
+        assert reply.payload["spans"] == []
+
+
+class TestHeartbeatAge:
+    def make_handle(self, tmp_path):
+        from repro.cluster.proc import ProcShardHandle
+
+        return ProcShardHandle("shard-0", str(tmp_path))
+
+    def test_never_heard_from_is_infinite(self, tmp_path):
+        handle = self.make_handle(tmp_path)
+        assert handle.heartbeat_age() == float("inf")
+
+    def test_age_measures_since_last_seen(self, tmp_path):
+        handle = self.make_handle(tmp_path)
+        handle.spawned_at = 100.0
+        handle.last_seen = 130.0
+        assert handle.heartbeat_age(now=131.5) == pytest.approx(1.5)
+
+    def test_respawn_resets_the_baseline(self, tmp_path):
+        # Regression: after kill -> respawn the handle still carries the
+        # pre-crash last_seen.  The age of a worker spawned 2s ago must
+        # be ~2s, not the minutes since the dead incarnation's last
+        # heartbeat.
+        handle = self.make_handle(tmp_path)
+        handle.last_seen = 100.0   # old incarnation, long dead
+        handle.spawned_at = 400.0  # fresh process
+        assert handle.heartbeat_age(now=402.0) == pytest.approx(2.0)

@@ -207,3 +207,64 @@ class TestLiveReshardUnderLoad:
             ta.find("/ui/title").commit("after-drain")
             session.pump()
             assert tb.find("/ui/title").value == "after-drain"
+
+
+class TestFlightRecorder:
+    def test_kill_nine_dumps_the_shards_last_spans(self, tmp_path):
+        """The acceptance gate: kill -9 a worker and the supervisor
+        writes a flight-recorder dump to the journal dir containing the
+        supervision event ring and that shard's last pulled spans."""
+        import json
+        import os
+
+        with Session(
+            backend="aio", shards=4, processes=True, observability=True,
+            persistence=str(tmp_path),
+        ) as session:
+            a = session.create_instance("a", user="amy")
+            b = session.create_instance("b", user="ben")
+            ta = a.add_root(build_tree())
+            b.add_root(build_tree())
+            # Coupled traffic takes the traced multiple-execution path,
+            # so the victim worker records worker.apply/server.* spans.
+            a.couple(ta.find("/ui/title"), ("b", "/ui/title"))
+            session.pump()
+            victim = session.cluster.shard_of(("a", "/ui/title"))
+            ta.find("/ui/title").type_text("abc")
+            session.pump()
+            # Give the monitor a few heartbeat ticks: each PING
+            # piggybacks an OBS pull, so the supervisor's span view of
+            # the victim is at most one tick stale when it dies.
+            deadline = time.monotonic() + 10.0
+            handle = session.cluster.shards[victim]
+            while not handle.last_spans and time.monotonic() < deadline:
+                time.sleep(0.1)
+            assert handle.last_spans, "no spans pulled before the crash"
+
+            session.cluster.kill_shard(victim)
+            wait_for_restart(session.cluster, victim)
+
+            dump_path = os.path.join(str(tmp_path), victim, "flight-1.json")
+            assert os.path.exists(dump_path)
+            with open(dump_path) as fh:
+                dump = json.load(fh)
+            assert dump["shard"] == victim
+            assert dump["reason"] == "worker_exit"
+            events = [e["event"] for e in dump["events"]]
+            assert events[:2] == ["spawn", "ready"]
+            assert "kill_shard" in events
+            assert events[-1] == "dead"
+            # The dump carries the victim's own spans (worker-minted ids
+            # are prefixed with the shard id).
+            assert dump["spans"]
+            assert all(
+                s["span_id"].startswith(f"{victim}.")
+                for s in dump["spans"]
+            )
+            names = {s["name"] for s in dump["spans"]}
+            assert "worker.apply" in names
+
+            # The cluster is healthy again after the restart.
+            ta.find("/ui/title").commit("post-crash")
+            session.pump()
+            assert ta.find("/ui/title").value == "post-crash"

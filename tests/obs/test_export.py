@@ -55,6 +55,59 @@ def test_prometheus_label_escaping():
     assert 'repro_esc_total{path="a\\"b\\\\c"} 1' in text
 
 
+def test_prometheus_label_escaping_newline():
+    # The 0.0.4 text format requires \n in label values to be escaped —
+    # an unescaped newline would split the sample across two lines.
+    reg = MetricsRegistry()
+    fam = reg.counter("repro_esc_total", labelnames=("path",))
+    fam.labels("line1\nline2").inc()
+    text = render_prometheus(reg.collect())
+    assert 'repro_esc_total{path="line1\\nline2"} 1' in text
+    sample_lines = [
+        line for line in text.splitlines() if not line.startswith("#")
+    ]
+    assert len(sample_lines) == 1  # still one exposition line
+
+
+def test_prometheus_label_escaping_all_specials_together():
+    reg = MetricsRegistry()
+    fam = reg.counter("repro_esc_total", labelnames=("path",))
+    fam.labels('q"uote\\slash\nnewline').inc()
+    text = render_prometheus(reg.collect())
+    assert (
+        'repro_esc_total{path="q\\"uote\\\\slash\\nnewline"} 1' in text
+    )
+
+
+def test_prometheus_labeled_histogram_conformance():
+    # le must merge with the family's own labels, cumulative counts must
+    # be monotonic, +Inf must equal _count, and _sum/_count must carry
+    # the family labels without an le.
+    reg = MetricsRegistry()
+    fam = reg.histogram(
+        "repro_h_seconds", "h", labelnames=("segment",), buckets=(0.5, 2.0)
+    )
+    for value in (0.1, 1.0, 9.0):
+        fam.labels("e2e").observe(value)
+    lines = render_prometheus(reg.collect()).splitlines()
+    assert 'repro_h_seconds_bucket{segment="e2e",le="0.5"} 1' in lines
+    assert 'repro_h_seconds_bucket{segment="e2e",le="2.0"} 2' in lines
+    assert 'repro_h_seconds_bucket{segment="e2e",le="+Inf"} 3' in lines
+    assert 'repro_h_seconds_count{segment="e2e"} 3' in lines
+    (sum_line,) = [
+        line
+        for line in lines
+        if line.startswith('repro_h_seconds_sum{segment="e2e"}')
+    ]
+    assert abs(float(sum_line.split()[-1]) - 10.1) < 1e-9
+    cumulative = [
+        int(line.split()[-1])
+        for line in lines
+        if line.startswith('repro_h_seconds_bucket{segment="e2e"')
+    ]
+    assert cumulative == sorted(cumulative)  # cumulative, never dips
+
+
 def test_render_json_roundtrips():
     rec = SpanRecorder()
     span = rec.start(CLIENT_EMIT, endpoint="a")

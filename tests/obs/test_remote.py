@@ -1,0 +1,223 @@
+"""Unit tests for cross-process metric transfer (repro.obs.remote)
+and the span recorder's drain/ingest delta shipping."""
+
+from repro.obs.metrics import MetricsRegistry, Sample
+from repro.obs.remote import (
+    SampleDiffer,
+    ShardSampleCache,
+    sample_from_wire,
+    sample_to_wire,
+)
+from repro.obs.tracing import SpanRecorder
+
+
+def make_samples():
+    reg = MetricsRegistry()
+    reg.counter("repro_a_total", "A").inc(3)
+    fam = reg.counter("repro_k_total", "K", labelnames=("kind",))
+    fam.labels("event").inc(2)
+    reg.histogram("repro_h_seconds", "H", buckets=(0.5, 2.0)).observe(1.0)
+    return reg
+
+
+class TestSampleWire:
+    def test_scalar_roundtrip(self):
+        sample = Sample(
+            "repro_a_total", "counter", "A", (("kind", "event"),), 3
+        )
+        assert sample_from_wire(sample_to_wire(sample)) == sample
+
+    def test_histogram_roundtrip(self):
+        (sample,) = [
+            s for s in make_samples().collect()
+            if s.name == "repro_h_seconds"
+        ]
+        back = sample_from_wire(sample_to_wire(sample))
+        assert back == sample
+        assert back.value["buckets"][-1] == ("+Inf", 1)
+        assert back.value["count"] == 1
+        assert back.value["sum"] == 1.0
+
+    def test_wire_form_is_json_safe(self):
+        import json
+
+        (sample,) = [
+            s for s in make_samples().collect()
+            if s.name == "repro_h_seconds"
+        ]
+        # Survives a JSON round trip (what the link codec may do to it).
+        wire = json.loads(json.dumps(sample_to_wire(sample)))
+        assert sample_from_wire(wire) == sample
+
+
+class TestSampleDiffer:
+    def test_first_pull_is_full(self):
+        reg = make_samples()
+        differ = SampleDiffer()
+        epoch, full, samples = differ.diff(reg.collect(), None)
+        assert full
+        assert epoch == differ.epoch
+        assert len(samples) == len(reg.collect())
+
+    def test_unchanged_pull_ships_nothing(self):
+        reg = make_samples()
+        differ = SampleDiffer()
+        epoch, _, _ = differ.diff(reg.collect(), None)
+        _, full, samples = differ.diff(reg.collect(), epoch)
+        assert not full
+        assert samples == []
+
+    def test_delta_ships_only_changed_samples(self):
+        reg = make_samples()
+        differ = SampleDiffer()
+        epoch, _, _ = differ.diff(reg.collect(), None)
+        reg.counter("repro_a_total").inc()
+        _, full, samples = differ.diff(reg.collect(), epoch)
+        assert not full
+        assert [sample_from_wire(s).name for s in samples] == [
+            "repro_a_total"
+        ]
+
+    def test_epoch_mismatch_forces_full_snapshot(self):
+        reg = make_samples()
+        differ = SampleDiffer()
+        differ.diff(reg.collect(), None)
+        # A puller that talked to a previous incarnation supplies a stale
+        # epoch and must get everything again.
+        _, full, samples = differ.diff(reg.collect(), "stale-epoch")
+        assert full
+        assert len(samples) == len(reg.collect())
+
+    def test_histogram_observation_marks_sample_changed(self):
+        reg = make_samples()
+        differ = SampleDiffer()
+        epoch, _, _ = differ.diff(reg.collect(), None)
+        reg.histogram("repro_h_seconds", buckets=(0.5, 2.0)).observe(3.0)
+        _, _, samples = differ.diff(reg.collect(), epoch)
+        assert [sample_from_wire(s).name for s in samples] == [
+            "repro_h_seconds"
+        ]
+
+
+class TestShardSampleCache:
+    def test_collect_adds_shard_label(self):
+        cache = ShardSampleCache("shard-3")
+        differ = SampleDiffer()
+        epoch, full, samples = differ.diff(make_samples().collect(), None)
+        cache.apply(epoch, full, samples)
+        for sample in cache.collect():
+            assert ("shard", "shard-3") in sample.labels
+
+    def test_delta_updates_merge_into_cached_view(self):
+        reg = make_samples()
+        cache = ShardSampleCache("shard-0")
+        differ = SampleDiffer()
+        epoch, full, samples = differ.diff(reg.collect(), None)
+        cache.apply(epoch, full, samples)
+        reg.counter("repro_a_total").inc(7)
+        epoch, full, samples = differ.diff(reg.collect(), epoch)
+        cache.apply(epoch, full, samples)
+        (counter,) = [
+            s for s in cache.collect() if s.name == "repro_a_total"
+        ]
+        assert counter.value == 10
+        # The untouched families are still present from the full pull.
+        assert {s.name for s in cache.collect()} == {
+            "repro_a_total", "repro_k_total", "repro_h_seconds",
+        }
+
+    def test_new_epoch_clears_stale_samples(self):
+        cache = ShardSampleCache("shard-0")
+        old = SampleDiffer(epoch="old-process")
+        epoch, full, samples = old.diff(make_samples().collect(), None)
+        cache.apply(epoch, full, samples)
+        # The worker restarted: a fresh differ with only one family.
+        reg = MetricsRegistry()
+        reg.counter("repro_a_total", "A").inc(1)
+        new = SampleDiffer(epoch="new-process")
+        epoch, full, samples = new.diff(reg.collect(), None)
+        cache.apply(epoch, full, samples)
+        assert {s.name for s in cache.collect()} == {"repro_a_total"}
+        assert cache.full_pulls == 2
+
+    def test_registry_collector_integration(self):
+        registry = MetricsRegistry()
+        cache = ShardSampleCache("shard-1")
+        registry.register_collector(cache.collect)
+        differ = SampleDiffer()
+        epoch, full, samples = differ.diff(make_samples().collect(), None)
+        cache.apply(epoch, full, samples)
+        names = {s.name for s in registry.collect()}
+        assert "repro_a_total" in names
+
+
+class TestSpanDrainIngest:
+    def test_drain_ships_each_finished_span_once(self):
+        rec = SpanRecorder()
+        rec.finish(rec.start("client.emit"))
+        first = rec.drain()
+        assert [d["name"] for d in first] == ["client.emit"]
+        assert rec.drain() == []
+
+    def test_open_span_reships_once_finished(self):
+        rec = SpanRecorder()
+        span = rec.start("server.floor_held")
+        (shipped,) = rec.drain()
+        assert shipped["end"] is None
+        assert rec.drain() == []  # still open: nothing new
+        rec.finish(span)
+        (reshipped,) = rec.drain()
+        assert reshipped["span_id"] == shipped["span_id"]
+        assert reshipped["end"] is not None
+
+    def test_ingest_appends_and_upserts(self):
+        worker = SpanRecorder(id_prefix="shard-0.")
+        supervisor = SpanRecorder()
+        span = worker.start("worker.apply", trace_id="t1")
+        supervisor.ingest(worker.drain())
+        assert supervisor.spans()[0].span_id == "shard-0.s1"
+        assert not supervisor.spans()[0].finished
+        worker.finish(span, did=4)
+        supervisor.ingest(worker.drain())
+        # Upserted in place, not duplicated.
+        assert len(supervisor.spans()) == 1
+        merged = supervisor.spans()[0]
+        assert merged.finished
+        assert merged.attrs["did"] == 4
+
+    def test_id_prefix_keeps_merged_ids_unique(self):
+        supervisor = SpanRecorder()
+        supervisor.finish(supervisor.start("client.emit"))
+        worker = SpanRecorder(id_prefix="shard-1.")
+        worker.finish(worker.start("worker.apply", trace_id="t1"))
+        supervisor.ingest(worker.drain())
+        ids = [s.span_id for s in supervisor.spans()]
+        assert len(ids) == len(set(ids)) == 2
+
+    def test_merged_tree_crosses_the_process_boundary(self):
+        supervisor = SpanRecorder()
+        root = supervisor.start("client.emit")
+        forward = supervisor.start(
+            "cluster.forward", trace_id=root.trace_id,
+            parent_id=root.span_id,
+        )
+        worker = SpanRecorder(id_prefix="shard-0.")
+        apply_span = worker.start(
+            "worker.apply", trace_id=root.trace_id,
+            parent_id=forward.span_id,
+        )
+        worker.finish(apply_span)
+        supervisor.finish(forward)
+        supervisor.finish(root)
+        supervisor.ingest(worker.drain())
+        assert supervisor.canonical_tree(root.trace_id) == (
+            ("client.emit", (("cluster.forward", (("worker.apply", ()),)),)),
+        )
+
+    def test_clear_resets_ship_state(self):
+        rec = SpanRecorder()
+        rec.finish(rec.start("client.emit"))
+        rec.drain()
+        rec.clear()
+        rec.finish(rec.start("client.emit"))
+        assert len(rec.drain()) == 1
